@@ -1,0 +1,62 @@
+"""Extension: multi-node scaling of the on-node burst buffer design.
+
+The paper (Section III-D): "We argue then that data movement between
+local BBs (e.g., when using more than a single node) would not
+significantly slow down the application execution.  This result
+indicates that the on-node implementation would likely scale well for
+large-scale workflow applications."
+
+This extension tests that argument directly in simulation: SWarp weak
+scaling over 1–8 Summit nodes (8 pipelines per node, inputs spread over
+the node-local NVMes so a share of reads crosses the fabric to a remote
+BB), measuring weak-scaling efficiency.
+"""
+
+import pytest
+
+from repro import des
+from repro.compute import ComputeService
+from repro.platform import Platform
+from repro.platform.presets import local_bb_host, summit_spec
+from repro.storage import OnNodeBurstBuffer, ParallelFileSystem
+from repro.wms import AllBB, RoundRobinScheduler, WorkflowEngine
+from repro.workflow.swarp import make_swarp
+
+PIPELINES_PER_NODE = 8
+
+
+def weak_scaling_makespan(n_nodes: int) -> float:
+    env = des.Environment()
+    plat = Platform(env, summit_spec(n_compute=n_nodes))
+    hosts = [f"cn{i}" for i in range(n_nodes)]
+    bbs = {h: OnNodeBurstBuffer(plat, local_bb_host(h)) for h in hosts}
+    engine = WorkflowEngine(
+        plat,
+        make_swarp(
+            n_pipelines=PIPELINES_PER_NODE * n_nodes,
+            cores_per_task=4,
+            include_stage_in=False,
+        ),
+        ComputeService(plat, hosts),
+        ParallelFileSystem(plat),
+        bb_for_host=lambda h: bbs[h],
+        placement=AllBB(),
+        host_assignment=RoundRobinScheduler(),
+    )
+    return engine.run().makespan
+
+
+@pytest.mark.parametrize("n_nodes", [1, 2, 4, 8])
+def test_bench_onnode_weak_scaling(benchmark, n_nodes):
+    makespan = benchmark.pedantic(
+        lambda: weak_scaling_makespan(n_nodes), rounds=1, iterations=1
+    )
+    assert makespan > 0
+
+
+def test_onnode_scales_well():
+    """Weak-scaling efficiency stays high: 8 nodes cost < 40% over 1
+    node for 8× the work, despite cross-node BB traffic."""
+    base = weak_scaling_makespan(1)
+    scaled = weak_scaling_makespan(8)
+    assert scaled < 1.4 * base

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 10 (validation, staged-fraction sweep)."""
+
+from benchmarks.conftest import regenerate, rows_for
+
+
+def test_bench_fig10(benchmark):
+    result = regenerate(benchmark, "fig10")
+
+    paper_errors = {"private": 0.056, "striped": 0.128, "on-node": 0.065}
+    for config, paper in paper_errors.items():
+        rows = rows_for(result, config=config)
+        mean_error = sum(r["rel_error"] for r in rows) / len(rows)
+        # Within 2× of the paper's reported error band.
+        assert mean_error < 2 * paper + 0.02, f"{config}: {mean_error:.1%}"
+
+    # Striped is underestimated (no fragmentation in the simple model).
+    for row in rows_for(result, config="striped"):
+        assert row["simulated_s"] <= row["measured_s"]
+
+    # Private shows the paper's trend inversion character: the simulated
+    # curve falls with the staged fraction.
+    sims = [r["simulated_s"] for r in rows_for(result, config="private")]
+    assert sims == sorted(sims, reverse=True)

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 11 (validation, pipelines sweep)."""
+
+from benchmarks.conftest import regenerate, rows_for
+
+
+def test_bench_fig11(benchmark):
+    result = regenerate(benchmark, "fig11")
+
+    for config in ("private", "striped", "on-node"):
+        rows = rows_for(result, config=config)
+        measured = [r["measured_s"] for r in rows]
+        simulated = [r["simulated_s"] for r in rows]
+        # Both curves rise with concurrency — the contention trend the
+        # paper's model "captures fairly well".
+        assert measured == sorted(measured)
+        assert simulated == sorted(simulated)
+
+    # On-node stays within the paper's error regime.
+    onnode = rows_for(result, config="on-node")
+    mean_error = sum(r["rel_error"] for r in onnode) / len(onnode)
+    assert mean_error < 0.25

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 13 (1000Genomes staged-fraction sweep)."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_bench_fig13(benchmark):
+    result = regenerate(benchmark, "fig13")
+
+    cori = result.column("cori_s")
+    summit = result.column("summit_s")
+
+    # Makespans fall monotonically as more input is staged.
+    assert cori == sorted(cori, reverse=True)
+    assert summit == sorted(summit, reverse=True)
+
+    # Summit outperforms Cori everywhere (bigger BB bandwidth).
+    assert all(s < c for s, c in zip(summit, cori))
+
+    # Cori's tail gain (last step) is flatter than Summit's: the single
+    # BB node saturates first (the paper's ~80% plateau).
+    cori_tail = (cori[-2] - cori[-1]) / cori[-2]
+    summit_tail = (summit[-2] - summit[-1]) / summit[-2]
+    assert cori_tail < summit_tail

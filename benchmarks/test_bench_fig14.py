@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 14 (1000Genomes speedup + reference)."""
+
+import math
+
+from benchmarks.conftest import regenerate
+
+
+def test_bench_fig14(benchmark):
+    result = regenerate(benchmark, "fig14")
+
+    cori = result.column("cori_speedup")
+    summit = result.column("summit_speedup")
+
+    # Speedup grows with staging and starts at 1.
+    assert cori[0] == 1.0 and summit[0] == 1.0
+    assert cori == sorted(cori)
+    assert cori[-1] > 1.2
+
+    # Summit ends up with the larger speedup (its plateau comes later).
+    assert summit[-1] > cori[-1]
+
+    # Prior-work reference points exist and carry a nonzero error note.
+    refs = [v for v in result.column("reference") if not math.isnan(v)]
+    assert refs
+    assert any("error vs. 2-chromosome reference" in n for n in result.notes)

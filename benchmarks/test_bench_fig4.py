@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 4 (stage-in vs. staged fraction)."""
+
+from benchmarks.conftest import regenerate, rows_for
+
+
+def test_bench_fig4(benchmark):
+    result = regenerate(benchmark, "fig4")
+
+    # Linear growth for every configuration.
+    for config in ("private", "striped", "on-node"):
+        means = [row["mean_s"] for row in rows_for(result, config=config)]
+        assert means == sorted(means) or config == "striped"  # anomaly dips
+
+    # On-node beats shared by a large factor at full staging.
+    at_full = {r["config"]: r["mean_s"] for r in rows_for(result, fraction=1.0)}
+    assert at_full["private"] / at_full["on-node"] > 3.0
+
+    # The striped 75% anomaly: above the linear interpolation of 50→100%.
+    striped = {r["fraction"]: r["mean_s"] for r in rows_for(result, config="striped")}
+    interpolated = (striped[0.5] + striped[1.0]) / 2
+    assert striped[0.75] > 1.3 * interpolated

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 5 (task times across tiers and modes)."""
+
+from benchmarks.conftest import regenerate, rows_for
+
+
+def test_bench_fig5(benchmark):
+    result = regenerate(benchmark, "fig5")
+
+    # Private: resample improves with staged inputs; BB intermediates win.
+    private_bb = rows_for(result, config="private", intermediates="bb")
+    assert private_bb[0]["resample_s"] > private_bb[-1]["resample_s"]
+    private_pfs = rows_for(result, config="private", intermediates="pfs")
+    for bb_row, pfs_row in zip(private_bb, private_pfs):
+        assert bb_row["resample_s"] < pfs_row["resample_s"]
+
+    # Combine in private mode is nearly constant across the sweep.
+    combine = [row["combine_s"] for row in private_bb]
+    assert max(combine) / min(combine) < 1.1
+
+    # Ordering at full staging: on-node < private < striped.
+    def resample_at_full(config):
+        return rows_for(result, config=config, intermediates="bb", fraction=1.0)[0][
+            "resample_s"
+        ]
+
+    assert (
+        resample_at_full("on-node")
+        < resample_at_full("private")
+        < resample_at_full("striped")
+    )

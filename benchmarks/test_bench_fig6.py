@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 6 (cores-per-task sweep)."""
+
+from benchmarks.conftest import regenerate, rows_for
+
+
+def test_bench_fig6(benchmark):
+    result = regenerate(benchmark, "fig6")
+
+    # Shared implementation: resample gains to 8 cores, then plateaus.
+    private = {r["cores"]: r for r in rows_for(result, config="private")}
+    assert private[8]["resample_s"] < private[1]["resample_s"] / 2
+    assert private[32]["resample_s"] > 0.85 * private[8]["resample_s"]
+
+    # Combine does not benefit from parallelism anywhere.
+    for config in ("private", "striped", "on-node"):
+        rows = {r["cores"]: r for r in rows_for(result, config=config)}
+        assert rows[32]["combine_s"] > 0.8 * rows[1]["combine_s"]
+
+    # Core count does not change the configuration ordering.
+    for cores in (1, 32):
+        at = {
+            r["config"]: r["resample_s"] for r in rows_for(result, cores=cores)
+        }
+        assert at["on-node"] < at["private"]

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 7 (concurrent-pipelines sweep)."""
+
+from benchmarks.conftest import regenerate, rows_for
+
+
+def test_bench_fig7(benchmark):
+    result = regenerate(benchmark, "fig7")
+
+    private = {r["pipelines"]: r for r in rows_for(result, config="private")}
+    onnode = {r["pipelines"]: r for r in rows_for(result, config="on-node")}
+    n_max = max(private)
+
+    # Cori tasks slow down substantially with concurrency...
+    cori_slowdown = private[n_max]["resample_s"] / private[1]["resample_s"]
+    assert cori_slowdown > 1.4
+
+    # ... while Summit's resample stays nearly flat,
+    summit_slowdown = onnode[n_max]["resample_s"] / onnode[1]["resample_s"]
+    assert summit_slowdown < 1.3
+    assert summit_slowdown < cori_slowdown
+
+    # and Summit's combine degrades more than its resample (paper).
+    summit_combine = onnode[n_max]["combine_s"] / onnode[1]["combine_s"]
+    assert summit_combine > summit_slowdown

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 8 (run-to-run variability)."""
+
+from benchmarks.conftest import regenerate, rows_for
+
+
+def test_bench_fig8(benchmark):
+    result = regenerate(benchmark, "fig8")
+
+    pipelines = sorted({r["pipelines"] for r in rows_for(result)})
+    for n in pipelines:
+        at = {r["config"]: r for r in rows_for(result, pipelines=n)}
+        # On-node is fastest and at least as stable as striped.
+        assert at["on-node"]["mean_s"] < at["private"]["mean_s"]
+        assert at["on-node"]["cv"] <= at["striped"]["cv"]
+        # Private beats striped on both speed and stability.
+        assert at["private"]["mean_s"] < at["striped"]["mean_s"]
+        assert at["private"]["cv"] <= at["striped"]["cv"]

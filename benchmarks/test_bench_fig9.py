@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 9 (achieved I/O bandwidth)."""
+
+from benchmarks.conftest import regenerate, rows_for
+
+
+def test_bench_fig9(benchmark):
+    result = regenerate(benchmark, "fig9")
+    at = {r["config"]: r for r in rows_for(result)}
+
+    # Everyone achieves well below their Table I peak (POSIX + latency).
+    for config in ("private", "striped", "on-node"):
+        assert 0 < at[config]["peak_fraction"] < 1.0
+
+    # On-node delivers the highest absolute bandwidth; striped the lowest.
+    assert at["on-node"]["mean_MBps"] > at["private"]["mean_MBps"]
+    assert at["private"]["mean_MBps"] >= at["striped"]["mean_MBps"]

@@ -1,0 +1,72 @@
+"""Ablation: data-placement heuristics on the 1000Genomes workflow.
+
+The paper's stated future work: "leverage our simulator to explore the
+heuristic-space of data placement strategies".  This benchmark runs the
+1000Genomes instance under the heuristic policies the library ships and
+reports their makespans — demonstrating the exploration loop the paper
+proposes, at benchmark-tracked cost.
+"""
+
+import pytest
+
+from repro import des
+from repro.compute import ComputeService
+from repro.platform import Platform
+from repro.platform.presets import bb_node_names, compute_node_names, cori_spec
+from repro.storage import BBMode, ParallelFileSystem, SharedBurstBuffer
+from repro.wms import (
+    AllPFS,
+    FractionPlacement,
+    LocalityPlacement,
+    SizeThresholdPlacement,
+    WorkflowEngine,
+)
+from repro.workflow.genomes import make_1000genomes
+
+N_CHROMOSOMES = 4
+N_COMPUTE = 4
+
+
+def genomes_makespan(placement) -> float:
+    env = des.Environment()
+    platform = Platform(env, cori_spec(n_compute=N_COMPUTE, n_bb_nodes=1))
+    hosts = compute_node_names(N_COMPUTE)
+    engine = WorkflowEngine(
+        platform,
+        make_1000genomes(n_chromosomes=N_CHROMOSOMES),
+        ComputeService(platform, hosts),
+        ParallelFileSystem(platform),
+        bb_for_host=lambda host: SharedBurstBuffer(
+            platform, bb_node_names(1), BBMode.STRIPED
+        ),
+        placement=placement,
+    )
+    return engine.run().makespan
+
+
+POLICIES = {
+    "all-pfs": AllPFS,
+    "all-bb": lambda: FractionPlacement(1.0, 1.0, 1.0),
+    "locality": LocalityPlacement,
+    "large-to-bb": lambda: SizeThresholdPlacement(50e6),
+    "small-to-bb": lambda: SizeThresholdPlacement(50e6, large_to_bb=False),
+}
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+def test_bench_placement(benchmark, policy_name):
+    makespan = benchmark.pedantic(
+        lambda: genomes_makespan(POLICIES[policy_name]()),
+        rounds=1,
+        iterations=1,
+    )
+    assert makespan > 0
+
+
+def test_placement_ordering_sanity():
+    """The BB-enabled policies must beat the pure-PFS baseline."""
+    baseline = genomes_makespan(AllPFS())
+    all_bb = genomes_makespan(FractionPlacement(1.0, 1.0, 1.0))
+    locality = genomes_makespan(LocalityPlacement())
+    assert all_bb < baseline
+    assert locality < baseline

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table I (calibrated platform parameters)."""
+
+from benchmarks.conftest import regenerate, rows_for
+
+
+def test_bench_table1(benchmark):
+    result = regenerate(benchmark, "table1")
+    rows = {row["system"]: row for row in rows_for(result)}
+    assert rows["cori"]["core_speed_gflops"] == 36.80
+    assert rows["summit"]["core_speed_gflops"] == 49.12
+    assert rows["cori"]["bb_network"] == "800.0 MB/s"
+    assert rows["summit"]["bb_disk"] == "3.3 GB/s"

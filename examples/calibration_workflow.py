@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The paper's full methodology in one script (its Figure 3 pipeline).
+
+1. *Characterize*: run SWarp on the emulated platform (the stand-in for
+   real Cori/Summit executions) and measure observed task times and I/O
+   fractions.
+2. *Calibrate*: recover each task's sequential compute time with
+   Eq. (4), ``T_c(1) = p (1 − λ_io) T(p)``.
+3. *Validate*: drive the simple Table-I simulator with the calibrated
+   times and compare its makespans against the emulated measurements.
+
+Run:  python examples/calibration_workflow.py
+"""
+
+from repro.emulation.trials import run_trials
+from repro.experiments.common import calibrate_swarp
+from repro.model import mean_relative_error, trend_agreement
+from repro.platform.presets import TABLE_I
+from repro.scenarios import run_swarp
+from repro.storage import BBMode
+
+FRACTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1 + 2: characterize on the PFS baseline and calibrate via Eq. (4)
+    # ------------------------------------------------------------------
+    calibration = calibrate_swarp("cori")
+    speed = TABLE_I["cori"]["core_speed"]
+    print("Characterization (emulated Cori, PFS baseline, 32 cores):")
+    print(f"  observed resample T(32) = {calibration.observed_resample_t:6.2f}s, "
+          f"lambda_io = {calibration.lambda_resample:.3f}")
+    print(f"  observed combine  T(32) = {calibration.observed_combine_t:6.2f}s, "
+          f"lambda_io = {calibration.lambda_combine:.3f}")
+    print("Calibration (Eq. 4):")
+    print(f"  resample T_c(1) = {calibration.resample_flops / speed:7.1f}s "
+          f"({calibration.resample_flops:.2e} flop)")
+    print(f"  combine  T_c(1) = {calibration.combine_flops / speed:7.1f}s "
+          f"({calibration.combine_flops:.2e} flop)\n")
+
+    # ------------------------------------------------------------------
+    # 3: validate against the emulated "measurements" (Figure 10 style)
+    # ------------------------------------------------------------------
+    print("Validation (private mode, staged-fraction sweep):")
+    print(f"{'staged':>7s} {'measured':>10s} {'simulated':>10s} {'error':>7s}")
+    measured_curve, simulated_curve = [], []
+    for fraction in FRACTIONS:
+        measured = run_trials(
+            lambda seed: run_swarp(
+                system="cori",
+                bb_mode=BBMode.PRIVATE,
+                input_fraction=fraction,
+                include_stage_in=False,
+                emulated=True,
+                seed=seed,
+            ).makespan,
+            n_trials=5,
+        ).mean
+        simulated = run_swarp(
+            system="cori",
+            bb_mode=BBMode.PRIVATE,
+            input_fraction=fraction,
+            include_stage_in=False,
+            emulated=False,
+            resample_flops=calibration.resample_flops,
+            combine_flops=calibration.combine_flops,
+        ).makespan
+        measured_curve.append(measured)
+        simulated_curve.append(simulated)
+        error = abs(simulated - measured) / measured
+        print(f"{fraction:6.0%} {measured:9.2f}s {simulated:9.2f}s {error:6.1%}")
+
+    print(f"\nmean relative error: "
+          f"{mean_relative_error(measured_curve, simulated_curve):.1%} "
+          "(paper reports 5.6% for private mode)")
+    print(f"trend agreement:     "
+          f"{trend_agreement(measured_curve, simulated_curve):.0%}")
+
+
+if __name__ == "__main__":
+    main()

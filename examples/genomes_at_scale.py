@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The 1000Genomes case study: burst-buffer staging at scale.
+
+Simulates the 903-task 1000Genomes workflow (Section IV-C of the paper)
+on the calibrated Cori and Summit models, sweeping the fraction of its
+~52 GB input staged into the burst buffer, and reports where each
+system's benefit saturates.
+
+Run:  python examples/genomes_at_scale.py [--chromosomes N]
+"""
+
+import argparse
+
+from repro.analysis import plateau_fraction
+from repro.scenarios import run_genomes
+from repro.workflow.genomes import make_1000genomes
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--chromosomes", type=int, default=22)
+    parser.add_argument("--nodes", type=int, default=8)
+    args = parser.parse_args()
+
+    workflow = make_1000genomes(n_chromosomes=args.chromosomes)
+    print(
+        f"1000Genomes instance: {len(workflow)} tasks, "
+        f"{workflow.data_footprint / 1e9:.1f} GB footprint, "
+        f"{sum(f.size for f in workflow.external_input_files()) / 1e9:.1f} GB input\n"
+    )
+
+    fractions = [i / 10 for i in range(11)]
+    curves = {}
+    for system in ("cori", "summit"):
+        curves[system] = [
+            run_genomes(
+                system=system,
+                input_fraction=f,
+                n_chromosomes=args.chromosomes,
+                n_compute=args.nodes,
+            ).makespan
+            for f in fractions
+        ]
+
+    print(f"{'staged':>7s} {'cori':>10s} {'summit':>10s} {'speedup(cori)':>14s}")
+    for i, f in enumerate(fractions):
+        print(
+            f"{f:6.0%} {curves['cori'][i]:9.1f}s {curves['summit'][i]:9.1f}s "
+            f"{curves['cori'][0] / curves['cori'][i]:13.2f}x"
+        )
+
+    print()
+    for system in ("cori", "summit"):
+        plateau = plateau_fraction(fractions, curves[system])
+        print(f"{system}: staging benefit saturates at ~{plateau:.0%} staged input")
+    print("\n(The paper observes Cori saturating near 80% — its single BB "
+          "node's bandwidth — while Summit keeps gaining until ~100%.)")
+
+
+if __name__ == "__main__":
+    main()

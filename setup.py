@@ -1,0 +1,10 @@
+"""Legacy-install shim.
+
+The [project] metadata lives in pyproject.toml; this file exists only so
+that ``pip install -e .`` works in offline environments without the
+``wheel`` package (pip falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""workflow-io-bb: simulating scientific workflows on HPC platforms with burst buffers.
+
+Reproduction of Pottier, Ferreira da Silva, Casanova, Deelman —
+"Modeling the Performance of Scientific Workflow Executions on HPC
+Platforms with Burst Buffers" (IEEE CLUSTER 2020).
+
+Layering (bottom up):
+
+* :mod:`repro.des` — discrete-event simulation kernel;
+* :mod:`repro.network` — flow-level max-min fair bandwidth sharing;
+* :mod:`repro.platform` — platform specs, Table I presets, JSON I/O;
+* :mod:`repro.storage` — PFS, shared (private/striped) and on-node BBs;
+* :mod:`repro.compute` — gang core allocation, Amdahl task timing;
+* :mod:`repro.workflow` — DAGs, SWarp & 1000Genomes generators, WfCommons I/O;
+* :mod:`repro.wms` — the workflow engine and placement policies;
+* :mod:`repro.model` — the paper's Eqs. (1)–(4), fitting, metrics;
+* :mod:`repro.traces` — event traces, Gantt rendering, bandwidth accounting;
+* :mod:`repro.emulation` — the "real machine" stand-in for validation;
+* :mod:`repro.scenarios` — one-call builders for the paper's scenarios;
+* :mod:`repro.simulator` — WRENCH-style files-in/trace-out facade;
+* :mod:`repro.experiments` — regeneration of every table and figure;
+* :mod:`repro.analysis` — speedups, plateaus, crossovers, summaries.
+
+The quickest entry points::
+
+    from repro.scenarios import run_swarp, run_genomes
+    from repro.simulator import Simulator
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "compute",
+    "des",
+    "emulation",
+    "experiments",
+    "model",
+    "network",
+    "platform",
+    "scenarios",
+    "simulator",
+    "storage",
+    "traces",
+    "wms",
+    "workflow",
+]

@@ -1,0 +1,45 @@
+"""Analysis helpers: curves, plateaus, crossovers, and summaries.
+
+Small, dependency-light utilities the experiment harnesses and examples
+share when turning raw makespans into the quantities the paper reports
+(speedups, saturation points, stability statistics).
+"""
+
+from repro.analysis.compare import (
+    GroupComparison,
+    TaskDelta,
+    TraceComparison,
+    compare_traces,
+    render_comparison,
+)
+from repro.analysis.curves import (
+    crossover_point,
+    plateau_fraction,
+    speedup_curve,
+)
+from repro.analysis.io_profile import (
+    GroupIOProfile,
+    IOProfile,
+    ServiceProfile,
+    profile_trace,
+    render_profile,
+)
+from repro.analysis.summary import describe, per_group_summary
+
+__all__ = [
+    "GroupComparison",
+    "GroupIOProfile",
+    "IOProfile",
+    "ServiceProfile",
+    "TaskDelta",
+    "TraceComparison",
+    "compare_traces",
+    "crossover_point",
+    "describe",
+    "per_group_summary",
+    "plateau_fraction",
+    "profile_trace",
+    "render_comparison",
+    "render_profile",
+    "speedup_curve",
+]

@@ -1,0 +1,136 @@
+"""Comparing two executions of the same workflow.
+
+The bread-and-butter question of every experiment in the paper is "how
+did configuration B change execution relative to configuration A?".
+These helpers answer it from two traces: per-group speedups, the
+overall makespan ratio, and the tasks that moved most.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.traces.events import ExecutionTrace
+
+
+@dataclass(frozen=True)
+class GroupComparison:
+    group: str
+    baseline_mean: float
+    other_mean: float
+
+    @property
+    def speedup(self) -> float:
+        """>1 means the other run was faster for this group."""
+        return self.baseline_mean / self.other_mean if self.other_mean else float("inf")
+
+
+@dataclass(frozen=True)
+class TaskDelta:
+    task: str
+    baseline: float
+    other: float
+
+    @property
+    def delta(self) -> float:
+        return self.other - self.baseline
+
+
+@dataclass(frozen=True)
+class TraceComparison:
+    baseline_makespan: float
+    other_makespan: float
+    groups: dict[str, GroupComparison]
+    biggest_regressions: tuple[TaskDelta, ...]
+    biggest_improvements: tuple[TaskDelta, ...]
+
+    @property
+    def makespan_speedup(self) -> float:
+        return (
+            self.baseline_makespan / self.other_makespan
+            if self.other_makespan
+            else float("inf")
+        )
+
+
+def compare_traces(
+    baseline: ExecutionTrace,
+    other: ExecutionTrace,
+    top_n: int = 5,
+) -> TraceComparison:
+    """Compare two executions of the same workflow.
+
+    Both traces must cover the same task set (same workflow run under
+    two configurations); a mismatch raises ``ValueError`` because the
+    comparison would be meaningless.
+    """
+    if set(baseline.records) != set(other.records):
+        missing = set(baseline.records) ^ set(other.records)
+        raise ValueError(
+            f"traces cover different task sets (symmetric difference: "
+            f"{sorted(missing)[:5]}...)"
+        )
+    if top_n < 0:
+        raise ValueError("top_n must be non-negative")
+
+    groups: dict[str, GroupComparison] = {}
+    group_names = {r.group for r in baseline.records.values()}
+    for group in group_names:
+        base = [r.duration for r in baseline.records.values() if r.group == group]
+        new = [r.duration for r in other.records.values() if r.group == group]
+        groups[group] = GroupComparison(
+            group=group,
+            baseline_mean=sum(base) / len(base),
+            other_mean=sum(new) / len(new),
+        )
+
+    deltas = [
+        TaskDelta(
+            task=name,
+            baseline=baseline.records[name].duration,
+            other=other.records[name].duration,
+        )
+        for name in baseline.records
+    ]
+    by_delta = sorted(deltas, key=lambda d: d.delta)
+    improvements = tuple(d for d in by_delta[:top_n] if d.delta < 0)
+    regressions = tuple(
+        d for d in sorted(by_delta[-top_n:], key=lambda d: -d.delta) if d.delta > 0
+    )
+
+    return TraceComparison(
+        baseline_makespan=baseline.makespan,
+        other_makespan=other.makespan,
+        groups=groups,
+        biggest_regressions=regressions,
+        biggest_improvements=improvements,
+    )
+
+
+def render_comparison(comparison: TraceComparison) -> str:
+    """Terminal-friendly rendering."""
+    lines = [
+        f"makespan: {comparison.baseline_makespan:.2f}s → "
+        f"{comparison.other_makespan:.2f}s "
+        f"({comparison.makespan_speedup:.2f}x)",
+        "",
+        "per group (mean task duration):",
+    ]
+    for group in sorted(comparison.groups):
+        g = comparison.groups[group]
+        lines.append(
+            f"  {group:16s} {g.baseline_mean:8.2f}s → {g.other_mean:8.2f}s "
+            f"({g.speedup:.2f}x)"
+        )
+    if comparison.biggest_regressions:
+        lines.append("")
+        lines.append("largest regressions:")
+        for d in comparison.biggest_regressions:
+            lines.append(f"  {d.task:24s} +{d.delta:.2f}s")
+    if comparison.biggest_improvements:
+        lines.append("")
+        lines.append("largest improvements:")
+        for d in comparison.biggest_improvements:
+            lines.append(f"  {d.task:24s} {d.delta:.2f}s")
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Curve analysis: speedups, plateaus, crossovers."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def speedup_curve(makespans: Sequence[float]) -> list[float]:
+    """Speedup of each point relative to the first (Figure 14's y-axis)."""
+    if not makespans:
+        raise ValueError("need at least one makespan")
+    baseline = makespans[0]
+    if baseline <= 0:
+        raise ValueError("baseline makespan must be positive")
+    if any(m <= 0 for m in makespans):
+        raise ValueError("makespans must be positive")
+    return [baseline / m for m in makespans]
+
+
+def plateau_fraction(
+    xs: Sequence[float],
+    makespans: Sequence[float],
+    threshold: float = 0.01,
+) -> float:
+    """First x past which further increase buys < ``threshold`` relative gain.
+
+    Used to locate the staging fraction where a BB saturates (the paper:
+    Cori plateaus once ~80% of the 1000Genomes input is staged).
+    Returns the last x if the curve never flattens.
+    """
+    if len(xs) != len(makespans) or len(xs) < 2:
+        raise ValueError("need matching sequences of at least two points")
+    if list(xs) != sorted(xs):
+        raise ValueError("xs must be increasing")
+    for i in range(len(xs) - 1):
+        gain = (makespans[i] - makespans[i + 1]) / makespans[i]
+        if gain < threshold:
+            return xs[i]
+    return xs[-1]
+
+
+def crossover_point(
+    xs: Sequence[float],
+    curve_a: Sequence[float],
+    curve_b: Sequence[float],
+) -> Optional[float]:
+    """x where curve_a first crosses below/above curve_b, or None.
+
+    Linear interpolation between samples; ties at a sample count as a
+    crossover at that x.
+    """
+    if not (len(xs) == len(curve_a) == len(curve_b)) or len(xs) < 2:
+        raise ValueError("need three matching sequences of at least two points")
+    diffs = [a - b for a, b in zip(curve_a, curve_b)]
+    for i in range(len(xs) - 1):
+        d0, d1 = diffs[i], diffs[i + 1]
+        if d0 == 0:
+            return xs[i]
+        if d0 * d1 < 0:
+            # Linear interpolation of the zero crossing.
+            t = d0 / (d0 - d1)
+            return xs[i] + t * (xs[i + 1] - xs[i])
+    if diffs[-1] == 0:
+        return xs[-1]
+    return None

@@ -1,0 +1,159 @@
+"""I/O profiling of execution traces (Darshan-style characterization).
+
+The paper's calibration chain starts from an I/O characterization study
+(Daley et al. [24]): per-task I/O fractions, per-layer bandwidths,
+read/write mixes.  This module derives the same quantities from a
+simulated/emulated :class:`~repro.traces.ExecutionTrace`, closing the
+loop: traces produced by this library can be characterized with the
+same methodology the paper consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.traces.events import ExecutionTrace
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """Aggregate I/O behaviour observed at one storage service."""
+
+    service: str
+    operations: int
+    bytes_read: float
+    bytes_written: float
+    mean_read_bandwidth: Optional[float]   # bytes/s, None if no reads
+    mean_write_bandwidth: Optional[float]
+
+    @property
+    def total_bytes(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def read_fraction(self) -> float:
+        return self.bytes_read / self.total_bytes if self.total_bytes else 0.0
+
+
+@dataclass(frozen=True)
+class GroupIOProfile:
+    """Per-task-group I/O characterization (λ_io and friends)."""
+
+    group: str
+    tasks: int
+    mean_lambda_io: float      # observed I/O time fraction (Eq. 1 input)
+    mean_read_time: float
+    mean_write_time: float
+    mean_bytes_per_task: float
+
+
+@dataclass(frozen=True)
+class IOProfile:
+    """Full characterization of one execution."""
+
+    services: dict[str, ServiceProfile]
+    groups: dict[str, GroupIOProfile]
+    total_bytes: float
+
+    def service(self, name: str) -> ServiceProfile:
+        try:
+            return self.services[name]
+        except KeyError:
+            raise KeyError(f"no I/O observed at service {name!r}") from None
+
+    def group(self, name: str) -> GroupIOProfile:
+        try:
+            return self.groups[name]
+        except KeyError:
+            raise KeyError(f"no tasks in group {name!r}") from None
+
+
+def profile_trace(trace: ExecutionTrace) -> IOProfile:
+    """Characterize the I/O of one executed workflow.
+
+    Requires the trace to carry per-file I/O operations (any trace
+    produced by :class:`~repro.wms.WorkflowEngine` does).
+    """
+    # ------------------------------------------------------------------
+    # Per-service aggregation
+    # ------------------------------------------------------------------
+    services: dict[str, ServiceProfile] = {}
+    by_service: dict[str, list] = {}
+    for op in trace.io_operations:
+        by_service.setdefault(op.service, []).append(op)
+    for name, ops in by_service.items():
+        reads = [op for op in ops if op.kind == "read"]
+        writes = [op for op in ops if op.kind != "read"]
+        read_bws = [op.bandwidth for op in reads if op.bandwidth]
+        write_bws = [op.bandwidth for op in writes if op.bandwidth]
+        services[name] = ServiceProfile(
+            service=name,
+            operations=len(ops),
+            bytes_read=sum(op.size for op in reads),
+            bytes_written=sum(op.size for op in writes),
+            mean_read_bandwidth=float(np.mean(read_bws)) if read_bws else None,
+            mean_write_bandwidth=float(np.mean(write_bws)) if write_bws else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Per-group aggregation
+    # ------------------------------------------------------------------
+    bytes_per_task: dict[str, float] = {}
+    for op in trace.io_operations:
+        bytes_per_task[op.task] = bytes_per_task.get(op.task, 0.0) + op.size
+
+    groups: dict[str, GroupIOProfile] = {}
+    by_group: dict[str, list] = {}
+    for record in trace.records.values():
+        by_group.setdefault(record.group, []).append(record)
+    for name, records in by_group.items():
+        groups[name] = GroupIOProfile(
+            group=name,
+            tasks=len(records),
+            mean_lambda_io=float(np.mean([r.io_fraction for r in records])),
+            mean_read_time=float(np.mean([r.read_time for r in records])),
+            mean_write_time=float(np.mean([r.write_time for r in records])),
+            mean_bytes_per_task=float(
+                np.mean([bytes_per_task.get(r.name, 0.0) for r in records])
+            ),
+        )
+
+    total = sum(op.size for op in trace.io_operations)
+    return IOProfile(services=services, groups=groups, total_bytes=total)
+
+
+def render_profile(profile: IOProfile) -> str:
+    """Terminal-friendly rendering of a profile."""
+    lines = ["I/O profile", "", "per storage service:"]
+    for name in sorted(profile.services):
+        s = profile.services[name]
+        read_bw = (
+            f"{s.mean_read_bandwidth / 1e6:8.1f} MB/s"
+            if s.mean_read_bandwidth
+            else "       n/a"
+        )
+        write_bw = (
+            f"{s.mean_write_bandwidth / 1e6:8.1f} MB/s"
+            if s.mean_write_bandwidth
+            else "       n/a"
+        )
+        lines.append(
+            f"  {name:24s} ops={s.operations:5d}  "
+            f"read={s.bytes_read / 1e9:7.2f} GB @{read_bw}  "
+            f"write={s.bytes_written / 1e9:7.2f} GB @{write_bw}"
+        )
+    lines.append("")
+    lines.append("per task group:")
+    for name in sorted(profile.groups):
+        g = profile.groups[name]
+        lines.append(
+            f"  {name:16s} tasks={g.tasks:4d}  lambda_io={g.mean_lambda_io:5.3f}  "
+            f"read={g.mean_read_time:6.2f}s write={g.mean_write_time:6.2f}s  "
+            f"{g.mean_bytes_per_task / 1e6:8.1f} MB/task"
+        )
+    lines.append("")
+    lines.append(f"total bytes moved: {profile.total_bytes / 1e9:.2f} GB")
+    return "\n".join(lines)

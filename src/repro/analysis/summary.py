@@ -1,0 +1,55 @@
+"""Summary statistics over execution traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.traces.events import ExecutionTrace
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    min: float
+    median: float
+    max: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.n} mean={self.mean:.3f} std={self.std:.3f} "
+            f"min={self.min:.3f} median={self.median:.3f} max={self.max:.3f}"
+        )
+
+
+def describe(values: Sequence[float]) -> Summary:
+    """Summarize a sample of measurements."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        min=float(arr.min()),
+        median=float(np.median(arr)),
+        max=float(arr.max()),
+    )
+
+
+def per_group_summary(trace: ExecutionTrace) -> dict[str, Summary]:
+    """Duration summary of each task group in a trace.
+
+    The per-task-category view the paper's characterization figures
+    report (stage-in / resample / combine rows).
+    """
+    groups: dict[str, list[float]] = {}
+    for record in trace.records.values():
+        groups.setdefault(record.group, []).append(record.duration)
+    return {group: describe(durations) for group, durations in groups.items()}

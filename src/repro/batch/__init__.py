@@ -1,0 +1,25 @@
+"""Batch scheduling: the Slurm/LSF layer the paper's experiments ran under.
+
+The paper's runs were submitted through Slurm (Cori) and LSF (Summit)
+with node-exclusive directives.  This package models that layer: jobs
+request nodes and walltime, wait in an FCFS queue with EASY
+backfilling, run their body (typically a workflow engine on the granted
+nodes), and are killed at their walltime limit — enabling studies of
+co-running workflow jobs sharing one machine's burst buffer.
+"""
+
+from repro.batch.scheduler import (
+    BatchScheduler,
+    JobAllocation,
+    JobRequest,
+    JobResult,
+    JobState,
+)
+
+__all__ = [
+    "BatchScheduler",
+    "JobAllocation",
+    "JobRequest",
+    "JobResult",
+    "JobState",
+]

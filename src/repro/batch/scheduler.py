@@ -1,0 +1,235 @@
+"""FCFS batch scheduler with EASY backfilling."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+from repro.des import Environment, Event, Interrupt
+
+
+class JobState(str, enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    TIMEOUT = "timeout"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A batch job submission."""
+
+    name: str
+    n_nodes: int
+    walltime: float  # seconds; the job is killed when it expires
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("job name must be non-empty")
+        if self.n_nodes <= 0:
+            raise ValueError(f"job {self.name!r}: n_nodes must be positive")
+        if self.walltime <= 0:
+            raise ValueError(f"job {self.name!r}: walltime must be positive")
+
+
+@dataclass(frozen=True)
+class JobAllocation:
+    """Nodes granted to a started job."""
+
+    job: JobRequest
+    nodes: tuple[str, ...]
+    start_time: float
+
+    @property
+    def deadline(self) -> float:
+        return self.start_time + self.job.walltime
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of a finished job."""
+
+    job: JobRequest
+    nodes: tuple[str, ...]
+    start_time: float
+    end_time: float
+    state: JobState
+
+    @property
+    def wait_time(self) -> float:
+        """Queue wait (submission is time 0 of the request's life)."""
+        return self.start_time - self.submitted_at if hasattr(self, "submitted_at") else self.start_time
+
+    @property
+    def runtime(self) -> float:
+        return self.end_time - self.start_time
+
+
+#: A job body: a generator started when the job begins, receiving its
+#: allocation.  It is interrupted if the walltime expires first.
+JobBody = Callable[[JobAllocation], Generator]
+
+
+class BatchScheduler:
+    """FCFS + EASY backfilling over a fixed pool of nodes.
+
+    FCFS: the queue head starts as soon as enough nodes are free.  EASY
+    backfilling: while the head waits, a later job may jump ahead iff it
+    can finish (by its walltime) before the head's *reservation* — the
+    earliest time enough nodes will be free for the head assuming all
+    running jobs use their full walltime — or it only uses nodes the
+    head's reservation leaves spare.
+    """
+
+    def __init__(self, env: Environment, nodes: list[str]) -> None:
+        if not nodes:
+            raise ValueError("need at least one node")
+        self.env = env
+        self.all_nodes = list(nodes)
+        self._free: list[str] = list(nodes)
+        self._queue: list[tuple[int, JobRequest, JobBody, Event]] = []
+        self._running: dict[str, JobAllocation] = {}
+        self._order = itertools.count()
+        self.results: list[JobResult] = []
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def submit(self, job: JobRequest, body: JobBody) -> Event:
+        """Queue a job; the returned event fires with its JobResult."""
+        if job.n_nodes > len(self.all_nodes):
+            raise ValueError(
+                f"job {job.name!r} requests {job.n_nodes} nodes but the "
+                f"machine has {len(self.all_nodes)}"
+            )
+        done = self.env.event()
+        self._queue.append((next(self._order), job, body, done))
+        self._schedule()
+        return done
+
+    @property
+    def free_nodes(self) -> int:
+        return len(self._free)
+
+    @property
+    def queued_jobs(self) -> list[str]:
+        return [job.name for _, job, _, _ in sorted(self._queue)]
+
+    @property
+    def running_jobs(self) -> list[str]:
+        return sorted(self._running)
+
+    # ------------------------------------------------------------------
+    # Scheduling core
+    # ------------------------------------------------------------------
+    def _schedule(self) -> None:
+        self._queue.sort()
+        # 1. Start queue-head jobs while they fit (plain FCFS).
+        while self._queue and self._queue[0][1].n_nodes <= len(self._free):
+            self._start(*self._queue.pop(0))
+        if not self._queue:
+            return
+
+        # 2. EASY backfilling around the blocked head.
+        head = self._queue[0][1]
+        shadow_time, extra_nodes = self._head_reservation(head)
+        index = 1
+        while index < len(self._queue):
+            _, job, body, done = self._queue[index]
+            fits_now = job.n_nodes <= len(self._free)
+            finishes_before_shadow = (
+                self.env.now + job.walltime <= shadow_time
+            )
+            within_extra = job.n_nodes <= extra_nodes
+            if fits_now and (finishes_before_shadow or within_extra):
+                entry = self._queue.pop(index)
+                self._start(*entry)
+                if within_extra and not finishes_before_shadow:
+                    extra_nodes -= job.n_nodes
+                # Free-node count changed; the head still blocks (by
+                # construction job.n_nodes < head's need or head would
+                # have started), so continue scanning from `index`.
+            else:
+                index += 1
+
+    def _head_reservation(self, head: JobRequest) -> tuple[float, int]:
+        """(shadow time, spare nodes at that time) for the blocked head.
+
+        Assumes running jobs release their nodes at their walltime
+        deadlines (the classic EASY estimate).
+        """
+        free = len(self._free)
+        releases = sorted(
+            (alloc.deadline, len(alloc.nodes))
+            for alloc in self._running.values()
+        )
+        for deadline, released in releases:
+            free += released
+            if free >= head.n_nodes:
+                return deadline, free - head.n_nodes
+        # Unreachable while invariants hold (head fits the machine).
+        return float("inf"), 0  # pragma: no cover
+
+    def _start(self, order: int, job: JobRequest, body: JobBody, done: Event) -> None:
+        nodes = tuple(self._free[: job.n_nodes])
+        del self._free[: job.n_nodes]
+        allocation = JobAllocation(
+            job=job, nodes=nodes, start_time=self.env.now
+        )
+        self._running[job.name] = allocation
+        self.env.process(self._run(allocation, body, done))
+
+    def _run(self, allocation: JobAllocation, body: JobBody, done: Event):
+        job = allocation.job
+        body_process = self.env.process(body(allocation))
+        state = JobState.COMPLETED
+
+        def killer():
+            try:
+                yield self.env.timeout(job.walltime)
+            except Interrupt:
+                return  # body finished first; stand down
+            if body_process.is_alive:
+                body_process.interrupt("walltime exceeded")
+
+        watchdog = self.env.process(killer())
+        try:
+            yield body_process
+        except Interrupt:
+            state = JobState.TIMEOUT
+        except Exception:
+            # The body's own failure propagates after cleanup.
+            self._finish(allocation, done, JobState.COMPLETED, failed=True)
+            raise
+        if watchdog.is_alive:
+            watchdog.interrupt("job done")
+        if state == JobState.COMPLETED and self.env.now > allocation.deadline:
+            state = JobState.TIMEOUT
+        self._finish(allocation, done, state)
+
+    def _finish(
+        self,
+        allocation: JobAllocation,
+        done: Event,
+        state: JobState,
+        failed: bool = False,
+    ) -> None:
+        job = allocation.job
+        del self._running[job.name]
+        self._free.extend(allocation.nodes)
+        result = JobResult(
+            job=job,
+            nodes=allocation.nodes,
+            start_time=allocation.start_time,
+            end_time=self.env.now,
+            state=state,
+        )
+        self.results.append(result)
+        if not failed:
+            done.succeed(result)
+        self._schedule()

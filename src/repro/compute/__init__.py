@@ -1,0 +1,11 @@
+"""Compute services: multicore hosts executing tasks under Amdahl's law."""
+
+from repro.compute.allocator import AllocationError, CoreAllocation, CoreAllocator
+from repro.compute.service import ComputeService
+
+__all__ = [
+    "AllocationError",
+    "CoreAllocation",
+    "CoreAllocator",
+    "ComputeService",
+]

@@ -1,0 +1,92 @@
+"""Multi-core allocation: grant p cores atomically, FIFO.
+
+The DES :class:`~repro.des.resources.Resource` grants one slot at a
+time; task execution needs *p cores at once*.  The allocator keeps a
+FIFO queue of (count, event) requests and grants the head whenever
+enough cores are free — strict FIFO (no backfilling) matching the
+paper's single-node Slurm/LSF allocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.des import Environment, Event
+
+
+class AllocationError(Exception):
+    """Raised for impossible requests (more cores than the host has)."""
+
+
+@dataclass
+class CoreAllocation:
+    """A granted block of cores; release it when the task finishes."""
+
+    allocator: "CoreAllocator"
+    cores: int
+    released: bool = False
+
+    def release(self) -> None:
+        if not self.released:
+            self.released = True
+            self.allocator._release(self.cores)
+
+    def __enter__(self) -> "CoreAllocation":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+class CoreAllocator:
+    """FIFO gang allocator over a host's cores."""
+
+    def __init__(self, env: Environment, total_cores: int) -> None:
+        if total_cores <= 0:
+            raise ValueError("total_cores must be positive")
+        self.env = env
+        self.total_cores = total_cores
+        self._free = total_cores
+        self._queue: list[tuple[int, Event]] = []
+
+    @property
+    def free_cores(self) -> int:
+        return self._free
+
+    @property
+    def used_cores(self) -> int:
+        return self.total_cores - self._free
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def request(self, cores: int) -> Event:
+        """Request ``cores`` cores.
+
+        The returned event fires with a :class:`CoreAllocation` once the
+        cores are granted.  Requests exceeding the host size fail fast.
+        """
+        if cores <= 0:
+            raise ValueError("cores must be positive")
+        if cores > self.total_cores:
+            raise AllocationError(
+                f"requested {cores} cores but the host has {self.total_cores}"
+            )
+        event = self.env.event()
+        self._queue.append((cores, event))
+        self._grant()
+        return event
+
+    def _release(self, cores: int) -> None:
+        self._free += cores
+        assert self._free <= self.total_cores
+        self._grant()
+
+    def _grant(self) -> None:
+        # Strict FIFO: stop at the first request that does not fit.
+        while self._queue and self._queue[0][0] <= self._free:
+            cores, event = self._queue.pop(0)
+            self._free -= cores
+            event.succeed(CoreAllocation(self, cores))

@@ -1,0 +1,135 @@
+"""Composite events: wait for *all* or *any* of a set of events."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
+
+from repro.des.core import Event, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.environment import Environment
+
+
+class ConditionValue:
+    """Ordered mapping of events → values for the events that fired.
+
+    Preserves the order in which the events were passed to the condition,
+    so results line up with the request order regardless of completion
+    order.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def __getitem__(self, event: Event):
+        if event not in self.events:
+            raise KeyError(repr(event))
+        return event.value
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def keys(self) -> list[Event]:
+        return list(self.events)
+
+    def values(self) -> list:
+        return [e.value for e in self.events]
+
+    def todict(self) -> dict[Event, object]:
+        return {e: e.value for e in self.events}
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """Event that triggers when ``evaluate(events, fired_count)`` is true.
+
+    Fails immediately if any constituent event fails (the failure is
+    propagated, matching SimPy semantics).
+    """
+
+    __slots__ = ("_events", "_evaluate", "_fired", "_done")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[Sequence[Event], int], bool],
+        events: Sequence[Event],
+    ) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._evaluate = evaluate
+        self._fired = 0
+        self._done: set[int] = set()
+
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+
+        if not self._events or self._evaluate(self._events, 0):
+            # Trivially satisfied (e.g. AllOf([])).
+            self.succeed(ConditionValue())
+            return
+
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> ConditionValue:
+        value = ConditionValue()
+        for event in self._events:
+            if id(event) in self._done:
+                value.events.append(event)
+        return value
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            # Condition already decided; late arrivals are ignored but a
+            # late *failure* must still be defused to avoid crashing run().
+            if not event._ok:
+                event.defuse()
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self._fired += 1
+        self._done.add(id(event))
+        if self._evaluate(self._events, self._fired):
+            self.succeed(self._collect_values())
+
+
+class AllOf(Condition):
+    """Triggers once every constituent event has triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Sequence[Event]) -> None:
+        super().__init__(env, lambda events, count: count >= len(events), events)
+
+
+class AnyOf(Condition):
+    """Triggers as soon as one constituent event triggers."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Sequence[Event]) -> None:
+        if not list(events):
+            raise ValueError("AnyOf requires at least one event")
+        super().__init__(env, lambda events, count: count >= 1, events)

@@ -1,0 +1,199 @@
+"""The simulation environment: clock, event queue, and main loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, Optional
+
+from repro.des.core import Event, EventPriority, SimulationError, StopSimulation
+from repro.des.process import Process
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Timeout delay={self.delay} at {id(self):#x}>"
+
+
+class Environment:
+    """Owns the simulation clock and executes events in time order.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (default ``0.0``).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0  # monotonically increasing tiebreaker → FIFO at same t
+        self._active_process: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    # Clock and introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def __len__(self) -> int:
+        """Number of scheduled (not yet processed) events."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Event factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        from repro.des.conditions import AllOf
+
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        from repro.des.conditions import AnyOf
+
+        return AnyOf(self, list(events))
+
+    # ------------------------------------------------------------------
+    # Scheduling and the main loop
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        event: Event,
+        priority: EventPriority = EventPriority.NORMAL,
+        delay: float = 0.0,
+    ) -> None:
+        """Queue ``event`` to be processed ``delay`` units from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self._eid += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, int(priority), self._eid, event)
+        )
+
+    def step(self) -> None:
+        """Process the single next event; raise ``EmptySchedule`` if none."""
+        if not self._queue:
+            raise EmptySchedule()
+        when, _prio, _eid, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+
+        callbacks = event.callbacks
+        event.callbacks = None  # mark processed
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event.defused:
+            # An unhandled failure: re-raise so bugs surface loudly.
+            exc = event.value
+            raise exc
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the event queue is exhausted;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until that event is processed, returning
+          its value.
+        """
+        stop_value: Any = None
+        if until is not None:
+            if isinstance(until, Event):
+                if until.processed:
+                    return until.value
+
+                def _stop(event: Event) -> None:
+                    if not event.ok:
+                        # Propagate failures of the awaited event.
+                        event.defuse()
+                        raise event.value
+                    raise StopSimulation(event.value)
+
+                if until.callbacks is None:  # pragma: no cover - defensive
+                    raise SimulationError("cannot wait on a processed event")
+                until.callbacks.append(_stop)
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(
+                        f"until={at} is in the past (now={self._now})"
+                    )
+                # A stop event at the target time with URGENT priority so
+                # that events scheduled at exactly `until` are NOT executed
+                # (SimPy semantics: run(until=t) halts the clock at t).
+                def _halt(event: Event) -> None:
+                    raise StopSimulation(None)
+
+                stop_event = Event(self)
+                stop_event._ok = True
+                stop_event._value = None
+                stop_event.callbacks.append(_halt)
+                self.schedule(
+                    stop_event,
+                    priority=EventPriority.URGENT,
+                    delay=at - self._now,
+                )
+
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation as stop:
+            stop_value = stop.value
+            if isinstance(until, Event):
+                return stop_value
+            return None
+        except EmptySchedule:  # pragma: no cover - loop guard handles it
+            pass
+
+        if until is not None and not isinstance(until, Event):
+            # Queue drained before reaching the target time: advance clock.
+            self._now = max(self._now, float(until))
+            return None
+        if isinstance(until, Event) and not until.triggered:
+            raise SimulationError(
+                "run(until=event) finished but the event never triggered"
+            )
+        return until.value if isinstance(until, Event) else None
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Environment.step` when no events remain."""

@@ -1,0 +1,255 @@
+"""Shared resources for processes: semaphores, counters, and object stores.
+
+These mirror the classic DES resource triad:
+
+* :class:`Resource` — a semaphore with ``capacity`` slots and a FIFO
+  request queue (``PriorityResource`` adds priority ordering).
+* :class:`Container` — a continuous quantity (e.g. bytes of BB capacity)
+  with blocking ``get``/``put``.
+* :class:`Store` — a queue of Python objects with blocking ``get``/``put``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.des.core import Event, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.environment import Environment
+
+
+class ResourceRequest(Event):
+    """A pending request for one slot of a :class:`Resource`.
+
+    Usable as a context manager::
+
+        with resource.request() as req:
+            yield req
+            ...  # holding the slot
+        # slot released
+    """
+
+    __slots__ = ("resource", "priority", "_order")
+
+    def __init__(self, resource: "Resource", priority: float = 0.0) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        resource._order += 1
+        self._order = resource._order
+        resource._queue_request(self)
+
+    def cancel(self) -> None:
+        """Withdraw an un-granted request (no-op if already granted)."""
+        if not self.triggered:
+            self.resource._cancel(self)
+
+    def __enter__(self) -> "ResourceRequest":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.resource.release(self)
+
+    def __lt__(self, other: "ResourceRequest") -> bool:
+        return (self.priority, self._order) < (other.priority, other._order)
+
+
+class Resource:
+    """Semaphore with ``capacity`` slots and FIFO granting."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self._order = 0
+        self._waiting: list[ResourceRequest] = []
+        self._users: set[ResourceRequest] = set()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue(self) -> list[ResourceRequest]:
+        """Pending (not yet granted) requests, in grant order."""
+        return sorted(self._waiting)
+
+    def request(self, priority: float = 0.0) -> ResourceRequest:
+        """Request one slot.  The returned event fires when granted."""
+        return ResourceRequest(self, priority)
+
+    def release(self, request: ResourceRequest) -> None:
+        """Release a granted slot (idempotent for un-granted requests)."""
+        if request in self._users:
+            self._users.remove(request)
+            self._grant()
+        else:
+            request.cancel()
+
+    # ------------------------------------------------------------------
+    def _queue_request(self, request: ResourceRequest) -> None:
+        heapq.heappush(self._waiting, request)
+        self._grant()
+
+    def _cancel(self, request: ResourceRequest) -> None:
+        try:
+            self._waiting.remove(request)
+            heapq.heapify(self._waiting)
+        except ValueError:
+            pass
+
+    def _grant(self) -> None:
+        while self._waiting and len(self._users) < self._capacity:
+            request = heapq.heappop(self._waiting)
+            self._users.add(request)
+            request.succeed()
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose requests are granted lowest-priority-first.
+
+    Functionally identical to :class:`Resource` (which already honors the
+    ``priority`` argument); this alias exists so call sites can make the
+    priority discipline explicit.
+    """
+
+
+class Container:
+    """A continuous quantity with blocking ``get``/``put``.
+
+    Used e.g. for burst-buffer capacity accounting: producers ``put``
+    bytes, consumers ``get`` them, and both block when the container is
+    full/empty respectively.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if init < 0 or init > capacity:
+            raise ValueError(f"init={init} outside [0, {capacity}]")
+        self.env = env
+        self._capacity = capacity
+        self._level = float(init)
+        self._getters: list[tuple[float, Event]] = []
+        self._putters: list[tuple[float, Event]] = []
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; the event fires once enough is available."""
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        event = Event(self.env)
+        self._getters.append((amount, event))
+        self._settle()
+        return event
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; the event fires once there is room."""
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        if amount > self._capacity:
+            raise ValueError(
+                f"amount={amount} can never fit in capacity={self._capacity}"
+            )
+        event = Event(self.env)
+        self._putters.append((amount, event))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                amount, event = self._putters[0]
+                if self._level + amount <= self._capacity:
+                    self._putters.pop(0)
+                    self._level += amount
+                    event.succeed()
+                    progress = True
+            if self._getters:
+                amount, event = self._getters[0]
+                if amount <= self._level:
+                    self._getters.pop(0)
+                    self._level -= amount
+                    event.succeed()
+                    progress = True
+
+
+class Store:
+    """FIFO store of arbitrary items with blocking ``get``/``put``."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self.items: list[Any] = []
+        self._getters: list[tuple[Optional[Callable[[Any], bool]], Event]] = []
+        self._putters: list[tuple[Any, Event]] = []
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; blocks while the store is full."""
+        event = Event(self.env)
+        self._putters.append((item, event))
+        self._settle()
+        return event
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Remove and return an item; blocks while none (matching) exists.
+
+        With a ``filter`` the first item satisfying it is returned
+        (FilterStore behaviour).
+        """
+        event = Event(self.env)
+        self._getters.append((filter, event))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._putters and len(self.items) < self._capacity:
+                item, event = self._putters.pop(0)
+                self.items.append(item)
+                event.succeed()
+                progress = True
+            if self._getters and self.items:
+                remaining: list[tuple[Optional[Callable[[Any], bool]], Event]] = []
+                for flt, event in self._getters:
+                    chosen_index = None
+                    for i, item in enumerate(self.items):
+                        if flt is None or flt(item):
+                            chosen_index = i
+                            break
+                    if chosen_index is None:
+                        remaining.append((flt, event))
+                    else:
+                        event.succeed(self.items.pop(chosen_index))
+                        progress = True
+                self._getters = remaining

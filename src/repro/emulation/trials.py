@@ -1,0 +1,73 @@
+"""Repeated-trial runner with seeded interference (paper: 15 runs/point)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Summary statistics over repeated emulated runs."""
+
+    values: tuple[float, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values, ddof=1)) if self.n > 1 else 0.0
+
+    @property
+    def min(self) -> float:
+        return float(np.min(self.values))
+
+    @property
+    def max(self) -> float:
+        return float(np.max(self.values))
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (Figure 8's stability measure)."""
+        return self.std / self.mean if self.mean else 0.0
+
+    @property
+    def spread(self) -> float:
+        """Relative spread (max − min) / mean — the curve-envelope width."""
+        return (self.max - self.min) / self.mean if self.mean else 0.0
+
+
+def run_trials(
+    run: Callable[[int], float],
+    n_trials: int = 15,
+    base_seed: int = 0,
+) -> TrialStats:
+    """Run ``run(seed)`` for ``n_trials`` distinct seeds.
+
+    The paper averages each configuration over 15 executions; the seed
+    stream makes results reproducible while still exercising the
+    interference model.
+    """
+    if n_trials <= 0:
+        raise ValueError("n_trials must be positive")
+    values = tuple(run(base_seed + k) for k in range(n_trials))
+    return TrialStats(values=values)
+
+
+def interference_factor(rng: np.random.Generator, sigma: float) -> float:
+    """One trial's multiplicative interference for a storage tier.
+
+    Lognormal with median 1: I/O slows down more often than it speeds
+    up, matching the one-sided envelopes in the paper's figures.
+    """
+    if sigma <= 0:
+        return 1.0
+    return float(rng.lognormal(mean=0.0, sigma=sigma))

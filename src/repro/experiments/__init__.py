@@ -1,0 +1,45 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Each module exposes ``run(quick=False) -> ExperimentResult``; the CLI
+(``python -m repro.experiments <id>``) renders the result as the text
+rows/series the paper reports.  ``quick=True`` trims trial counts and
+sweep densities for CI-speed runs without changing the shapes.
+
+Experiment index (see DESIGN.md for the full mapping):
+
+========  ==========================================================
+table1    Calibrated platform parameters
+fig4      Stage-in time vs. staged input fraction
+fig5      Resample/Combine times across tiers and modes
+fig6      Cores-per-task sweep
+fig7      Concurrent-pipelines sweep
+fig8      Run-to-run variability vs. pipelines
+fig9      Achieved I/O bandwidth per configuration
+fig10     Simulated-vs-measured makespan (stage fraction sweep)
+fig11     Simulated-vs-measured makespan (pipeline sweep)
+fig13     1000Genomes makespan vs. staged fraction (Cori/Summit)
+fig14     1000Genomes speedup + prior-work reference points
+========  ==========================================================
+"""
+
+from repro.experiments.common import (
+    CalibratedSwarp,
+    ExperimentResult,
+    calibrate_swarp,
+)
+
+__all__ = ["CalibratedSwarp", "ExperimentResult", "calibrate_swarp"]
+
+ALL_EXPERIMENTS = (
+    "table1",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig13",
+    "fig14",
+)

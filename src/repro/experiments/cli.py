@@ -1,0 +1,71 @@
+"""Command-line interface: ``python -m repro.experiments <id> [--quick]``."""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def run_experiment(experiment_id: str, quick: bool = False):
+    """Import and run one experiment module; returns its result."""
+    if experiment_id not in ALL_EXPERIMENTS:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {', '.join(ALL_EXPERIMENTS)}"
+        )
+    module = importlib.import_module(f"repro.experiments.{experiment_id}")
+    return module.run(quick=quick)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the burst-buffer "
+        "workflow paper (Pottier et al., CLUSTER 2020).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment ids ({', '.join(ALL_EXPERIMENTS)}) or 'all'",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced trial counts and sweep densities (same shapes)",
+    )
+    parser.add_argument(
+        "--output-dir",
+        help="also write <id>.json and <id>.csv into this directory",
+    )
+    args = parser.parse_args(argv)
+
+    requested = list(args.experiments)
+    if requested == ["all"]:
+        requested = list(ALL_EXPERIMENTS)
+
+    for experiment_id in requested:
+        start = time.time()
+        try:
+            result = run_experiment(experiment_id, quick=args.quick)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(result.render())
+        if args.output_dir:
+            from pathlib import Path
+
+            out = Path(args.output_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            result.to_json(out / f"{experiment_id}.json")
+            result.to_csv(out / f"{experiment_id}.csv")
+        print(f"\n[{experiment_id} completed in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

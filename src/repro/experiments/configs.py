@@ -1,0 +1,39 @@
+"""Shared configuration descriptors for the SWarp experiment sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.storage import BBMode
+
+
+@dataclass(frozen=True)
+class BBConfig:
+    """One of the paper's three BB configurations."""
+
+    label: str
+    system: str
+    bb_mode: Optional[BBMode]
+
+    def scenario_kwargs(self) -> dict[str, Any]:
+        kw: dict[str, Any] = {"system": self.system}
+        if self.bb_mode is not None:
+            kw["bb_mode"] = self.bb_mode
+        return kw
+
+
+#: The three configurations every characterization figure compares.
+PRIVATE = BBConfig("private", "cori", BBMode.PRIVATE)
+STRIPED = BBConfig("striped", "cori", BBMode.STRIPED)
+ON_NODE = BBConfig("on-node", "summit", None)
+ALL_CONFIGS = (PRIVATE, STRIPED, ON_NODE)
+
+#: Sweep points used across figures (paper's experimental grid).
+FRACTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
+CORE_COUNTS = (1, 2, 4, 8, 16, 32)
+PIPELINE_COUNTS = (1, 2, 4, 8, 16, 32)
+
+#: The paper averages each configuration over 15 executions.
+N_TRIALS = 15
+N_TRIALS_QUICK = 3

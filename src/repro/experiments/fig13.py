@@ -1,0 +1,54 @@
+"""Figure 13: 1000Genomes makespan vs. fraction of input staged into BBs.
+
+The case study of Section IV-C: the calibrated simulator (no emulation
+effects — this figure is simulation-only in the paper, too) predicts
+the makespan of the 903-task, ~67 GB 1000Genomes workflow on the Cori
+and Summit models while sweeping the staged input fraction.
+
+Paper findings regenerated here:
+
+* performance improves (makespan falls) as more input sits in the BB;
+* Summit outperforms Cori (bigger BB bandwidth);
+* Cori plateaus once ~80% of the input is staged (its single BB node's
+  bandwidth saturates); Summit's plateau arrives only near 100%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult
+from repro.scenarios import run_genomes
+
+FRACTIONS = tuple(np.round(np.linspace(0.0, 1.0, 11), 2))
+
+
+def makespan(system: str, fraction: float, n_chromosomes: int) -> float:
+    return run_genomes(
+        system=system,
+        input_fraction=fraction,
+        n_chromosomes=n_chromosomes,
+        n_compute=8,
+        emulated=False,
+    ).makespan
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    fractions = FRACTIONS[::2] if quick else FRACTIONS
+    n_chromosomes = 6 if quick else 22
+    result = ExperimentResult(
+        experiment_id="fig13",
+        title="1000Genomes simulated makespan vs. % input files in BB "
+        f"({n_chromosomes} chromosomes)",
+        columns=("fraction", "cori_s", "summit_s"),
+    )
+    for fraction in fractions:
+        result.add_row(
+            float(fraction),
+            makespan("cori", float(fraction), n_chromosomes),
+            makespan("summit", float(fraction), n_chromosomes),
+        )
+    result.notes.append(
+        "expect: both fall with fraction; summit < cori; cori plateau ~80%"
+    )
+    return result

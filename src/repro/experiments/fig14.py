@@ -1,0 +1,101 @@
+"""Figure 14: 1000Genomes speedup from staging input into BBs.
+
+Figure 13's data expressed as parallel speedup (makespan at 0% staged
+divided by makespan at fraction f), compared against reference speedup
+points from prior work (Ferreira da Silva et al. [10]).
+
+The paper stresses that the reference points come from a *different*
+configuration — a 2-chromosome instance, an older software stack, and a
+different system load — so it treats them as "an interesting reference
+point, rather than ... a thorough validation", reporting ≈ 29% error.
+We reproduce the comparison structure faithfully: our reference points
+are produced by the *emulator* on a 2-chromosome instance (standing in
+for the prior measured study), while the simulated curve uses the full
+22-chromosome instance, mirroring the paper's mismatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.emulation.calibration import CORI_EFFECTS
+from repro.emulation.trials import run_trials
+from repro.experiments.common import ExperimentResult
+from repro.model import mean_relative_error
+from repro.platform.units import MB
+from repro.scenarios import run_genomes
+
+FRACTIONS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+REFERENCE_FRACTIONS = (0.4, 0.8, 1.0)  # the prior study measured a few points
+
+#: The reference study ([10]) ran years before the paper's experiments on
+#: an older, more loaded software stack (the paper's own caveats: "several
+#: aspects of the system have been upgraded ... the load on the system is
+#: never the same").  We encode that era difference as a slower effective
+#: PFS in the reference emulation.
+REFERENCE_ERA_EFFECTS = replace(CORI_EFFECTS, pfs_disk_bandwidth=50 * MB)
+
+
+def simulated_speedups(system: str, fractions, n_chromosomes: int) -> dict[float, float]:
+    baseline = run_genomes(
+        system=system, input_fraction=0.0, n_chromosomes=n_chromosomes, n_compute=8
+    ).makespan
+    return {
+        f: baseline
+        / run_genomes(
+            system=system, input_fraction=f, n_chromosomes=n_chromosomes, n_compute=8
+        ).makespan
+        for f in fractions
+    }
+
+
+def reference_speedups(quick: bool = False) -> dict[float, float]:
+    """Emulated 2-chromosome Cori reference (the prior-work stand-in)."""
+    n_trials = 3 if quick else 5
+
+    def emulated_makespan(fraction: float, seed: int) -> float:
+        return run_genomes(
+            system="cori",
+            input_fraction=fraction,
+            n_chromosomes=2,
+            n_compute=8,
+            emulated=True,
+            seed=seed,
+            effects=REFERENCE_ERA_EFFECTS,
+        ).makespan
+
+    baseline = run_trials(
+        lambda seed: emulated_makespan(0.0, seed), n_trials=n_trials
+    ).mean
+    return {
+        f: baseline
+        / run_trials(lambda seed: emulated_makespan(f, seed), n_trials=n_trials).mean
+        for f in REFERENCE_FRACTIONS
+    }
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    n_chromosomes = 6 if quick else 22
+    fractions = (0.0, 0.5, 1.0) if quick else FRACTIONS
+    result = ExperimentResult(
+        experiment_id="fig14",
+        title="1000Genomes speedup from staging input into BBs "
+        "(+ prior-work reference points)",
+        columns=("fraction", "cori_speedup", "summit_speedup", "reference"),
+    )
+    cori = simulated_speedups("cori", fractions, n_chromosomes)
+    summit = simulated_speedups("summit", fractions, n_chromosomes)
+    reference = reference_speedups(quick=quick)
+    for f in fractions:
+        result.add_row(f, cori[f], summit[f], reference.get(f, float("nan")))
+
+    common = [f for f in reference if f in cori]
+    if common:
+        err = mean_relative_error(
+            [reference[f] for f in common], [cori[f] for f in common]
+        )
+        result.notes.append(
+            f"error vs. 2-chromosome reference: {err:.1%} "
+            "(paper: ~29%, attributed to the configuration mismatch)"
+        )
+    return result

@@ -1,0 +1,57 @@
+"""Figure 6: impact of the number of cores per task.
+
+Paper findings regenerated here (1 pipeline, all input files in the BB):
+
+* Resample benefits from parallelism up to ~8 cores on the shared
+  implementation, then slightly degrades;
+* on the on-node implementation the plateau arrives around 16 cores;
+* Combine does not benefit from increased parallelism (reads all inputs
+  at once and merges them under locks);
+* the relative ordering of the configurations is unchanged by the core
+  count.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.configs import ALL_CONFIGS, CORE_COUNTS, N_TRIALS, N_TRIALS_QUICK
+from repro.scenarios import run_swarp
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    n_trials = N_TRIALS_QUICK if quick else N_TRIALS
+    cores_list = (1, 8, 32) if quick else CORE_COUNTS
+    result = ExperimentResult(
+        experiment_id="fig6",
+        title="SWarp task times vs. cores per task "
+        "(1 pipeline, all inputs staged into BB)",
+        columns=("config", "cores", "resample_s", "combine_s"),
+    )
+    for config in ALL_CONFIGS:
+        for cores in cores_list:
+            samples = []
+            for seed in range(n_trials):
+                r = run_swarp(
+                    input_fraction=1.0,
+                    intermediates_in_bb=True,
+                    n_pipelines=1,
+                    cores_per_task=cores,
+                    include_stage_in=False,
+                    emulated=True,
+                    seed=seed,
+                    **config.scenario_kwargs(),
+                )
+                samples.append(
+                    (r.mean_duration("resample"), r.mean_duration("combine"))
+                )
+            result.add_row(
+                config.label,
+                cores,
+                sum(s[0] for s in samples) / n_trials,
+                sum(s[1] for s in samples) / n_trials,
+            )
+    result.notes.append(
+        "expect: resample plateau ~8 cores (shared) / ~16 (on-node); "
+        "combine flat"
+    )
+    return result

@@ -1,0 +1,57 @@
+"""Figure 8: run-to-run variability of Resample vs. pipeline count.
+
+Paper findings regenerated here (all files in BB, 1 core per pipeline):
+
+* the on-node implementation is both the fastest and the most stable
+  (no network hop → little interference);
+* for the shared architecture, private mode outperforms striped and is
+  much more stable;
+* striped-mode execution time varies by ~15% between runs.
+"""
+
+from __future__ import annotations
+
+from repro.emulation.trials import run_trials
+from repro.experiments.common import ExperimentResult
+from repro.experiments.configs import ALL_CONFIGS, N_TRIALS, N_TRIALS_QUICK
+from repro.scenarios import run_swarp
+
+PIPELINES = (1, 4, 16, 32)
+
+
+def resample_time(config, n_pipelines: int, seed: int) -> float:
+    r = run_swarp(
+        input_fraction=1.0,
+        intermediates_in_bb=True,
+        outputs_in_bb=True,
+        n_pipelines=n_pipelines,
+        cores_per_task=1,
+        include_stage_in=False,
+        emulated=True,
+        seed=seed,
+        **config.scenario_kwargs(),
+    )
+    return r.mean_duration("resample")
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    n_trials = N_TRIALS_QUICK if quick else N_TRIALS
+    pipelines = (1, 32) if quick else PIPELINES
+    result = ExperimentResult(
+        experiment_id="fig8",
+        title="Resample variability across repeated runs vs. pipelines "
+        "(all files in BB)",
+        columns=("config", "pipelines", "mean_s", "std_s", "cv", "spread"),
+    )
+    for config in ALL_CONFIGS:
+        for n in pipelines:
+            stats = run_trials(
+                lambda seed: resample_time(config, n, seed), n_trials=n_trials
+            )
+            result.add_row(
+                config.label, n, stats.mean, stats.std, stats.cv, stats.spread
+            )
+    result.notes.append(
+        "expect: on-node lowest mean and spread; striped spread ~15%"
+    )
+    return result

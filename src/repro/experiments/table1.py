@@ -1,0 +1,37 @@
+"""Table I: input parameters used in simulation."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.platform.presets import TABLE_I
+from repro.platform.units import format_bandwidth
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Render the calibrated platform parameters (Table I, verbatim)."""
+    result = ExperimentResult(
+        experiment_id="table1",
+        title="Input parameters used in simulation (paper Table I)",
+        columns=(
+            "system",
+            "core_speed_gflops",
+            "bb_network",
+            "bb_disk",
+            "pfs_network",
+            "pfs_disk",
+        ),
+    )
+    for system in ("cori", "summit"):
+        p = TABLE_I[system]
+        result.add_row(
+            system,
+            p["core_speed"] / 1e9,
+            format_bandwidth(p["bb_network_bandwidth"]),
+            format_bandwidth(p["bb_disk_bandwidth"]),
+            format_bandwidth(p["pfs_network_bandwidth"]),
+            format_bandwidth(p["pfs_disk_bandwidth"]),
+        )
+    result.notes.append(
+        "values quoted from the paper; see repro.platform.presets.TABLE_I"
+    )
+    return result

@@ -1,0 +1,29 @@
+"""The paper's performance model (Section IV-A) and calibration tools."""
+
+from repro.model.equations import (
+    amdahl_speedup,
+    amdahl_time,
+    io_fraction_from_times,
+    observed_time,
+    sequential_compute_time,
+)
+from repro.model.fitting import FitResult, fit_amdahl_alpha, fit_lambda_io
+from repro.model.metrics import (
+    mean_relative_error,
+    per_point_relative_error,
+    trend_agreement,
+)
+
+__all__ = [
+    "FitResult",
+    "amdahl_speedup",
+    "amdahl_time",
+    "fit_amdahl_alpha",
+    "fit_lambda_io",
+    "io_fraction_from_times",
+    "mean_relative_error",
+    "observed_time",
+    "per_point_relative_error",
+    "sequential_compute_time",
+    "trend_agreement",
+]

@@ -1,0 +1,75 @@
+"""Equations (1)-(4) of the paper.
+
+Notation (matching the paper):
+
+* ``T_i(p)`` — observed execution time of task *i* on *p* cores,
+  including I/O;
+* ``λ_io`` — observed fraction of that time spent in I/O;
+* ``T_c(p)`` — pure compute time on *p* cores (infinitely fast storage);
+* ``α`` — Amdahl's-law non-parallelizable fraction.
+
+Eq. (1):  ``T_c(p) = (1 − λ_io) · T(p)``
+Eq. (2):  ``T_c(p) = α · T_c(1) + (1 − α) · T_c(1) / p``
+Eq. (3):  ``T_c(1) = (1 − λ_io) · T(p) / (α + (1 − α)/p)``
+Eq. (4):  ``T_c(1) = p · (1 − λ_io) · T(p)``        (α = 0 special case)
+"""
+
+from __future__ import annotations
+
+
+def _validate(p: int, lambda_io: float, alpha: float) -> None:
+    if p <= 0:
+        raise ValueError(f"core count must be positive, got {p}")
+    if not (0.0 <= lambda_io < 1.0):
+        raise ValueError(f"lambda_io must be in [0, 1), got {lambda_io}")
+    if not (0.0 <= alpha <= 1.0):
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+
+
+def amdahl_time(tc1: float, p: int, alpha: float = 0.0) -> float:
+    """Eq. (2): parallel compute time of a task on ``p`` cores."""
+    _validate(p, 0.0, alpha)
+    if tc1 < 0:
+        raise ValueError("sequential time must be non-negative")
+    return alpha * tc1 + (1.0 - alpha) * tc1 / p
+
+
+def amdahl_speedup(p: int, alpha: float = 0.0) -> float:
+    """Speedup on ``p`` cores under Amdahl's law."""
+    _validate(p, 0.0, alpha)
+    return 1.0 / (alpha + (1.0 - alpha) / p)
+
+
+def sequential_compute_time(
+    observed: float, p: int, lambda_io: float, alpha: float = 0.0
+) -> float:
+    """Eqs. (3)/(4): recover ``T_c(1)`` from an observed execution.
+
+    With the paper's headline assumption ``alpha = 0`` this reduces to
+    Eq. (4): ``T_c(1) = p (1 − λ_io) T(p)``.
+    """
+    _validate(p, lambda_io, alpha)
+    if observed < 0:
+        raise ValueError("observed time must be non-negative")
+    return (1.0 - lambda_io) * observed / (alpha + (1.0 - alpha) / p)
+
+
+def observed_time(
+    tc1: float, p: int, lambda_io: float, alpha: float = 0.0
+) -> float:
+    """Forward model: predicted observed time given ``T_c(1)``.
+
+    Inverse of :func:`sequential_compute_time`; useful for closing the
+    loop in calibration tests.
+    """
+    _validate(p, lambda_io, alpha)
+    return amdahl_time(tc1, p, alpha) / (1.0 - lambda_io)
+
+
+def io_fraction_from_times(total: float, compute: float) -> float:
+    """Eq. (1) rearranged: ``λ_io = 1 − T_c(p)/T(p)``."""
+    if total <= 0:
+        raise ValueError("total time must be positive")
+    if compute < 0 or compute > total:
+        raise ValueError("compute time must be within [0, total]")
+    return 1.0 - compute / total

@@ -1,0 +1,53 @@
+"""Accuracy metrics used in the paper's validation (Section IV-B)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def per_point_relative_error(
+    measured: Sequence[float], simulated: Sequence[float]
+) -> list[float]:
+    """``|sim − meas| / meas`` per point (the paper's error measure)."""
+    m = np.asarray(measured, dtype=float)
+    s = np.asarray(simulated, dtype=float)
+    if m.shape != s.shape or m.size == 0:
+        raise ValueError("need matching, non-empty arrays")
+    if np.any(m <= 0):
+        raise ValueError("measured values must be positive")
+    return list(np.abs(s - m) / m)
+
+
+def mean_relative_error(
+    measured: Sequence[float], simulated: Sequence[float]
+) -> float:
+    """Average relative error — the paper reports e.g. 5.6% for private mode."""
+    return float(np.mean(per_point_relative_error(measured, simulated)))
+
+
+def trend_agreement(
+    measured: Sequence[float], simulated: Sequence[float]
+) -> float:
+    """Fraction of consecutive steps whose direction matches.
+
+    1.0 means the simulated curve rises/falls exactly where the measured
+    one does (the paper cares about *trends*, not absolute agreement);
+    0.0 means every step disagrees.  Flat steps (relative change below
+    0.1%) match anything.
+    """
+    m = np.asarray(measured, dtype=float)
+    s = np.asarray(simulated, dtype=float)
+    if m.shape != s.shape or m.size < 2:
+        raise ValueError("need at least two points")
+    dm = np.diff(m) / m[:-1]
+    ds = np.diff(s) / s[:-1]
+    flat = 1e-3
+    agree = 0
+    for a, b in zip(dm, ds):
+        if abs(a) < flat or abs(b) < flat:
+            agree += 1
+        elif (a > 0) == (b > 0):
+            agree += 1
+    return agree / len(dm)

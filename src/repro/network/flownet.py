@@ -1,0 +1,246 @@
+"""The flow network: event-driven fluid simulation of concurrent transfers.
+
+A :class:`FlowNetwork` is attached to a DES environment.  Callers start
+transfers with :meth:`FlowNetwork.transfer`, which returns a DES event
+that fires when the last byte arrives.  Internally the network maintains
+the set of active flows; whenever a flow starts or completes, per-flow
+rates are recomputed with max-min fairness and the next completion is
+rescheduled.
+
+The model is work-conserving and exact for piecewise-constant rate
+processes: between recomputation points every flow progresses linearly at
+its assigned rate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.des import Environment, Event, EventPriority
+from repro.network.fairshare import max_min_fair_rates
+from repro.network.link import Link
+
+_EPS = 1e-9
+
+
+@dataclass
+class Flow:
+    """One in-flight transfer."""
+
+    fid: int
+    size: float                      # total bytes
+    links: tuple[Link, ...]          # capacity-bearing resources traversed
+    remaining: float                 # bytes still to move
+    rate: float = 0.0                # current allocated rate (bytes/s)
+    max_rate: float = float("inf")   # private cap (e.g. POSIX stream limit)
+    started_at: float = 0.0
+    completed_at: Optional[float] = None
+    done_event: Optional[Event] = None
+    label: str = ""
+
+    @property
+    def elapsed(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+    @property
+    def achieved_bandwidth(self) -> Optional[float]:
+        """Mean end-to-end bandwidth, available once the flow completed."""
+        elapsed = self.elapsed
+        if elapsed is None or elapsed <= 0:
+            return None
+        return self.size / elapsed
+
+
+class FlowNetwork:
+    """Manages concurrent flows over a shared set of links.
+
+    ``allocator`` selects the bandwidth-sharing discipline; the default
+    is max-min fairness (SimGrid's fluid model).  The equal-split
+    alternative exists for the sharing-model ablation.
+    """
+
+    def __init__(self, env: Environment, allocator=max_min_fair_rates) -> None:
+        self.env = env
+        self._allocator = allocator
+        self._flows: dict[int, Flow] = {}
+        self._fid = itertools.count(1)
+        self._last_update = env.now
+        # Generation counter invalidates stale completion wake-ups.
+        self._generation = 0
+        #: Completed-flow log (bounded use: bandwidth accounting in traces).
+        self.completed: list[Flow] = []
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def transfer(
+        self,
+        size: float,
+        links: "list[Link] | tuple[Link, ...]",
+        latency: float = 0.0,
+        max_rate: float = float("inf"),
+        label: str = "",
+    ) -> Event:
+        """Start a transfer of ``size`` bytes across ``links``.
+
+        Returns an event that succeeds (with the :class:`Flow`) when the
+        transfer finishes.  ``latency`` is an additional one-shot delay
+        before bytes start moving (route latency + any service overhead
+        such as metadata round-trips).  Zero-byte transfers complete after
+        just the latency.
+        """
+        if size < 0:
+            raise ValueError(f"negative transfer size: {size}")
+        if max_rate <= 0:
+            raise ValueError(f"max_rate must be positive, got {max_rate}")
+
+        done = self.env.event()
+        flow = Flow(
+            fid=next(self._fid),
+            size=float(size),
+            links=tuple(links),
+            remaining=float(size),
+            max_rate=max_rate,
+            started_at=self.env.now,
+            done_event=done,
+            label=label,
+        )
+        if not flow.links and max_rate == float("inf"):
+            # Loopback with no cap: completes after latency alone.
+            self.env.process(self._complete_after(flow, latency))
+            return done
+
+        total_latency = latency + sum(link.latency for link in flow.links)
+        if total_latency > 0:
+            self.env.process(self._admit_after(flow, total_latency))
+        else:
+            self._admit(flow)
+        return done
+
+    @property
+    def active_flows(self) -> list[Flow]:
+        return list(self._flows.values())
+
+    def utilization(self, link: Link) -> float:
+        """Current aggregate rate over ``link`` divided by its capacity."""
+        load = sum(f.rate for f in self._flows.values() if link in f.links)
+        return load / link.bandwidth
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _complete_after(self, flow: Flow, delay: float):
+        yield self.env.timeout(delay)
+        flow.completed_at = self.env.now
+        self.completed.append(flow)
+        assert flow.done_event is not None
+        flow.done_event.succeed(flow)
+
+    def _admit_after(self, flow: Flow, delay: float):
+        yield self.env.timeout(delay)
+        self._admit(flow)
+
+    def _admit(self, flow: Flow) -> None:
+        self._advance_progress()
+        flow.started_at = min(flow.started_at, self.env.now)
+        if flow.remaining <= 0:
+            # Zero-byte payload: finish immediately.
+            self._finish(flow)
+            self._reschedule()
+            return
+        self._flows[flow.fid] = flow
+        self._recompute_rates()
+        self._reschedule()
+
+    def _advance_progress(self) -> None:
+        """Move every active flow forward to the current instant."""
+        dt = self.env.now - self._last_update
+        if dt > 0:
+            for flow in self._flows.values():
+                flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+        self._last_update = self.env.now
+
+    def _recompute_rates(self) -> None:
+        if not self._flows:
+            return
+        flows = list(self._flows.values())
+        # Effective capacities account for concurrency penalties.
+        users_per_link: dict[str, int] = {}
+        link_by_name: dict[str, Link] = {}
+        for f in flows:
+            for link in f.links:
+                users_per_link[link.name] = users_per_link.get(link.name, 0) + 1
+                link_by_name[link.name] = link
+        capacities = {
+            name: link_by_name[name].effective_bandwidth(users_per_link[name])
+            for name in users_per_link
+        }
+        rates = self._allocator(
+            [[link.name for link in f.links] for f in flows],
+            capacities,
+            [f.max_rate for f in flows],
+        )
+        for f, rate in zip(flows, rates):
+            f.rate = rate
+
+    def _next_completion_delay(self) -> Optional[float]:
+        best: Optional[float] = None
+        for flow in self._flows.values():
+            if flow.rate > 0:
+                eta = flow.remaining / flow.rate
+                if best is None or eta < best:
+                    best = eta
+        return best
+
+    def _reschedule(self) -> None:
+        """(Re)arm the wake-up for the next flow completion."""
+        self._generation += 1
+        delay = self._next_completion_delay()
+        if delay is None:
+            return
+        generation = self._generation
+        wake = Event(self.env)
+        wake._ok = True
+        wake._value = None
+        wake.callbacks.append(lambda _e: self._on_wake(generation))
+        self.env.schedule(wake, priority=EventPriority.HIGH, delay=max(0.0, delay))
+
+    def _finish_threshold(self, flow: Flow) -> float:
+        """Bytes below which a flow counts as complete.
+
+        Two components: an absolute/relative byte epsilon, and the bytes
+        a flow moves during one unit of *time resolution* at the current
+        clock value — float residue smaller than that can never be
+        drained because ``now + eta == now``, which would wake-loop
+        forever.
+        """
+        time_quantum = max(1e-12, abs(self.env.now) * 1e-12)
+        return max(_EPS * flow.size + _EPS, flow.rate * time_quantum)
+
+    def _on_wake(self, generation: int) -> None:
+        if generation != self._generation:
+            return  # stale wake-up; a newer recomputation superseded it
+        self._advance_progress()
+        finished = [
+            f
+            for f in self._flows.values()
+            if f.remaining <= self._finish_threshold(f)
+        ]
+        for flow in finished:
+            del self._flows[flow.fid]
+            self._finish(flow)
+        if finished:
+            self._recompute_rates()
+        self._reschedule()
+
+    def _finish(self, flow: Flow) -> None:
+        flow.remaining = 0.0
+        flow.rate = 0.0
+        flow.completed_at = self.env.now
+        self.completed.append(flow)
+        assert flow.done_event is not None
+        flow.done_event.succeed(flow)

@@ -1,0 +1,63 @@
+"""Network/storage links: the capacity-bearing edges of the flow model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Link:
+    """A shared, capacity-limited resource traversed by flows.
+
+    Both network cables and disk heads are links: a disk with a 950 MB/s
+    sequential bandwidth is simply a link of that capacity that every I/O
+    touching the disk must traverse.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within a :class:`~repro.network.FlowNetwork`.
+    bandwidth:
+        Capacity in bytes/second.  Must be positive and finite.
+    latency:
+        One-shot traversal latency in seconds, added once per flow
+        (fluid-model approximation of per-packet latency).
+    concurrency_penalty:
+        Optional multiplicative efficiency loss applied per extra
+        concurrent flow (models e.g. metadata contention on striped burst
+        buffers).  ``0.0`` (default) means ideal sharing; ``0.02`` means
+        each additional concurrent flow costs 2% of aggregate capacity,
+        floored at 10% of nominal capacity.
+    """
+
+    name: str
+    bandwidth: float
+    latency: float = 0.0
+    concurrency_penalty: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("link name must be non-empty")
+        if not (self.bandwidth > 0 and self.bandwidth != float("inf")):
+            raise ValueError(
+                f"link {self.name!r}: bandwidth must be positive and finite, "
+                f"got {self.bandwidth}"
+            )
+        if self.latency < 0:
+            raise ValueError(f"link {self.name!r}: negative latency")
+        if not (0.0 <= self.concurrency_penalty < 1.0):
+            raise ValueError(
+                f"link {self.name!r}: concurrency_penalty must be in [0, 1)"
+            )
+
+    def effective_bandwidth(self, n_flows: int) -> float:
+        """Aggregate capacity available when ``n_flows`` flows share the link.
+
+        With a zero penalty this is the nominal bandwidth; otherwise the
+        aggregate shrinks by ``concurrency_penalty`` per flow beyond the
+        first, floored at 10% of nominal.
+        """
+        if n_flows <= 1 or self.concurrency_penalty == 0.0:
+            return self.bandwidth
+        factor = max(0.1, 1.0 - self.concurrency_penalty * (n_flows - 1))
+        return self.bandwidth * factor

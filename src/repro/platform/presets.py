@@ -1,0 +1,238 @@
+"""Calibrated platform presets: Table I of the paper.
+
+Every constant in :data:`TABLE_I` is quoted directly from the paper
+(Table I, "input parameters used in simulation"); topology constants
+(cores per node, BB node capacity) come from Section III-A.  Constants
+that the paper does *not* specify (the compute fabric used only for
+cross-node traffic) are flagged in :data:`NON_TABLE_I_CONSTANTS`.
+"""
+
+from __future__ import annotations
+
+from repro.platform.spec import DiskSpec, HostSpec, LinkSpec, PlatformSpec, RouteSpec
+from repro.platform.units import GB, GFLOPS, MB, TB, US
+
+#: Table I, quoted. Bandwidths in bytes/s, speeds in flop/s.
+TABLE_I = {
+    "cori": {
+        "core_speed": 36.80 * GFLOPS,
+        "bb_network_bandwidth": 800 * MB,
+        "bb_disk_bandwidth": 950 * MB,
+        "pfs_network_bandwidth": 1.0 * GB,
+        "pfs_disk_bandwidth": 100 * MB,
+    },
+    "summit": {
+        "core_speed": 49.12 * GFLOPS,
+        "bb_network_bandwidth": 6.5 * GB,
+        "bb_disk_bandwidth": 3.3 * GB,
+        "pfs_network_bandwidth": 2.1 * GB,
+        "pfs_disk_bandwidth": 100 * MB,
+    },
+}
+
+#: Section III-A facts used for topology (not in Table I).
+CORI_CORES_PER_NODE = 32        # Haswell nodes used in the experiments
+CORI_BB_NODE_CAPACITY = 6.4 * TB
+SUMMIT_CORES_PER_NODE = 42      # 2× POWER9, 21 usable cores each
+SUMMIT_BB_NODE_CAPACITY = 1.6 * TB
+
+#: Constants the paper does not give; only exercised by cross-node traffic
+#: (e.g. moving data between on-node BBs), never on the critical path of
+#: the paper's experiments.
+NON_TABLE_I_CONSTANTS = {
+    "compute_fabric_bandwidth": 12.5 * GB,
+    "compute_fabric_latency": 1 * US,
+    "pfs_capacity": 30e15,  # effectively unlimited for our workloads
+}
+
+#: Canonical host names used by the presets.
+PFS_HOST = "pfs"
+PFS_DISK = "lustre"
+BB_DISK = "ssd"
+
+
+def compute_node_names(n_compute: int) -> list[str]:
+    return [f"cn{i}" for i in range(n_compute)]
+
+
+def bb_node_names(n_bb_nodes: int) -> list[str]:
+    return [f"bb{i}" for i in range(n_bb_nodes)]
+
+
+def local_bb_host(compute_node: str) -> str:
+    """Name of the pseudo-host carrying ``compute_node``'s on-node NVMe.
+
+    Summit's node-local SSD sits behind a PCIe/NVMe path that Table I
+    models as a 6.5 GB/s "network" stage in front of the 3.3 GB/s device;
+    representing the SSD as a one-hop pseudo-host makes that path an
+    ordinary route in the flow graph.
+    """
+    return f"{compute_node}-bb"
+
+
+def cori_spec(
+    n_compute: int = 1,
+    n_bb_nodes: int = 1,
+    cores_per_node: int = CORI_CORES_PER_NODE,
+) -> PlatformSpec:
+    """Cori: remote-shared burst buffer on dedicated nodes (Figure 1a).
+
+    Topology: each compute node has a dedicated 800 MB/s path into the BB
+    fabric and a dedicated 1 GB/s path to the PFS I/O nodes; BB nodes
+    serve 950 MB/s each from their SSDs; the PFS serves 100 MB/s total.
+    Per-node dedicated uplinks reproduce the paper's observation that
+    concurrent pipelines *within* one node contend for that node's BB
+    bandwidth (Figure 7) while the PFS disk is the global bottleneck.
+    """
+    params = TABLE_I["cori"]
+    hosts = [
+        HostSpec(
+            name=name,
+            cores=cores_per_node,
+            core_speed=params["core_speed"],
+        )
+        for name in compute_node_names(n_compute)
+    ]
+    hosts += [
+        HostSpec(
+            name=name,
+            cores=1,
+            core_speed=params["core_speed"],
+            disks=(
+                DiskSpec(
+                    name=BB_DISK,
+                    read_bandwidth=params["bb_disk_bandwidth"],
+                    write_bandwidth=params["bb_disk_bandwidth"],
+                    capacity=CORI_BB_NODE_CAPACITY,
+                ),
+            ),
+        )
+        for name in bb_node_names(n_bb_nodes)
+    ]
+    hosts.append(
+        HostSpec(
+            name=PFS_HOST,
+            cores=1,
+            core_speed=params["core_speed"],
+            disks=(
+                DiskSpec(
+                    name=PFS_DISK,
+                    read_bandwidth=params["pfs_disk_bandwidth"],
+                    write_bandwidth=params["pfs_disk_bandwidth"],
+                    capacity=NON_TABLE_I_CONSTANTS["pfs_capacity"],
+                ),
+            ),
+        )
+    )
+
+    links = []
+    routes = []
+    fabric = LinkSpec(
+        name="fabric",
+        bandwidth=NON_TABLE_I_CONSTANTS["compute_fabric_bandwidth"],
+        latency=NON_TABLE_I_CONSTANTS["compute_fabric_latency"],
+    )
+    links.append(fabric)
+    for cn in compute_node_names(n_compute):
+        bb_uplink = LinkSpec(name=f"{cn}-bbnet", bandwidth=params["bb_network_bandwidth"])
+        pfs_uplink = LinkSpec(name=f"{cn}-pfsnet", bandwidth=params["pfs_network_bandwidth"])
+        links += [bb_uplink, pfs_uplink]
+        for bb in bb_node_names(n_bb_nodes):
+            routes.append(RouteSpec(cn, bb, [bb_uplink.name]))
+        routes.append(RouteSpec(cn, PFS_HOST, [pfs_uplink.name]))
+        for other in compute_node_names(n_compute):
+            if other < cn:
+                routes.append(RouteSpec(other, cn, [fabric.name]))
+    for bb in bb_node_names(n_bb_nodes):
+        # BB ↔ PFS path (staging between layers) rides the PFS fabric.
+        routes.append(
+            RouteSpec(bb, PFS_HOST, [f"cn0-pfsnet" if n_compute else "fabric"])
+        )
+
+    return PlatformSpec(
+        name=f"cori[{n_compute}cn,{n_bb_nodes}bb]",
+        hosts=tuple(hosts),
+        links=tuple(links),
+        routes=tuple(routes),
+    )
+
+
+def summit_spec(
+    n_compute: int = 1,
+    cores_per_node: int = SUMMIT_CORES_PER_NODE,
+) -> PlatformSpec:
+    """Summit: on-node burst buffer, one NVMe per compute node (Figure 1b).
+
+    Each node's SSD hangs off a private 6.5 GB/s PCIe path (Table I "BB
+    network") in front of a 3.3 GB/s device (Table I "BB disk I/O").
+    """
+    params = TABLE_I["summit"]
+    cns = compute_node_names(n_compute)
+    hosts = [
+        HostSpec(name=cn, cores=cores_per_node, core_speed=params["core_speed"])
+        for cn in cns
+    ]
+    hosts += [
+        HostSpec(
+            name=local_bb_host(cn),
+            cores=1,
+            core_speed=params["core_speed"],
+            disks=(
+                DiskSpec(
+                    name=BB_DISK,
+                    read_bandwidth=params["bb_disk_bandwidth"],
+                    write_bandwidth=params["bb_disk_bandwidth"],
+                    capacity=SUMMIT_BB_NODE_CAPACITY,
+                ),
+            ),
+        )
+        for cn in cns
+    ]
+    hosts.append(
+        HostSpec(
+            name=PFS_HOST,
+            cores=1,
+            core_speed=params["core_speed"],
+            disks=(
+                DiskSpec(
+                    name=PFS_DISK,
+                    read_bandwidth=params["pfs_disk_bandwidth"],
+                    write_bandwidth=params["pfs_disk_bandwidth"],
+                    capacity=NON_TABLE_I_CONSTANTS["pfs_capacity"],
+                ),
+            ),
+        )
+    )
+
+    links = [
+        LinkSpec(
+            name="fabric",
+            bandwidth=NON_TABLE_I_CONSTANTS["compute_fabric_bandwidth"],
+            latency=NON_TABLE_I_CONSTANTS["compute_fabric_latency"],
+        )
+    ]
+    routes = []
+    for cn in cns:
+        pcie = LinkSpec(name=f"{cn}-pcie", bandwidth=params["bb_network_bandwidth"])
+        pfs_uplink = LinkSpec(name=f"{cn}-pfsnet", bandwidth=params["pfs_network_bandwidth"])
+        links += [pcie, pfs_uplink]
+        routes.append(RouteSpec(cn, local_bb_host(cn), [pcie.name]))
+        routes.append(RouteSpec(cn, PFS_HOST, [pfs_uplink.name]))
+        # Cross-node BB access (remote NVMe) rides the fabric + remote PCIe.
+        for other in cns:
+            if other != cn:
+                routes.append(
+                    RouteSpec(cn, local_bb_host(other), ["fabric", f"{other}-pcie"])
+                )
+        for other in cns:
+            if other < cn:
+                routes.append(RouteSpec(other, cn, ["fabric"]))
+    for cn in cns:
+        routes.append(RouteSpec(local_bb_host(cn), PFS_HOST, [f"{cn}-pfsnet"]))
+
+    return PlatformSpec(
+        name=f"summit[{n_compute}cn]",
+        hosts=tuple(hosts),
+        links=tuple(links),
+        routes=tuple(routes),
+    )

@@ -1,0 +1,131 @@
+"""JSON (de)serialization of platform specs.
+
+The schema mirrors the dataclasses one-to-one so that a platform can be
+described in a standalone file, mimicking WRENCH's platform-XML workflow:
+
+.. code-block:: json
+
+    {
+      "name": "my-cluster",
+      "hosts": [
+        {"name": "cn0", "cores": 32, "core_speed": 3.68e10, "ram": 1.28e11,
+         "disks": [{"name": "ssd", "read_bandwidth": 9.5e8,
+                     "write_bandwidth": 9.5e8, "capacity": 6.4e12}]}
+      ],
+      "links": [{"name": "up0", "bandwidth": 8e8, "latency": 0.0}],
+      "routes": [{"src": "cn0", "dst": "bb0", "links": ["up0"]}]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.platform.spec import DiskSpec, HostSpec, LinkSpec, PlatformSpec, RouteSpec
+
+_INF = float("inf")
+
+
+def _num(value: Any, default: float) -> float:
+    if value is None:
+        return default
+    return float(value)
+
+
+def platform_to_json(spec: PlatformSpec, path: "str | Path | None" = None) -> str:
+    """Serialize ``spec`` to a JSON string (and optionally write ``path``)."""
+    doc = {
+        "name": spec.name,
+        "hosts": [
+            {
+                "name": h.name,
+                "cores": h.cores,
+                "core_speed": h.core_speed,
+                **({"ram": h.ram} if h.ram != _INF else {}),
+                "disks": [
+                    {
+                        "name": d.name,
+                        "read_bandwidth": d.read_bandwidth,
+                        "write_bandwidth": d.write_bandwidth,
+                        **({"capacity": d.capacity} if d.capacity != _INF else {}),
+                    }
+                    for d in h.disks
+                ],
+            }
+            for h in spec.hosts
+        ],
+        "links": [
+            {
+                "name": l.name,
+                "bandwidth": l.bandwidth,
+                "latency": l.latency,
+                **(
+                    {"concurrency_penalty": l.concurrency_penalty}
+                    if l.concurrency_penalty
+                    else {}
+                ),
+            }
+            for l in spec.links
+        ],
+        "routes": [
+            {"src": r.src, "dst": r.dst, "links": list(r.link_names)}
+            for r in spec.routes
+        ],
+    }
+    text = json.dumps(doc, indent=2)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def platform_from_json(source: "str | Path") -> PlatformSpec:
+    """Parse a platform spec from a JSON string or file path."""
+    if isinstance(source, Path) or (
+        isinstance(source, str) and not source.lstrip().startswith("{")
+    ):
+        text = Path(source).read_text()
+    else:
+        text = source
+    doc = json.loads(text)
+
+    if "name" not in doc or "hosts" not in doc:
+        raise ValueError("platform JSON must contain 'name' and 'hosts'")
+
+    hosts = []
+    for h in doc["hosts"]:
+        disks = tuple(
+            DiskSpec(
+                name=d["name"],
+                read_bandwidth=float(d["read_bandwidth"]),
+                write_bandwidth=float(d["write_bandwidth"]),
+                capacity=_num(d.get("capacity"), _INF),
+            )
+            for d in h.get("disks", [])
+        )
+        hosts.append(
+            HostSpec(
+                name=h["name"],
+                cores=int(h["cores"]),
+                core_speed=float(h["core_speed"]),
+                ram=_num(h.get("ram"), _INF),
+                disks=disks,
+            )
+        )
+
+    links = tuple(
+        LinkSpec(
+            name=l["name"],
+            bandwidth=float(l["bandwidth"]),
+            latency=_num(l.get("latency"), 0.0),
+            concurrency_penalty=_num(l.get("concurrency_penalty"), 0.0),
+        )
+        for l in doc.get("links", [])
+    )
+    routes = tuple(
+        RouteSpec(r["src"], r["dst"], r["links"]) for r in doc.get("routes", [])
+    )
+    return PlatformSpec(
+        name=doc["name"], hosts=tuple(hosts), links=links, routes=routes
+    )

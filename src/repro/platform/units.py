@@ -1,0 +1,72 @@
+"""Unit helpers: byte sizes, bandwidths, and compute speeds.
+
+The paper mixes decimal (MB/s bandwidths from vendor datasheets) and
+binary (MiB file sizes) units; both families are provided so call sites
+can quote the paper verbatim.
+"""
+
+from __future__ import annotations
+
+# Decimal byte units (bandwidths, vendor capacities)
+KB = 1e3
+MB = 1e6
+GB = 1e9
+TB = 1e12
+
+# Binary byte units (file sizes)
+KiB = 1024.0
+MiB = 1024.0**2
+GiB = 1024.0**3
+TiB = 1024.0**4
+
+# Compute speeds
+MFLOPS = 1e6
+GFLOPS = 1e9
+TFLOPS = 1e12
+
+# Time
+US = 1e-6
+MS = 1e-3
+MINUTE = 60.0
+HOUR = 3600.0
+
+
+def parse_size(text: str) -> float:
+    """Parse a human-readable size like ``"32 MiB"`` or ``"6.5GB"``.
+
+    Supports the decimal (kB/MB/GB/TB) and binary (KiB/MiB/GiB/TiB)
+    families, a bare ``B`` suffix, and unit-less numbers (bytes).
+    """
+    units = {
+        "b": 1.0,
+        "kb": KB, "mb": MB, "gb": GB, "tb": TB,
+        "kib": KiB, "mib": MiB, "gib": GiB, "tib": TiB,
+    }
+    s = text.strip().lower().replace(" ", "")
+    for suffix in sorted(units, key=len, reverse=True):
+        if s.endswith(suffix):
+            number = s[: -len(suffix)]
+            if not number:
+                raise ValueError(f"missing magnitude in size {text!r}")
+            return float(number) * units[suffix]
+    return float(s)
+
+
+def format_size(n_bytes: float) -> str:
+    """Render a byte count with a binary suffix (``"32.0 MiB"``)."""
+    value = float(n_bytes)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or suffix == "TiB":
+            return f"{value:.1f} {suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_bandwidth(bytes_per_s: float) -> str:
+    """Render a bandwidth with a decimal suffix (``"6.5 GB/s"``)."""
+    value = float(bytes_per_s)
+    for suffix in ("B/s", "kB/s", "MB/s", "GB/s", "TB/s"):
+        if abs(value) < 1000.0 or suffix == "TB/s":
+            return f"{value:.1f} {suffix}"
+        value /= 1000.0
+    raise AssertionError("unreachable")

@@ -1,0 +1,193 @@
+"""WRENCH-style simulator facade: files in, trace out.
+
+The paper (Section IV-A): "Our WRENCH simulator takes as input a
+description of a workflow and a description of an execution platform ...
+the simulator simulates the execution of the workflow and outputs a
+time-stamped event trace."
+
+:class:`Simulator` is exactly that entry point: give it a platform
+description (a :class:`~repro.platform.PlatformSpec` or a JSON file)
+and a workflow (a :class:`~repro.workflow.Workflow` or a WfCommons JSON
+trace), pick a burst-buffer configuration, and run.  The CLI wrapper is
+``repro-simulate``.
+
+Storage roles are discovered from host names, matching the preset
+conventions: ``pfs`` is the parallel file system, ``bb*`` hosts are
+shared burst-buffer nodes, ``<cn>-bb`` hosts are node-local buffers,
+and ``cn*`` hosts compute.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro import des
+from repro.compute import ComputeService
+from repro.platform import Platform, PlatformSpec, platform_from_json
+from repro.storage import (
+    BBMode,
+    OnNodeBurstBuffer,
+    ParallelFileSystem,
+    SharedBurstBuffer,
+    StorageService,
+)
+from repro.traces.events import ExecutionTrace
+from repro.wms import EngineConfig, FractionPlacement, WorkflowEngine
+from repro.workflow.model import Workflow
+from repro.workflow.wfformat import workflow_from_wfformat
+
+
+@dataclass
+class SimulatorConfig:
+    """Knobs of one simulation run."""
+
+    bb_mode: BBMode = BBMode.STRIPED
+    input_fraction: float = 1.0
+    intermediate_fraction: float = 1.0
+    output_fraction: float = 0.0
+    #: Honor per-task Amdahl alphas instead of Eq. (4)'s perfect speedup.
+    use_amdahl_alpha: bool = False
+
+
+class Simulator:
+    """One-shot workflow simulation on a described platform."""
+
+    def __init__(
+        self,
+        platform: "PlatformSpec | str | Path",
+        workflow: "Workflow | str | Path",
+        config: Optional[SimulatorConfig] = None,
+    ) -> None:
+        if not isinstance(platform, PlatformSpec):
+            platform = platform_from_json(platform)
+        if not isinstance(workflow, Workflow):
+            workflow = workflow_from_wfformat(workflow)
+        self.spec = platform
+        self.workflow = workflow
+        self.config = config or SimulatorConfig()
+
+        self._compute_hosts = [
+            h.name
+            for h in platform.hosts
+            if h.name.startswith("cn") and not h.name.endswith("-bb")
+        ]
+        if not self._compute_hosts:
+            raise ValueError(
+                "platform has no compute hosts (names must start with 'cn')"
+            )
+        self._shared_bb_hosts = [
+            h.name for h in platform.hosts if h.name.startswith("bb")
+        ]
+        self._local_bb_hosts = {
+            h.name[: -len("-bb")]: h.name
+            for h in platform.hosts
+            if h.name.endswith("-bb")
+        }
+        if not any(h.name == "pfs" for h in platform.hosts):
+            raise ValueError("platform has no 'pfs' host")
+
+    def run(self) -> ExecutionTrace:
+        """Simulate the workflow execution; returns the event trace."""
+        env = des.Environment()
+        platform = Platform(env, self.spec)
+        pfs = ParallelFileSystem(platform)
+        compute = ComputeService(
+            platform,
+            self._compute_hosts,
+            use_amdahl_alpha=self.config.use_amdahl_alpha,
+        )
+
+        bb_services: dict[str, StorageService] = {}
+
+        def bb_for_host(host: str) -> Optional[StorageService]:
+            if host in bb_services:
+                return bb_services[host]
+            if host in self._local_bb_hosts:
+                service: StorageService = OnNodeBurstBuffer(
+                    platform, self._local_bb_hosts[host]
+                )
+            elif self._shared_bb_hosts:
+                service = SharedBurstBuffer(
+                    platform,
+                    self._shared_bb_hosts,
+                    self.config.bb_mode,
+                    owner_host=host
+                    if self.config.bb_mode == BBMode.PRIVATE
+                    else None,
+                )
+            else:
+                return None
+            bb_services[host] = service
+            return service
+
+        has_bb = bool(self._shared_bb_hosts or self._local_bb_hosts)
+        engine = WorkflowEngine(
+            platform,
+            self.workflow,
+            compute,
+            pfs,
+            bb_for_host=bb_for_host if has_bb else None,
+            placement=FractionPlacement(
+                input_fraction=self.config.input_fraction,
+                intermediate_fraction=self.config.intermediate_fraction,
+                output_fraction=self.config.output_fraction,
+            ),
+            config=EngineConfig(use_amdahl_alpha=self.config.use_amdahl_alpha),
+        )
+        return engine.run()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: simulate a workflow JSON on a platform JSON."""
+    parser = argparse.ArgumentParser(
+        prog="repro-simulate",
+        description="Simulate a WfCommons workflow on a JSON-described "
+        "platform with burst buffers.",
+    )
+    parser.add_argument("--platform", required=True, help="platform JSON file")
+    parser.add_argument("--workflow", required=True, help="WfCommons JSON file")
+    parser.add_argument(
+        "--mode",
+        choices=[m.value for m in BBMode],
+        default=BBMode.STRIPED.value,
+        help="shared burst buffer allocation mode",
+    )
+    parser.add_argument("--input-fraction", type=float, default=1.0)
+    parser.add_argument("--intermediate-fraction", type=float, default=1.0)
+    parser.add_argument("--output-fraction", type=float, default=0.0)
+    parser.add_argument("-o", "--output", help="write the trace JSON here")
+    parser.add_argument(
+        "--gantt", action="store_true", help="print an ASCII Gantt chart"
+    )
+    args = parser.parse_args(argv)
+
+    simulator = Simulator(
+        Path(args.platform),
+        Path(args.workflow),
+        SimulatorConfig(
+            bb_mode=BBMode(args.mode),
+            input_fraction=args.input_fraction,
+            intermediate_fraction=args.intermediate_fraction,
+            output_fraction=args.output_fraction,
+        ),
+    )
+    trace = simulator.run()
+    print(f"workflow: {trace.workflow_name}")
+    print(f"tasks:    {len(trace.records)}")
+    print(f"makespan: {trace.makespan:.3f}s")
+    if args.gantt:
+        from repro.traces.gantt import render_gantt
+
+        print()
+        print(render_gantt(trace))
+    if args.output:
+        trace.to_json(args.output)
+        print(f"trace written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

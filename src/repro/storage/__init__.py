@@ -1,0 +1,53 @@
+"""Storage services: parallel file system and burst buffers.
+
+Three services model the paper's storage layers:
+
+* :class:`ParallelFileSystem` — the global Lustre-like PFS every node can
+  reach (100 MB/s calibrated disk bandwidth in Table I);
+* :class:`SharedBurstBuffer` — Cori-style dedicated BB nodes, with the
+  two Cray DataWarp allocation modes: ``PRIVATE`` (per-compute-node
+  namespace, files pinned to one BB node) and ``STRIPED`` (files striped
+  in chunks across all BB nodes);
+* :class:`OnNodeBurstBuffer` — Summit-style node-local NVMe.
+
+All services share the :class:`StorageService` interface: ``write`` a
+file from a host's RAM, ``read`` it back to a host, with capacity
+accounting and optional per-operation latencies (used by the emulation
+layer to model metadata costs the paper's simple model omits).
+"""
+
+from repro.storage.base import (
+    AccessDeniedError,
+    FileNotOnService,
+    InsufficientStorage,
+    StorageService,
+)
+from repro.storage.pfs import ParallelFileSystem
+from repro.storage.burst_buffer import (
+    BBMode,
+    OnNodeBurstBuffer,
+    SharedBurstBuffer,
+)
+from repro.storage.registry import FileRegistry
+from repro.storage.staging import stage_file
+from repro.storage.provisioning import (
+    BBAllocation,
+    burst_buffer_for_allocation,
+    provision_allocation,
+)
+
+__all__ = [
+    "BBAllocation",
+    "burst_buffer_for_allocation",
+    "provision_allocation",
+    "AccessDeniedError",
+    "BBMode",
+    "FileNotOnService",
+    "FileRegistry",
+    "InsufficientStorage",
+    "OnNodeBurstBuffer",
+    "ParallelFileSystem",
+    "SharedBurstBuffer",
+    "StorageService",
+    "stage_file",
+]

@@ -1,0 +1,181 @@
+"""Storage service interface and common machinery."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.des import Event
+from repro.platform.runtime import Platform
+from repro.workflow.model import File
+
+
+class StorageError(Exception):
+    """Base class for storage service errors."""
+
+
+class InsufficientStorage(StorageError):
+    """A write would exceed the service's capacity."""
+
+
+class FileNotOnService(StorageError):
+    """A read targeted a file the service does not hold."""
+
+
+class AccessDeniedError(StorageError):
+    """The service's access policy forbids the operation.
+
+    Raised e.g. when a host other than the owner reads from a
+    private-mode shared burst buffer allocation.
+    """
+
+
+@dataclass
+class ServiceLatencies:
+    """Per-operation latencies, in seconds.
+
+    The paper's simple model runs with all-zero latencies; the emulation
+    layer sets them to model metadata costs (file open/close, DataWarp
+    namespace operations) that dominate small-file performance.
+    """
+
+    read: float = 0.0
+    write: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.read < 0 or self.write < 0:
+            raise ValueError("latencies must be non-negative")
+
+
+class StorageService(abc.ABC):
+    """A named storage layer files can be written to and read from.
+
+    Concrete services translate reads/writes into flows on the
+    platform's network (disk channels + routes) and keep a content
+    table with capacity accounting.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        platform: Platform,
+        capacity: float = float("inf"),
+        latencies: Optional[ServiceLatencies] = None,
+        metadata_service_time: float = 0.0,
+        metadata_parallelism: int = 1,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if metadata_service_time < 0:
+            raise ValueError("metadata_service_time must be non-negative")
+        if metadata_parallelism <= 0:
+            raise ValueError("metadata_parallelism must be positive")
+        self.name = name
+        self.platform = platform
+        self.env = platform.env
+        self.capacity = capacity
+        self.latencies = latencies or ServiceLatencies()
+        self._contents: dict[str, File] = {}
+        #: Serialized metadata server: every read/write holds one slot
+        #: for ``metadata_service_time`` seconds before its transfer
+        #: starts.  Unlike per-flow latency (which concurrent operations
+        #: amortize), a busy metadata server *queues* operations — this
+        #: is what makes many-small-file patterns catastrophic on
+        #: striped DataWarp allocations (paper Figure 5).
+        self.metadata_service_time = metadata_service_time
+        self._metadata: Optional[object] = None
+        if metadata_service_time > 0:
+            from repro.des import Resource
+
+            self._metadata = Resource(self.env, capacity=metadata_parallelism)
+
+    # ------------------------------------------------------------------
+    # Content table
+    # ------------------------------------------------------------------
+    @property
+    def used(self) -> float:
+        return sum(f.size for f in self._contents.values())
+
+    @property
+    def free_space(self) -> float:
+        return self.capacity - self.used
+
+    def contains(self, file: File) -> bool:
+        return file.name in self._contents
+
+    def files(self) -> list[File]:
+        return sorted(self._contents.values(), key=lambda f: f.name)
+
+    def add_file(self, file: File) -> None:
+        """Register ``file`` as present without simulating a transfer.
+
+        Used to model pre-populated storage (e.g. workflow inputs that
+        already live on the PFS before the execution starts).
+        """
+        if self.contains(file):
+            return
+        self._reserve(file)
+        self._contents[file.name] = file
+
+    def delete(self, file: File) -> None:
+        """Remove ``file``, freeing its space (no-op if absent)."""
+        self._contents.pop(file.name, None)
+
+    def _reserve(self, file: File) -> None:
+        if file.size > self.free_space:
+            raise InsufficientStorage(
+                f"{self.name}: cannot store {file.name!r} "
+                f"({file.size:.3e} B > {self.free_space:.3e} B free)"
+            )
+
+    # ------------------------------------------------------------------
+    # I/O operations
+    # ------------------------------------------------------------------
+    def write(self, file: File, src_host: str) -> Event:
+        """Write ``file`` from ``src_host``'s RAM onto this service.
+
+        Capacity is reserved immediately; the returned event fires when
+        the last byte lands, at which point the file becomes readable.
+        """
+        if not self.contains(file):
+            self._reserve(file)
+            self._contents[file.name] = file
+        return self._gated(lambda: self._write_flow(file, src_host))
+
+    def read(self, file: File, dest_host: str) -> Event:
+        """Read ``file`` from this service into ``dest_host``'s RAM."""
+        if not self.contains(file):
+            raise FileNotOnService(f"{self.name}: no file {file.name!r}")
+        return self._gated(lambda: self._read_flow(file, dest_host))
+
+    def _gated(self, start_transfer) -> Event:
+        """Run a transfer behind the metadata server, if one exists."""
+        if self._metadata is None:
+            return start_transfer()
+        done = self.env.event()
+
+        def run():
+            request = self._metadata.request()
+            yield request
+            yield self.env.timeout(self.metadata_service_time)
+            self._metadata.release(request)
+            result = yield start_transfer()
+            done.succeed(result)
+
+        self.env.process(run())
+        return done
+
+    @abc.abstractmethod
+    def _write_flow(self, file: File, src_host: str) -> Event:
+        """Start the write transfer(s); return the completion event."""
+
+    @abc.abstractmethod
+    def _read_flow(self, file: File, dest_host: str) -> Event:
+        """Start the read transfer(s); return the completion event."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{type(self).__name__} {self.name!r}: "
+            f"{len(self._contents)} files, {self.used:.3e}/{self.capacity:.3e} B>"
+        )

@@ -1,0 +1,70 @@
+"""The global parallel file system service."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.des import Event
+from repro.platform.runtime import Platform
+from repro.storage.base import ServiceLatencies, StorageService
+from repro.workflow.model import File
+
+
+class ParallelFileSystem(StorageService):
+    """A Lustre-like PFS: one logical disk reachable from every host.
+
+    All reads share the PFS disk's read channel (and likewise for
+    writes), so the calibrated 100 MB/s disk bandwidth of Table I is a
+    *global* bottleneck — exactly the property that makes burst buffers
+    attractive.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        host: str = "pfs",
+        disk: str = "lustre",
+        name: str = "pfs",
+        capacity: float = float("inf"),
+        latencies: Optional[ServiceLatencies] = None,
+        max_stream_rate: float = float("inf"),
+        metadata_service_time: float = 0.0,
+    ) -> None:
+        # The PFS disk spec bounds capacity if the caller does not.
+        disk_spec = platform.host(host).disk(disk)
+        if capacity == float("inf"):
+            capacity = disk_spec.capacity
+        super().__init__(
+            name,
+            platform,
+            capacity,
+            latencies,
+            metadata_service_time=metadata_service_time,
+        )
+        self.host = host
+        self.disk = disk
+        #: Per-flow rate cap (POSIX single-stream inefficiency knob used
+        #: by the emulation layer; infinite = ideal streaming).
+        self.max_stream_rate = max_stream_rate
+
+    def _write_flow(self, file: File, src_host: str) -> Event:
+        return self.platform.write_to_disk(
+            file.size,
+            self.host,
+            self.disk,
+            src_host=src_host,
+            extra_latency=self.latencies.write,
+            max_rate=self.max_stream_rate,
+            label=f"{self.name}:write:{file.name}",
+        )
+
+    def _read_flow(self, file: File, dest_host: str) -> Event:
+        return self.platform.read_from_disk(
+            file.size,
+            self.host,
+            self.disk,
+            dest_host=dest_host,
+            extra_latency=self.latencies.read,
+            max_rate=self.max_stream_rate,
+            label=f"{self.name}:read:{file.name}",
+        )

@@ -1,0 +1,134 @@
+"""Burst-buffer allocation provisioning (DataWarp-style).
+
+On Cori, a job requests a BB *allocation size*; DataWarp rounds it up
+to its allocation granularity and spreads the allocation over as many
+BB nodes as granules — "as there are far more compute nodes than I/O
+and BB nodes, a given BB allocation is usually spread over multiple BB
+nodes" (paper Section III-D).  This module models that sizing step:
+from a requested capacity to the set of BB nodes backing it, which is
+exactly the striping width a :class:`SharedBurstBuffer` then uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.platform.presets import BB_DISK
+from repro.platform.runtime import Platform
+from repro.platform.units import GiB
+from repro.storage.base import InsufficientStorage
+from repro.storage.burst_buffer import BBMode, SharedBurstBuffer
+
+#: Cray DataWarp's default allocation granularity on Cori-era systems.
+DEFAULT_GRANULARITY = 20 * GiB
+
+
+@dataclass(frozen=True)
+class BBAllocation:
+    """A provisioned burst-buffer allocation."""
+
+    requested: float          # bytes asked for
+    granted: float            # bytes granted (rounded up to granules)
+    granularity: float
+    bb_hosts: tuple[str, ...]  # the nodes backing the allocation
+
+    @property
+    def granules(self) -> int:
+        return round(self.granted / self.granularity)
+
+    @property
+    def stripe_width(self) -> int:
+        """Number of distinct BB nodes the allocation spans."""
+        return len(self.bb_hosts)
+
+
+def provision_allocation(
+    platform: Platform,
+    size: float,
+    granularity: float = DEFAULT_GRANULARITY,
+    bb_hosts: Optional[Sequence[str]] = None,
+    disk: str = BB_DISK,
+) -> BBAllocation:
+    """Provision a BB allocation of at least ``size`` bytes.
+
+    Granules are distributed round-robin over the available BB nodes
+    (so a small allocation touches few nodes and a large one stripes
+    wide — DataWarp's behaviour), subject to per-node capacity.
+
+    Raises :class:`InsufficientStorage` when the platform's BB nodes
+    cannot hold the granted size.
+    """
+    if size <= 0:
+        raise ValueError("size must be positive")
+    if granularity <= 0:
+        raise ValueError("granularity must be positive")
+
+    if bb_hosts is None:
+        bb_hosts = sorted(
+            h for h in platform.hosts if h.startswith("bb")
+        )
+    if not bb_hosts:
+        raise ValueError("platform has no BB nodes to provision from")
+
+    granules = math.ceil(size / granularity)
+    granted = granules * granularity
+
+    # Per-node granule capacity.
+    per_node_capacity = {
+        h: int(platform.host(h).disk(disk).capacity // granularity)
+        for h in bb_hosts
+    }
+    if granules > sum(per_node_capacity.values()):
+        raise InsufficientStorage(
+            f"allocation of {granted:.3e} B ({granules} granules) exceeds "
+            f"the BB pool capacity"
+        )
+
+    # Round-robin granules over nodes, respecting per-node limits.
+    assigned: dict[str, int] = {h: 0 for h in bb_hosts}
+    remaining = granules
+    while remaining > 0:
+        progressed = False
+        for h in bb_hosts:
+            if remaining == 0:
+                break
+            if assigned[h] < per_node_capacity[h]:
+                assigned[h] += 1
+                remaining -= 1
+                progressed = True
+        if not progressed:  # pragma: no cover - guarded by the sum check
+            raise InsufficientStorage("BB pool exhausted during assignment")
+
+    used_hosts = tuple(h for h in bb_hosts if assigned[h] > 0)
+    return BBAllocation(
+        requested=float(size),
+        granted=float(granted),
+        granularity=float(granularity),
+        bb_hosts=used_hosts,
+    )
+
+
+def burst_buffer_for_allocation(
+    platform: Platform,
+    allocation: BBAllocation,
+    mode: BBMode = BBMode.STRIPED,
+    owner_host: Optional[str] = None,
+    **kwargs,
+) -> SharedBurstBuffer:
+    """Build the storage service backed by a provisioned allocation.
+
+    The service's capacity is clamped to the *granted* size (DataWarp
+    enforces the allocation, not the device capacity), and striping
+    spans exactly the allocation's nodes.
+    """
+    service = SharedBurstBuffer(
+        platform,
+        list(allocation.bb_hosts),
+        mode,
+        owner_host=owner_host,
+        **kwargs,
+    )
+    service.capacity = min(service.capacity, allocation.granted)
+    return service

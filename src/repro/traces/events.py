@@ -1,0 +1,203 @@
+"""Timestamped event traces (the simulator's primary output).
+
+The paper: "the simulator simulates the execution of the workflow and
+outputs a time-stamped event trace.  The date of the last event, which
+corresponds to the last task completion, gives the overall makespan."
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped event."""
+
+    time: float
+    kind: str          # e.g. "task_start", "read_end", "stage_copy"
+    task: str = ""
+    detail: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "task": self.task,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class IOOperation:
+    """One file-level I/O operation (a Darshan-style log line)."""
+
+    task: str
+    file: str
+    service: str      # storage service name
+    kind: str         # "read" | "write" | "stage"
+    size: float       # bytes
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def bandwidth(self) -> Optional[float]:
+        """Achieved bandwidth, or None for instantaneous operations."""
+        if self.duration <= 0:
+            return None
+        return self.size / self.duration
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "task": self.task,
+            "file": self.file,
+            "service": self.service,
+            "kind": self.kind,
+            "size": self.size,
+            "start": self.start,
+            "end": self.end,
+        }
+
+
+@dataclass
+class TaskRecord:
+    """Aggregated timing of one executed task."""
+
+    name: str
+    group: str
+    host: str
+    cores: int
+    start: float = 0.0
+    read_start: float = 0.0
+    read_end: float = 0.0
+    compute_end: float = 0.0
+    write_end: float = 0.0
+    end: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def read_time(self) -> float:
+        return self.read_end - self.read_start
+
+    @property
+    def compute_time(self) -> float:
+        return self.compute_end - self.read_end
+
+    @property
+    def write_time(self) -> float:
+        return self.write_end - self.compute_end
+
+    @property
+    def io_time(self) -> float:
+        return self.read_time + self.write_time
+
+    @property
+    def io_fraction(self) -> float:
+        """Observed λ_io of this execution (Eq. 1's input)."""
+        return self.io_time / self.duration if self.duration > 0 else 0.0
+
+
+class ExecutionTrace:
+    """Event log plus per-task records for one workflow execution."""
+
+    def __init__(self, workflow_name: str = "") -> None:
+        self.workflow_name = workflow_name
+        self.events: list[TraceEvent] = []
+        self.records: dict[str, TaskRecord] = {}
+        self.io_operations: list[IOOperation] = []
+
+    def log(self, time: float, kind: str, task: str = "", detail: str = "") -> None:
+        self.events.append(TraceEvent(time, kind, task, detail))
+
+    def log_io(self, operation: IOOperation) -> None:
+        self.io_operations.append(operation)
+
+    def add_record(self, record: TaskRecord) -> None:
+        self.records[record.name] = record
+
+    # ------------------------------------------------------------------
+    # I/O operation queries
+    # ------------------------------------------------------------------
+    def io_for_task(self, task: str) -> list[IOOperation]:
+        return [op for op in self.io_operations if op.task == task]
+
+    def io_for_service(self, service: str) -> list[IOOperation]:
+        return [op for op in self.io_operations if op.service == service]
+
+    def service_bytes(self) -> dict[str, float]:
+        """Total bytes moved through each storage service."""
+        out: dict[str, float] = {}
+        for op in self.io_operations:
+            out[op.service] = out.get(op.service, 0.0) + op.size
+        return out
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        """Date of the last event (last task completion)."""
+        return max((e.time for e in self.events), default=0.0)
+
+    def task_record(self, name: str) -> TaskRecord:
+        try:
+            return self.records[name]
+        except KeyError:
+            raise KeyError(f"no record for task {name!r}") from None
+
+    def records_in_group(self, group: str) -> list[TaskRecord]:
+        return sorted(
+            (r for r in self.records.values() if r.group == group),
+            key=lambda r: r.name,
+        )
+
+    def group_mean_duration(self, group: str) -> float:
+        records = self.records_in_group(group)
+        if not records:
+            raise KeyError(f"no tasks in group {group!r}")
+        return sum(r.duration for r in records) / len(records)
+
+    def events_of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_json(self, path: "str | Path | None" = None) -> str:
+        doc = {
+            "workflow": self.workflow_name,
+            "makespan": self.makespan,
+            "events": [e.to_dict() for e in self.events],
+            "tasks": [
+                {
+                    "name": r.name,
+                    "group": r.group,
+                    "host": r.host,
+                    "cores": r.cores,
+                    "start": r.start,
+                    "end": r.end,
+                    "read_time": r.read_time,
+                    "compute_time": r.compute_time,
+                    "write_time": r.write_time,
+                }
+                for r in sorted(self.records.values(), key=lambda r: r.start)
+            ],
+            "io_operations": [op.to_dict() for op in self.io_operations],
+        }
+        text = json.dumps(doc, indent=2)
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,63 @@
+"""ASCII Gantt rendering of execution traces.
+
+A terminal-friendly view of who ran when — useful when debugging
+placement policies or contention effects without leaving the shell.
+"""
+
+from __future__ import annotations
+
+from repro.traces.events import ExecutionTrace
+
+_PHASES = (
+    ("read", "r"),
+    ("compute", "#"),
+    ("write", "w"),
+)
+
+
+def render_gantt(
+    trace: ExecutionTrace,
+    width: int = 72,
+    max_tasks: int = 40,
+) -> str:
+    """Render the trace as an ASCII Gantt chart.
+
+    Each task is one row; ``r``/``#``/``w`` mark its read, compute, and
+    write phases on a time axis scaled to ``width`` characters.  Rows
+    are ordered by start time; output is truncated at ``max_tasks``
+    rows (with a trailing note) to stay terminal-sized.
+    """
+    if width < 10:
+        raise ValueError("width must be at least 10")
+    records = sorted(trace.records.values(), key=lambda r: (r.start, r.name))
+    if not records:
+        return "(empty trace)"
+    makespan = max(r.end for r in records)
+    if makespan <= 0:
+        return "(zero-length trace)"
+
+    def column(t: float) -> int:
+        return min(width - 1, int(t / makespan * width))
+
+    name_width = min(24, max(len(r.name) for r in records))
+    lines = [
+        f"{'task'.ljust(name_width)} |{'time →'.ljust(width)}| 0..{makespan:.2f}s"
+    ]
+    for record in records[:max_tasks]:
+        row = [" "] * width
+        spans = [
+            (record.read_start, record.read_end, "r"),
+            (record.read_end, record.compute_end, "#"),
+            (record.compute_end, record.write_end, "w"),
+        ]
+        for begin, end, char in spans:
+            if end <= begin:
+                continue
+            for i in range(column(begin), max(column(begin) + 1, column(end))):
+                row[i] = char
+        name = record.name[:name_width].ljust(name_width)
+        lines.append(f"{name} |{''.join(row)}|")
+    if len(records) > max_tasks:
+        lines.append(f"... ({len(records) - max_tasks} more tasks)")
+    lines.append(f"legend: r=read  #=compute  w=write")
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Workflow management system: scheduling, staging, and execution.
+
+:class:`WorkflowEngine` executes a workflow DAG on a platform: it stages
+external inputs according to a :class:`PlacementPolicy`, runs each task
+as read-inputs → compute → write-outputs on its assigned host (cores
+granted FIFO by the compute service), and emits a timestamped
+:class:`~repro.traces.ExecutionTrace` whose last event gives the
+makespan — mirroring the WRENCH simulator of Section IV.
+"""
+
+from repro.wms.placement import (
+    AllBB,
+    AllPFS,
+    ExplicitPlacement,
+    FractionPlacement,
+    LocalityPlacement,
+    PlacementPolicy,
+    SizeThresholdPlacement,
+)
+from repro.wms.engine import EngineConfig, WorkflowEngine
+from repro.wms.heft import heft_assignment
+from repro.wms.scheduling import (
+    DataLocalityScheduler,
+    LeastLoadedScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    consistent_hash_assignment,
+)
+from repro.wms.explorer import (
+    AnnealingPlacementSearch,
+    GreedyPlacementSearch,
+    PolicyScore,
+    SearchResult,
+    evaluate_policies,
+    workflow_candidates,
+)
+
+__all__ = [
+    "AllBB",
+    "AnnealingPlacementSearch",
+    "AllPFS",
+    "DataLocalityScheduler",
+    "EngineConfig",
+    "ExplicitPlacement",
+    "FractionPlacement",
+    "GreedyPlacementSearch",
+    "LeastLoadedScheduler",
+    "LocalityPlacement",
+    "PlacementPolicy",
+    "PolicyScore",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "SearchResult",
+    "SizeThresholdPlacement",
+    "WorkflowEngine",
+    "consistent_hash_assignment",
+    "evaluate_policies",
+    "heft_assignment",
+    "workflow_candidates",
+]

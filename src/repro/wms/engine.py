@@ -1,0 +1,418 @@
+"""The workflow execution engine.
+
+Execution semantics (per compute task):
+
+1. wait for all parent tasks;
+2. acquire the task's cores on its assigned host (FIFO);
+3. read all input files concurrently (flows share bandwidth max-min);
+4. compute for the Amdahl duration;
+5. write all output files concurrently to their placement tier;
+6. release cores; signal completion.
+
+Stage-in tasks (``TaskCategory.STAGE_IN``) are executed as *sequential*
+PFS→BB copies of the external input files the placement policy sends to
+the BB (the paper: "the stage-in task is always sequential").
+
+Workflows without an explicit stage-in task can opt into *prestaging*:
+BB-bound inputs appear on the BB at t = 0 at no cost, matching the
+paper's 1000Genomes case study where staging happens before the
+measured execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.compute.service import ComputeService
+from repro.des import Environment, Event
+from repro.platform.runtime import Platform
+from repro.storage.base import StorageService
+from repro.storage.registry import FileRegistry, _accessible
+from repro.storage.staging import stage_file
+from repro.traces.events import ExecutionTrace, IOOperation, TaskRecord
+from repro.wms.placement import PlacementPolicy, Tier
+from repro.workflow.model import File, Task, TaskCategory, Workflow
+
+
+@dataclass
+class EngineConfig:
+    """Tunable engine behaviour."""
+
+    #: Stage BB-bound inputs instantly at t=0 when the workflow has no
+    #: stage-in task (1000Genomes case-study semantics).
+    prestage_inputs: bool = True
+    #: Honor per-task Amdahl alphas (False = the paper's headline
+    #: perfect-speedup assumption, Eq. 4).
+    use_amdahl_alpha: bool = False
+    #: Delete intermediate files from the BB once all consumers finished
+    #: (keeps capacity accounting honest on long workflows).
+    evict_consumed_intermediates: bool = False
+    #: Extra latency added to every stage-in copy (emulation hook for the
+    #: striped-mode staging anomaly of Figure 4).
+    stage_extra_latency: float = 0.0
+    #: Stage-in ingests from an infinitely fast external source (charging
+    #: only the BB ingest path) instead of copying disk-to-disk from the
+    #: PFS.  The paper's simple simulator behaves this way — it is what
+    #: makes its makespan *decrease* with the staged fraction while the
+    #: measured one increases (the Figure 10a trend inversion).
+    stage_in_external: bool = False
+
+
+class WorkflowEngine:
+    """Executes one workflow on a platform and returns its trace.
+
+    Parameters
+    ----------
+    platform:
+        The runtime platform.
+    workflow:
+        The DAG to execute.
+    compute:
+        Compute service managing the execution hosts.
+    pfs:
+        The global PFS service (holds all external inputs initially).
+    bb_for_host:
+        Maps a compute host name to its burst-buffer service (private
+        allocation on Cori, local NVMe on Summit, or a single shared
+        service for striped mode).  ``None`` disables the BB tier
+        entirely (pure-PFS baseline).
+    placement:
+        The data placement policy.
+    host_assignment:
+        Task → host name.  Defaults to round-robin over compute hosts by
+        pipeline-friendly grouping (tasks sharing a name suffix after the
+        last ``_`` tend to co-locate); pass an explicit callable for full
+        control.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        workflow: Workflow,
+        compute: ComputeService,
+        pfs: StorageService,
+        bb_for_host: "Optional[Callable[[str], StorageService]]" = None,
+        placement: Optional[PlacementPolicy] = None,
+        host_assignment: Optional[Callable[[Task], str]] = None,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        from repro.wms.placement import AllPFS
+
+        self.platform = platform
+        self.env: Environment = platform.env
+        self.workflow = workflow
+        self.compute = compute
+        self.pfs = pfs
+        self.bb_for_host = bb_for_host
+        self.placement = (placement or AllPFS()).bind(workflow)
+        self.config = config or EngineConfig()
+        self.registry = FileRegistry()
+        self.trace = ExecutionTrace(workflow.name)
+        self._assignment = host_assignment or self._default_assignment()
+        if hasattr(self._assignment, "attach"):
+            self._assignment.attach(self)  # dynamic Scheduler instances
+        #: Task name → decided host.  Assignments are memoized so that a
+        #: stateful scheduler gives one answer per task no matter how
+        #: often the engine consults it (placement resolution asks for
+        #: consumer hosts ahead of time).
+        self._host_cache: dict[str, str] = {}
+        self._task_done: dict[str, Event] = {}
+        self._pending_consumers: dict[str, set[str]] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _default_assignment(self) -> Callable[[Task], str]:
+        hosts = self.compute.hosts
+        order = {t.name: i for i, t in enumerate(self.workflow.topological_order())}
+
+        def assign(task: Task) -> str:
+            return hosts[order[task.name] % len(hosts)]
+
+        return assign
+
+    def _bb_service(self, host: str) -> Optional[StorageService]:
+        if self.bb_for_host is None:
+            return None
+        return self.bb_for_host(host)
+
+    def _host_of(self, task: Task) -> str:
+        host = self._host_cache.get(task.name)
+        if host is None:
+            host = self._assignment(task)
+            self._host_cache[task.name] = host
+        return host
+
+    def _initialize_files(self) -> None:
+        """Populate the PFS with external inputs; prestage if configured."""
+        has_stage_in = any(
+            t.category == TaskCategory.STAGE_IN for t in self.workflow
+        )
+        staged = set(self.placement.staged_input_names(self.workflow))
+        # Prestaged files are spread round-robin over the hosts' BBs
+        # WITHOUT consulting the task scheduler: asking it at t = 0 would
+        # pin every consumer to one idle host before execution starts,
+        # defeating dynamic schedulers.  Locality-aware schedulers then
+        # follow the data instead of the data following a guess.
+        hosts = self.compute.hosts
+        prestage_index = 0
+        for f in self.workflow.external_input_files():
+            self.pfs.add_file(f)
+            self.registry.register(f, self.pfs)
+            if not has_stage_in and self.config.prestage_inputs and f.name in staged:
+                bb = self._bb_service(hosts[prestage_index % len(hosts)])
+                prestage_index += 1
+                if bb is not None:
+                    bb.add_file(f)
+                    self.registry.register(f, bb)
+        for name in self.workflow.files:
+            self._pending_consumers[name] = {
+                t.name for t in self.workflow.consumers_of(name)
+            }
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def start(self) -> Event:
+        """Launch the workflow inside an already-running simulation.
+
+        Spawns one process per task and returns an event that fires when
+        every task has completed — composable with other simulated
+        activity (e.g. a batch-job body running an engine on its
+        allocated nodes).  Use :meth:`run` when the engine owns the
+        event loop.
+        """
+        if self._started:
+            raise RuntimeError("engine instances are single-use")
+        self._started = True
+        self._initialize_files()
+
+        for task in self.workflow:
+            self._task_done[task.name] = self.env.event()
+        for task in self.workflow:
+            self.env.process(self._run_task(task))
+        return self.env.all_of(list(self._task_done.values()))
+
+    def run(self, until: Optional[float] = None) -> ExecutionTrace:
+        """Execute the workflow to completion; returns the trace."""
+        done = self.start()
+        if until is not None:
+            self.env.run(until=until)
+        else:
+            self.env.run(until=done)
+        return self.trace
+
+    @property
+    def makespan(self) -> float:
+        return self.trace.makespan
+
+    # ------------------------------------------------------------------
+    def _run_task(self, task: Task):
+        # Wait for parents.
+        parents = self.workflow.parents(task.name)
+        if parents:
+            yield self.env.all_of([self._task_done[p.name] for p in parents])
+
+        host = self._host_of(task)
+        record = TaskRecord(
+            name=task.name,
+            group=task.group or task.category.value,
+            host=host,
+            cores=task.cores,
+        )
+        self.trace.log(self.env.now, "task_ready", task.name)
+
+        if task.category == TaskCategory.STAGE_IN:
+            yield from self._run_stage_in(task, host, record)
+        elif task.category == TaskCategory.STAGE_OUT:
+            yield from self._run_stage_out(task, host, record)
+        else:
+            yield from self._run_compute_task(task, host, record)
+
+        record.end = self.env.now
+        self.trace.add_record(record)
+        self.trace.log(self.env.now, "task_end", task.name)
+        self._task_done[task.name].succeed(task.name)
+
+    def _run_stage_in(self, task: Task, host: str, record: TaskRecord):
+        """Sequential PFS→BB copies for BB-bound inputs."""
+        allocation = yield self.compute.acquire_cores(host, 1)
+        record.start = self.env.now
+        record.read_start = self.env.now
+        self.trace.log(self.env.now, "task_start", task.name)
+        try:
+            staged = set(self.placement.staged_input_names(self.workflow))
+            for f in sorted(task.outputs, key=lambda f: f.name):
+                if f.name not in staged:
+                    continue  # stays on the PFS, no movement
+                consumers = self.workflow.consumers_of(f.name)
+                target_host = (
+                    self._host_of(consumers[0]) if consumers else host
+                )
+                bb = self._bb_service(target_host)
+                if bb is None:
+                    continue
+                self.trace.log(self.env.now, "stage_copy_start", task.name, f.name)
+                if self.config.stage_in_external:
+                    yield bb.write(f, host)
+                    self.registry.register(f, bb)
+                else:
+                    yield stage_file(
+                        f,
+                        self.pfs,
+                        bb,
+                        registry=self.registry,
+                        extra_latency=self.config.stage_extra_latency,
+                    )
+                self.trace.log(self.env.now, "stage_copy_end", task.name, f.name)
+        finally:
+            allocation.release()
+        record.read_end = self.env.now
+        record.compute_end = self.env.now
+        record.write_end = self.env.now
+
+    def _run_stage_out(self, task: Task, host: str, record: TaskRecord):
+        """Sequential BB→PFS drains of the task's input files.
+
+        A stage-out task consumes the files to be archived; any copy
+        still living only in a burst buffer is drained to the PFS (the
+        "staging out" half of the lifecycle the paper's introduction
+        describes).  Files already on the PFS cost nothing.
+        """
+        allocation = yield self.compute.acquire_cores(host, 1)
+        record.start = self.env.now
+        record.read_start = self.env.now
+        self.trace.log(self.env.now, "task_start", task.name)
+        try:
+            for f in sorted(task.inputs, key=lambda f: f.name):
+                if self.pfs.contains(f):
+                    continue
+                locations = [
+                    s for s in self.registry.locations(f) if s is not self.pfs
+                ]
+                if not locations:
+                    continue
+                source = locations[0]
+                self.trace.log(self.env.now, "stage_out_start", task.name, f.name)
+                yield stage_file(f, source, self.pfs, registry=self.registry)
+                self.trace.log(self.env.now, "stage_out_end", task.name, f.name)
+        finally:
+            allocation.release()
+        record.read_end = self.env.now
+        record.compute_end = self.env.now
+        record.write_end = self.env.now
+
+    def _run_compute_task(self, task: Task, host: str, record: TaskRecord):
+        cores = min(task.cores, self.compute.allocator(host).total_cores)
+        allocation = yield self.compute.acquire_cores(host, cores)
+        memory_request = self.compute.acquire_memory(host, task.memory)
+        if memory_request is not None:
+            yield memory_request
+        record.start = self.env.now
+        self.trace.log(self.env.now, "task_start", task.name)
+        try:
+            # --- read phase (all inputs concurrently) ---------------------
+            record.read_start = self.env.now
+            reads = []
+            local_bb = self._bb_service(host)
+            prefer = [s for s in (local_bb,) if s is not None]
+            for f in task.inputs:
+                service = self.registry.lookup(f, prefer=prefer, reader_host=host)
+                reads.append(
+                    self.env.process(
+                        self._timed_io(task, f, service, "read", service.read(f, host))
+                    )
+                )
+            if reads:
+                yield self.env.all_of(reads)
+            record.read_end = self.env.now
+            self.trace.log(self.env.now, "read_end", task.name)
+
+            # --- compute phase -------------------------------------------
+            if self.config.use_amdahl_alpha:
+                self.compute.use_amdahl_alpha = True
+            duration = self.compute.compute_time(task, host, allocation.cores)
+            if duration > 0:
+                yield self.env.timeout(duration)
+            record.compute_end = self.env.now
+            self.trace.log(self.env.now, "compute_end", task.name)
+
+            # --- write phase (all outputs concurrently) -------------------
+            writes = []
+            for f in task.outputs:
+                service = self._output_target(f, host)
+                writes.append(
+                    self.env.process(
+                        self._timed_io(
+                            task, f, service, "write", service.write(f, host)
+                        )
+                    )
+                )
+                self.registry.register(f, service)
+            if writes:
+                yield self.env.all_of(writes)
+            record.write_end = self.env.now
+            self.trace.log(self.env.now, "write_end", task.name)
+        finally:
+            allocation.release()
+            if memory_request is not None:
+                self.compute.release_memory(host, task.memory)
+
+        if self.config.evict_consumed_intermediates:
+            self._evict_after(task)
+
+    def _timed_io(self, task: Task, f: File, service: StorageService, kind: str, transfer: Event):
+        """Await one transfer, logging it as a per-file I/O operation."""
+        start = self.env.now
+        yield transfer
+        self.trace.log_io(
+            IOOperation(
+                task=task.name,
+                file=f.name,
+                service=service.name,
+                kind=kind,
+                size=f.size,
+                start=start,
+                end=self.env.now,
+            )
+        )
+
+    def _output_target(self, f: File, host: str) -> StorageService:
+        """Resolve the service an output file should be written to.
+
+        Placement says BB/PFS; BB resolves to the writing host's service.
+        If any consumer of the file runs on a host that cannot access
+        that BB (private-mode allocations), fall back to the PFS so the
+        workflow can always make progress.
+        """
+        tier = self.placement.tier_of(f, self.workflow)
+        if tier != Tier.BB:
+            return self.pfs
+        bb = self._bb_service(host)
+        if bb is None:
+            return self.pfs
+        # Only private-mode allocations restrict readers; checking the
+        # consumers of other BB kinds would needlessly pin their host
+        # assignments before they are ready (hurting dynamic schedulers).
+        if getattr(bb, "owner_host", None) is not None:
+            for consumer in self.workflow.consumers_of(f.name):
+                consumer_host = self._host_of(consumer)
+                if not _accessible(bb, consumer_host):
+                    return self.pfs
+        return bb
+
+    def _evict_after(self, task: Task) -> None:
+        """Drop files whose consumers have all completed from the BB."""
+        for f in task.inputs:
+            pending = self._pending_consumers.get(f.name)
+            if pending is None:
+                continue
+            pending.discard(task.name)
+            if pending:
+                continue
+            for service in self.registry.locations(f):
+                if service is not self.pfs:
+                    service.delete(f)
+                    self.registry.unregister(f, service)

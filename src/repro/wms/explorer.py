@@ -1,0 +1,278 @@
+"""Placement-space exploration: the paper's stated future work.
+
+    "A natural future direction is to leverage our simulator to explore
+    the heuristic-space of data placements strategies to optimize
+    workflows executions, and to quantify the resulting benefits."
+
+Two tools:
+
+* :func:`evaluate_policies` — score a set of named policies on one
+  scenario (the quantify-the-benefits half);
+* :class:`GreedyPlacementSearch` — a greedy hill-climber over per-file
+  tier assignments: each round it simulates moving each candidate file
+  into the BB and commits the best improvement, stopping when no move
+  helps (the explore-the-space half).  Simulation makes each probe
+  cheap, which is exactly the argument the paper's introduction makes
+  for the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.wms.placement import ExplicitPlacement, PlacementPolicy
+from repro.workflow.model import File, Workflow
+
+#: A scenario evaluator: run one simulation under a policy → makespan.
+Evaluator = Callable[[PlacementPolicy], float]
+
+
+@dataclass(frozen=True)
+class PolicyScore:
+    name: str
+    makespan: float
+    speedup_vs_worst: float
+
+
+def evaluate_policies(
+    evaluate: Evaluator, policies: Mapping[str, PlacementPolicy]
+) -> list[PolicyScore]:
+    """Score each policy; returns results sorted best-first."""
+    if not policies:
+        raise ValueError("need at least one policy")
+    raw = {name: evaluate(policy) for name, policy in policies.items()}
+    worst = max(raw.values())
+    return sorted(
+        (
+            PolicyScore(name, makespan, worst / makespan)
+            for name, makespan in raw.items()
+        ),
+        key=lambda s: s.makespan,
+    )
+
+
+@dataclass
+class SearchStep:
+    """One committed move of the greedy search."""
+
+    file_name: str
+    makespan_before: float
+    makespan_after: float
+
+    @property
+    def gain(self) -> float:
+        return self.makespan_before - self.makespan_after
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a greedy placement search."""
+
+    placement: ExplicitPlacement
+    makespan: float
+    baseline_makespan: float
+    steps: list[SearchStep] = field(default_factory=list)
+    evaluations: int = 0
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_makespan / self.makespan
+
+
+class GreedyPlacementSearch:
+    """Greedy per-file hill-climbing over BB placement.
+
+    Parameters
+    ----------
+    evaluate:
+        Scenario evaluator (fresh simulation per call).
+    candidate_files:
+        The files whose placement is searched (typically the workflow's
+        inputs and intermediates).  Larger files are probed first, which
+        empirically finds good moves sooner.
+    max_moves:
+        Upper bound on committed moves (None = until no improvement).
+    max_evaluations:
+        Hard budget on simulation runs (the search stops gracefully).
+    min_gain:
+        Relative makespan improvement a move must achieve to be taken.
+    strategy:
+        ``"best"`` evaluates every candidate each round and commits the
+        single best move (classic steepest-descent; expensive but
+        thorough).  ``"first"`` commits each improving move immediately
+        and keeps scanning (much better makespan-per-simulation on
+        large candidate sets).
+    """
+
+    def __init__(
+        self,
+        evaluate: Evaluator,
+        candidate_files: Sequence[File],
+        max_moves: Optional[int] = None,
+        max_evaluations: int = 1000,
+        min_gain: float = 1e-4,
+        strategy: str = "best",
+    ) -> None:
+        if not candidate_files:
+            raise ValueError("need at least one candidate file")
+        if max_evaluations <= 0:
+            raise ValueError("max_evaluations must be positive")
+        if strategy not in ("best", "first"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.evaluate = evaluate
+        self.candidates = sorted(
+            candidate_files, key=lambda f: f.size, reverse=True
+        )
+        self.max_moves = max_moves
+        self.max_evaluations = max_evaluations
+        self.min_gain = min_gain
+        self.strategy = strategy
+
+    def run(self, start: Optional[ExplicitPlacement] = None) -> SearchResult:
+        placement = start or ExplicitPlacement()
+        evaluations = 0
+
+        def score(policy: ExplicitPlacement) -> float:
+            nonlocal evaluations
+            evaluations += 1
+            return self.evaluate(policy)
+
+        current = score(placement)
+        result = SearchResult(
+            placement=placement,
+            makespan=current,
+            baseline_makespan=current,
+        )
+
+        def moves_left() -> bool:
+            return self.max_moves is None or len(result.steps) < self.max_moves
+
+        def commit(name: str, makespan: float) -> None:
+            nonlocal placement, current
+            result.steps.append(
+                SearchStep(
+                    file_name=name,
+                    makespan_before=current,
+                    makespan_after=makespan,
+                )
+            )
+            placement = placement.with_file(name)
+            current = makespan
+
+        improved = True
+        while improved and moves_left() and evaluations < self.max_evaluations:
+            improved = False
+            best_move: Optional[tuple[str, float]] = None
+            for f in self.candidates:
+                if f.name in placement.bb_files:
+                    continue
+                if evaluations >= self.max_evaluations or not moves_left():
+                    break
+                candidate = score(placement.with_file(f.name))
+                if candidate >= current * (1 - self.min_gain):
+                    continue
+                if self.strategy == "first":
+                    commit(f.name, candidate)
+                    improved = True
+                elif best_move is None or candidate < best_move[1]:
+                    best_move = (f.name, candidate)
+            if self.strategy == "best" and best_move is not None:
+                commit(*best_move)
+                improved = True
+
+        result.placement = placement
+        result.makespan = current
+        result.evaluations = evaluations
+        return result
+
+
+class AnnealingPlacementSearch:
+    """Simulated annealing over per-file placements.
+
+    Complements the greedy search: random flips escape the local optima
+    greedy gets stuck in when moves interact (e.g. two files that only
+    pay off together).  Moves flip one candidate file's tier; accepted
+    if improving, or with probability ``exp(-Δ/T)`` otherwise, with
+    geometric cooling.  Fully deterministic under ``seed``.
+    """
+
+    def __init__(
+        self,
+        evaluate: Evaluator,
+        candidate_files: Sequence[File],
+        seed: int,
+        iterations: int = 200,
+        initial_temperature: Optional[float] = None,
+        cooling: float = 0.97,
+    ) -> None:
+        if not candidate_files:
+            raise ValueError("need at least one candidate file")
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        if not (0.0 < cooling < 1.0):
+            raise ValueError("cooling must be in (0, 1)")
+        import numpy as np
+
+        self.evaluate = evaluate
+        self.candidates = list(candidate_files)
+        self.iterations = iterations
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+        self._rng = np.random.default_rng(seed)
+
+    def run(self, start: Optional[ExplicitPlacement] = None) -> SearchResult:
+        import math
+
+        placement = start or ExplicitPlacement()
+        evaluations = 0
+
+        def score(policy: ExplicitPlacement) -> float:
+            nonlocal evaluations
+            evaluations += 1
+            return self.evaluate(policy)
+
+        current = score(placement)
+        baseline = current
+        best_placement, best_makespan = placement, current
+        # Default temperature: a few percent of the baseline makespan, so
+        # early uphill moves of that size are routinely accepted.
+        temperature = self.initial_temperature or max(1e-9, 0.05 * baseline)
+        steps: list[SearchStep] = []
+
+        for _ in range(self.iterations):
+            f = self.candidates[int(self._rng.integers(len(self.candidates)))]
+            neighbour = (
+                placement.without_file(f.name)
+                if f.name in placement.bb_files
+                else placement.with_file(f.name)
+            )
+            candidate = score(neighbour)
+            delta = candidate - current
+            if delta <= 0 or self._rng.random() < math.exp(-delta / temperature):
+                steps.append(
+                    SearchStep(
+                        file_name=f.name,
+                        makespan_before=current,
+                        makespan_after=candidate,
+                    )
+                )
+                placement, current = neighbour, candidate
+                if current < best_makespan:
+                    best_placement, best_makespan = placement, current
+            temperature *= self.cooling
+
+        result = SearchResult(
+            placement=best_placement,
+            makespan=best_makespan,
+            baseline_makespan=baseline,
+            steps=steps,
+        )
+        result.evaluations = evaluations
+        return result
+
+
+def workflow_candidates(workflow: Workflow) -> list[File]:
+    """Default search candidates: inputs + intermediates (placement-
+    controllable files; final outputs usually must land on the PFS)."""
+    return workflow.external_input_files() + workflow.intermediate_files()

@@ -1,0 +1,208 @@
+"""Data placement policies: which files go to the burst buffer.
+
+A policy answers one question per file: **BB or PFS?**  The engine
+resolves "BB" to the concrete service for the host involved (a node's
+private allocation on Cori, its local NVMe on Summit).
+
+The paper's experiments sweep a *fraction* of files placed in the BB
+(:class:`FractionPlacement`); the heuristic policies
+(:class:`SizeThresholdPlacement`, :class:`LocalityPlacement`) implement
+the paper's stated future work — exploring the heuristic space of
+placements — and are exercised by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import math
+from typing import Optional
+
+from repro.workflow.model import File, Workflow
+
+
+class Tier(str, enum.Enum):
+    BB = "bb"
+    PFS = "pfs"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class FileRole(str, enum.Enum):
+    """How a file relates to the workflow (drives placement scoping)."""
+
+    INPUT = "input"             # external input (read but never produced)
+    INTERMEDIATE = "intermediate"  # produced and consumed inside
+    OUTPUT = "output"           # produced, never consumed
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def classify(file: File, workflow: Workflow) -> FileRole:
+    """Role of ``file`` within ``workflow``.
+
+    Matches the Workflow's own classification: files moved by stage-in
+    tasks are inputs, not intermediates.
+    """
+    computed = workflow._computed_by_workflow(file.name)
+    consumed = bool(workflow.consumers_of(file.name))
+    if computed and consumed:
+        return FileRole.INTERMEDIATE
+    if computed:
+        return FileRole.OUTPUT
+    return FileRole.INPUT
+
+
+class PlacementPolicy(abc.ABC):
+    """Decides the storage tier of every file of a bound workflow."""
+
+    def bind(self, workflow: Workflow) -> "PlacementPolicy":
+        """Precompute per-file decisions for ``workflow`` (idempotent)."""
+        return self
+
+    @abc.abstractmethod
+    def tier_of(self, file: File, workflow: Workflow) -> Tier:
+        """Tier for ``file``: BB or PFS."""
+
+    def staged_input_names(self, workflow: Workflow) -> list[str]:
+        """External inputs this policy sends to the BB (stage-in work list)."""
+        return [
+            f.name
+            for f in workflow.external_input_files()
+            if self.tier_of(f, workflow) == Tier.BB
+        ]
+
+
+class FractionPlacement(PlacementPolicy):
+    """Place a fixed fraction of each file class in the burst buffer.
+
+    The paper's primary experimental knob: "we vary the number of
+    workflow input files staged into the BB".  Files are ordered by name
+    so the selection is deterministic; the first ``ceil(fraction × n)``
+    go to the BB.
+
+    Parameters
+    ----------
+    input_fraction / intermediate_fraction / output_fraction:
+        Per-role fractions in [0, 1].
+    """
+
+    def __init__(
+        self,
+        input_fraction: float = 0.0,
+        intermediate_fraction: float = 0.0,
+        output_fraction: float = 0.0,
+    ) -> None:
+        for name, value in (
+            ("input_fraction", input_fraction),
+            ("intermediate_fraction", intermediate_fraction),
+            ("output_fraction", output_fraction),
+        ):
+            if not (0.0 <= value <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        self.fractions = {
+            FileRole.INPUT: input_fraction,
+            FileRole.INTERMEDIATE: intermediate_fraction,
+            FileRole.OUTPUT: output_fraction,
+        }
+        self._bb_files: Optional[set[str]] = None
+
+    def bind(self, workflow: Workflow) -> "FractionPlacement":
+        chosen: set[str] = set()
+        for role, files in (
+            (FileRole.INPUT, workflow.external_input_files()),
+            (FileRole.INTERMEDIATE, workflow.intermediate_files()),
+            (FileRole.OUTPUT, workflow.output_files()),
+        ):
+            fraction = self.fractions[role]
+            count = math.ceil(fraction * len(files) - 1e-9)
+            chosen.update(f.name for f in sorted(files, key=lambda f: f.name)[:count])
+        self._bb_files = chosen
+        return self
+
+    def tier_of(self, file: File, workflow: Workflow) -> Tier:
+        if self._bb_files is None:
+            self.bind(workflow)
+        assert self._bb_files is not None
+        return Tier.BB if file.name in self._bb_files else Tier.PFS
+
+
+def AllBB() -> FractionPlacement:
+    """Everything in the burst buffer (paper Figures 6–8 configuration)."""
+    return FractionPlacement(1.0, 1.0, 1.0)
+
+
+def AllPFS() -> FractionPlacement:
+    """Everything on the PFS (the traditional baseline)."""
+    return FractionPlacement(0.0, 0.0, 0.0)
+
+
+class ExplicitPlacement(PlacementPolicy):
+    """Per-file tier assignments (the placement search space).
+
+    Files not in the mapping default to ``default`` (PFS).  Used by the
+    placement explorer to evaluate arbitrary points of the design space.
+    """
+
+    def __init__(
+        self,
+        bb_files: Optional[set[str]] = None,
+        default: Tier = Tier.PFS,
+    ) -> None:
+        self.bb_files = set(bb_files or ())
+        self.default = default
+
+    def tier_of(self, file: File, workflow: Workflow) -> Tier:
+        if file.name in self.bb_files:
+            return Tier.BB
+        return self.default
+
+    def with_file(self, name: str) -> "ExplicitPlacement":
+        """A copy with one more file in the BB (search-move constructor)."""
+        return ExplicitPlacement(self.bb_files | {name}, self.default)
+
+    def without_file(self, name: str) -> "ExplicitPlacement":
+        return ExplicitPlacement(self.bb_files - {name}, self.default)
+
+
+class SizeThresholdPlacement(PlacementPolicy):
+    """Heuristic: place files on one tier by size.
+
+    With ``large_to_bb=True`` files of at least ``threshold`` bytes go to
+    the BB (bandwidth-bound files benefit most from the fast tier);
+    otherwise *small* files go to the BB (latency-bound metadata-heavy
+    patterns benefit and capacity pressure stays low).
+    """
+
+    def __init__(self, threshold: float, large_to_bb: bool = True) -> None:
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = threshold
+        self.large_to_bb = large_to_bb
+
+    def tier_of(self, file: File, workflow: Workflow) -> Tier:
+        is_large = file.size >= self.threshold
+        return Tier.BB if (is_large == self.large_to_bb) else Tier.PFS
+
+
+class LocalityPlacement(PlacementPolicy):
+    """Heuristic: intermediates to the BB, everything else to the PFS.
+
+    Intermediate files have both their producer and consumers inside the
+    workflow, so they are the files whose placement the workflow system
+    fully controls — the "staging in/out of (intermediate) workflow
+    data" the paper's introduction motivates.
+    """
+
+    def __init__(self, inputs_to_bb: bool = False) -> None:
+        self.inputs_to_bb = inputs_to_bb
+
+    def tier_of(self, file: File, workflow: Workflow) -> Tier:
+        role = classify(file, workflow)
+        if role == FileRole.INTERMEDIATE:
+            return Tier.BB
+        if role == FileRole.INPUT and self.inputs_to_bb:
+            return Tier.BB
+        return Tier.PFS

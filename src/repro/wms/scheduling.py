@@ -1,0 +1,121 @@
+"""Task-to-host scheduling policies.
+
+The engine asks its ``host_assignment`` for a host when a task becomes
+*ready* (all parents done), so schedulers can be dynamic: they see the
+platform's load at decision time.  A scheduler is any callable
+``task -> host name``; classes here additionally implement
+``attach(engine)`` so the engine hands them its live state (allocators,
+registry, BB mapping) at construction.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.workflow.model import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.wms.engine import WorkflowEngine
+
+
+class Scheduler(abc.ABC):
+    """Base class for dynamic schedulers."""
+
+    def __init__(self) -> None:
+        self.engine: Optional["WorkflowEngine"] = None
+
+    def attach(self, engine: "WorkflowEngine") -> None:
+        """Called once by the engine before execution starts."""
+        self.engine = engine
+
+    @property
+    def hosts(self) -> list[str]:
+        assert self.engine is not None, "scheduler not attached to an engine"
+        return self.engine.compute.hosts
+
+    @abc.abstractmethod
+    def __call__(self, task: Task) -> str:
+        """Pick the host ``task`` will run on (called at ready time)."""
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle through hosts in ready order — the classic baseline."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counter = itertools.count()
+
+    def __call__(self, task: Task) -> str:
+        hosts = self.hosts
+        return hosts[next(self._counter) % len(hosts)]
+
+
+class LeastLoadedScheduler(Scheduler):
+    """Pick the host with the most free cores at decision time.
+
+    Ties break toward the shorter allocation queue, then host order, so
+    decisions are deterministic.
+    """
+
+    def __call__(self, task: Task) -> str:
+        assert self.engine is not None
+        allocators = self.engine.compute.allocators
+        return min(
+            self.hosts,
+            key=lambda h: (
+                -allocators[h].free_cores,
+                allocators[h].queue_length,
+                h,
+            ),
+        )
+
+
+class DataLocalityScheduler(Scheduler):
+    """Pick the host already holding the most input bytes in its BB.
+
+    On on-node architectures (Summit) this keeps consumers next to their
+    producers' NVMe; on private-mode shared BBs it avoids the PFS
+    fallback for cross-host files.  Hosts whose BB holds nothing are
+    ranked by load (LeastLoaded fallback).
+    """
+
+    def __call__(self, task: Task) -> str:
+        assert self.engine is not None
+        engine = self.engine
+        allocators = engine.compute.allocators
+
+        def locality(host: str) -> float:
+            bb = engine._bb_service(host)
+            if bb is None:
+                return 0.0
+            return sum(f.size for f in task.inputs if bb.contains(f))
+
+        return min(
+            self.hosts,
+            key=lambda h: (
+                -locality(h),
+                -allocators[h].free_cores,
+                allocators[h].queue_length,
+                h,
+            ),
+        )
+
+
+def consistent_hash_assignment(hosts: Sequence[str]):
+    """A static assignment: stable hash of the task name over hosts.
+
+    Useful when reproducibility across runs matters more than balance
+    (hash is Python's stable string hash via ``zlib.crc32``).
+    """
+    import zlib
+
+    host_list = list(hosts)
+    if not host_list:
+        raise ValueError("need at least one host")
+
+    def assign(task: Task) -> str:
+        return host_list[zlib.crc32(task.name.encode()) % len(host_list)]
+
+    return assign

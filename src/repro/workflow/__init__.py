@@ -1,0 +1,34 @@
+"""Workflow abstraction: files, tasks, DAGs, and workflow generators.
+
+A workflow is a DAG whose vertices are tasks and whose edges are induced
+by input/output files (exactly the simulator input described in
+Section IV-A of the paper).  Two generators reproduce the paper's
+workloads:
+
+* :func:`repro.workflow.swarp.make_swarp` — the SWarp cosmology workflow
+  (Figure 2): a sequential stage-in task followed by N independent
+  Resample→Combine pipelines.
+* :func:`repro.workflow.genomes.make_1000genomes` — the 1000Genomes
+  bioinformatics workflow (Figure 12): 903 tasks over 22 chromosomes with
+  a ~67 GB data footprint.
+
+:mod:`repro.workflow.wfformat` reads and writes the WfCommons
+(WorkflowHub) JSON trace schema the paper's case study consumes.
+"""
+
+from repro.workflow.model import File, Task, TaskCategory, Workflow
+from repro.workflow import calibration, checks, genomes, swarp, synthetic, transforms, wfformat
+
+__all__ = [
+    "File",
+    "Task",
+    "TaskCategory",
+    "Workflow",
+    "calibration",
+    "checks",
+    "genomes",
+    "swarp",
+    "synthetic",
+    "transforms",
+    "wfformat",
+]

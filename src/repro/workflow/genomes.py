@@ -1,0 +1,140 @@
+"""Generator for the 1000Genomes workflow (paper Figure 12, Section IV-C).
+
+Structure per chromosome ``c``:
+
+* ``individuals_c_k`` (k = 1..25): parse one chunk of the chromosome's
+  VCF data;
+* ``individuals_merge_c``: merge the 25 chunks;
+* ``sifting_c``: compute SIFT scores from the chromosome's annotation
+  file;
+* ``mutation_overlap_c_p`` and ``frequency_c_p`` (p over 7 populations):
+  cross the merged individuals, the sifting output, and a population
+  panel.
+
+One global ``populations`` task produces the 7 population panels.  With
+22 chromosomes this yields 22 × (25 + 1 + 1 + 7 + 7) + 1 = 903 tasks,
+matching the instance the paper simulates, with a ~67 GB footprint of
+which ~52 GB is external input (77%).
+"""
+
+from __future__ import annotations
+
+from repro.workflow import calibration as cal
+from repro.workflow.model import File, Task, Workflow
+
+# Per-file size constants (bytes), chosen to hit the paper's aggregate
+# footprint: 22 chromosomes × 25 chunks × 94 MB ≈ 51.7 GB of input and
+# ≈ 14 GB of intermediates (see tests/workflow/test_genomes.py).
+CHUNK_SIZE = 94e6              # raw VCF chunk read by one individuals task
+ANNOTATION_SIZE = 20e6         # per-chromosome annotation read by sifting
+POPULATION_PANEL_SIZE = 10e6   # per-population panel file
+INDIVIDUALS_OUTPUT_SIZE = 20e6  # parsed chunk written by individuals
+MERGE_OUTPUT_SIZE = 100e6      # merged per-chromosome individuals file
+SIFTING_OUTPUT_SIZE = 2e6      # per-chromosome SIFT scores
+OVERLAP_OUTPUT_SIZE = 0.1e6    # final statistics files
+FREQUENCY_OUTPUT_SIZE = 0.2e6
+
+POPULATION_NAMES = ("ALL", "AFR", "AMR", "EAS", "EUR", "SAS", "GBR")
+
+
+def make_1000genomes(
+    n_chromosomes: int = cal.GENOMES_CHROMOSOMES,
+    individuals_per_chromosome: int = cal.GENOMES_INDIVIDUALS_PER_CHROMOSOME,
+    cores_per_task: int = 1,
+) -> Workflow:
+    """Build a 1000Genomes workflow instance.
+
+    The default parameters reproduce the paper's 903-task instance; the
+    paper's Figure 14 reference data used a 2-chromosome configuration,
+    obtainable with ``n_chromosomes=2``.
+    """
+    if n_chromosomes <= 0 or individuals_per_chromosome <= 0:
+        raise ValueError("chromosome and chunk counts must be positive")
+
+    populations = POPULATION_NAMES[: cal.GENOMES_POPULATIONS]
+    tasks: list[Task] = []
+
+    panel_files = {
+        p: File(f"populations/{p}.panel", POPULATION_PANEL_SIZE)
+        for p in populations
+    }
+    tasks.append(
+        Task(
+            name="populations",
+            flops=cal.genomes_flops("populations"),
+            inputs=(),
+            outputs=tuple(panel_files.values()),
+            cores=cores_per_task,
+            group="populations",
+        )
+    )
+
+    for c in range(1, n_chromosomes + 1):
+        chunk_outputs = []
+        for k in range(individuals_per_chromosome):
+            chunk_in = File(f"chr{c}/chunk_{k}.vcf", CHUNK_SIZE)
+            chunk_out = File(f"chr{c}/parsed_{k}.txt", INDIVIDUALS_OUTPUT_SIZE)
+            chunk_outputs.append(chunk_out)
+            tasks.append(
+                Task(
+                    name=f"individuals_c{c}_k{k}",
+                    flops=cal.genomes_flops("individuals"),
+                    inputs=(chunk_in,),
+                    outputs=(chunk_out,),
+                    cores=cores_per_task,
+                    group="individuals",
+                )
+            )
+
+        merged = File(f"chr{c}/merged.txt", MERGE_OUTPUT_SIZE)
+        tasks.append(
+            Task(
+                name=f"individuals_merge_c{c}",
+                flops=cal.genomes_flops("individuals_merge"),
+                inputs=tuple(chunk_outputs),
+                outputs=(merged,),
+                cores=cores_per_task,
+                group="individuals_merge",
+            )
+        )
+
+        annotation = File(f"chr{c}/annotation.vcf", ANNOTATION_SIZE)
+        sifted = File(f"chr{c}/sifted.txt", SIFTING_OUTPUT_SIZE)
+        tasks.append(
+            Task(
+                name=f"sifting_c{c}",
+                flops=cal.genomes_flops("sifting"),
+                inputs=(annotation,),
+                outputs=(sifted,),
+                cores=cores_per_task,
+                group="sifting",
+            )
+        )
+
+        for p in populations:
+            tasks.append(
+                Task(
+                    name=f"mutation_overlap_c{c}_{p}",
+                    flops=cal.genomes_flops("mutation_overlap"),
+                    inputs=(merged, sifted, panel_files[p]),
+                    outputs=(
+                        File(f"chr{c}/overlap_{p}.tar.gz", OVERLAP_OUTPUT_SIZE),
+                    ),
+                    cores=cores_per_task,
+                    group="mutation_overlap",
+                )
+            )
+            tasks.append(
+                Task(
+                    name=f"frequency_c{c}_{p}",
+                    flops=cal.genomes_flops("frequency"),
+                    inputs=(merged, sifted, panel_files[p]),
+                    outputs=(
+                        File(f"chr{c}/freq_{p}.tar.gz", FREQUENCY_OUTPUT_SIZE),
+                    ),
+                    cores=cores_per_task,
+                    group="frequency",
+                )
+            )
+
+    return Workflow(name=f"1000genomes[{n_chromosomes}chr]", tasks=tasks)

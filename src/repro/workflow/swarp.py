@@ -1,0 +1,134 @@
+"""Generator for the SWarp cosmology workflow (paper Figure 2).
+
+The workflow is a sequential *stage-in* task followed by ``n_pipelines``
+independent pipelines, each a Resample task feeding a Combine task.
+Every pipeline reads 16 input images (32 MiB) and 16 weight maps
+(16 MiB); Resample writes one resampled image+weight per input pair and
+Combine coadds them into a single mosaic.
+"""
+
+from __future__ import annotations
+
+from repro.workflow import calibration as cal
+from repro.workflow.model import File, Task, TaskCategory, Workflow
+
+
+def pipeline_input_files(pipeline: int) -> list[File]:
+    """The 32 external input files of one pipeline (16 images, 16 weights)."""
+    files = []
+    for j in range(cal.SWARP_IMAGES_PER_PIPELINE):
+        files.append(File(f"p{pipeline}/input_{j}.fits", cal.SWARP_IMAGE_SIZE))
+        files.append(File(f"p{pipeline}/weight_{j}.fits", cal.SWARP_WEIGHT_SIZE))
+    return files
+
+
+def pipeline_intermediate_files(pipeline: int) -> list[File]:
+    """The 32 files Resample writes and Combine reads."""
+    files = []
+    for j in range(cal.SWARP_IMAGES_PER_PIPELINE):
+        files.append(
+            File(f"p{pipeline}/resamp_{j}.fits", cal.SWARP_RESAMPLED_IMAGE_SIZE)
+        )
+        files.append(
+            File(f"p{pipeline}/resamp_w_{j}.fits", cal.SWARP_RESAMPLED_WEIGHT_SIZE)
+        )
+    return files
+
+
+def make_swarp(
+    n_pipelines: int = 1,
+    cores_per_task: int = 32,
+    include_stage_in: bool = True,
+    include_stage_out: bool = False,
+) -> Workflow:
+    """Build a SWarp workflow instance.
+
+    Parameters
+    ----------
+    n_pipelines:
+        Number of independent Resample→Combine pipelines (the paper runs
+        1–32 on a single node).
+    cores_per_task:
+        Cores requested by each Resample/Combine task (the paper sweeps
+        1–32).
+    include_stage_in:
+        Include the leading sequential stage-in task (paper Figure 2's
+        ``S_in``).  The engine executes it as pure data movement.
+    include_stage_out:
+        Append a stage-out task that drains every pipeline's coadd
+        products from the burst buffer to the PFS (the "staging out"
+        half of the data lifecycle; not part of the paper's measured
+        scenarios, which archive implicitly).
+    """
+    if n_pipelines <= 0:
+        raise ValueError("n_pipelines must be positive")
+    if cores_per_task <= 0:
+        raise ValueError("cores_per_task must be positive")
+
+    tasks: list[Task] = []
+    all_inputs: list[File] = []
+    all_outputs: list[File] = []
+
+    for i in range(n_pipelines):
+        inputs = pipeline_input_files(i)
+        intermediates = pipeline_intermediate_files(i)
+        outputs = [
+            File(f"p{i}/coadd.fits", cal.SWARP_COADD_IMAGE_SIZE),
+            File(f"p{i}/coadd_w.fits", cal.SWARP_COADD_WEIGHT_SIZE),
+        ]
+        all_inputs.extend(inputs)
+        all_outputs.extend(outputs)
+        tasks.append(
+            Task(
+                name=f"resample_{i}",
+                flops=cal.resample_flops(),
+                inputs=tuple(inputs),
+                outputs=tuple(intermediates),
+                cores=cores_per_task,
+                alpha=cal.RESAMPLE_ALPHA,
+                group="resample",
+            )
+        )
+        tasks.append(
+            Task(
+                name=f"combine_{i}",
+                flops=cal.combine_flops(),
+                inputs=tuple(intermediates),
+                outputs=tuple(outputs),
+                cores=cores_per_task,
+                alpha=cal.COMBINE_ALPHA,
+                group="combine",
+            )
+        )
+
+    if include_stage_in:
+        # The stage-in task "produces" every external input file; the
+        # engine executes it as PFS→placement copies (paper: stage-in is
+        # always sequential, performed before any pipeline starts).
+        tasks.insert(
+            0,
+            Task(
+                name="stage_in",
+                flops=cal.STAGE_IN_FLOPS,
+                inputs=(),
+                outputs=tuple(all_inputs),
+                cores=1,
+                category=TaskCategory.STAGE_IN,
+                group="stage_in",
+            ),
+        )
+
+    if include_stage_out:
+        tasks.append(
+            Task(
+                name="stage_out",
+                flops=cal.STAGE_IN_FLOPS,
+                inputs=tuple(all_outputs),
+                outputs=(),
+                cores=1,
+                category=TaskCategory.STAGE_OUT,
+                group="stage_out",
+            )
+        )
+
+    return Workflow(name=f"swarp[{n_pipelines}x{cores_per_task}]", tasks=tasks)

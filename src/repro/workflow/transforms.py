@@ -1,0 +1,101 @@
+"""Workflow transformations: task clustering.
+
+Task clustering merges linear producer→consumer chains into single
+tasks, eliminating the materialization of their intermediate files — a
+standard WMS optimization (Pegasus' "horizontal/vertical clustering")
+that interacts directly with burst-buffer placement: a merged chain
+never touches storage for its internal handoff, trading scheduling
+flexibility for I/O savings.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.workflow.model import File, Task, TaskCategory, Workflow
+
+
+def _mergeable(workflow: Workflow, parent: Task, child: Task) -> bool:
+    """True if ``parent → child`` is a private linear link.
+
+    Requirements: the child is the parent's only child, the parent the
+    child's only parent, every parent output is consumed by the child
+    and nobody else, and both are plain compute tasks.
+    """
+    if parent.category != TaskCategory.COMPUTE:
+        return False
+    if child.category != TaskCategory.COMPUTE:
+        return False
+    if [t.name for t in workflow.children(parent.name)] != [child.name]:
+        return False
+    if [t.name for t in workflow.parents(child.name)] != [parent.name]:
+        return False
+    child_inputs = {f.name for f in child.inputs}
+    for f in parent.outputs:
+        consumers = workflow.consumers_of(f.name)
+        if [t.name for t in consumers] != [child.name]:
+            return False
+        if f.name not in child_inputs:
+            return False
+    return True
+
+
+def _merge(parent: Task, child: Task) -> Task:
+    """Fuse two tasks; internal files vanish (in-memory handoff)."""
+    internal = {f.name for f in parent.outputs}
+    inputs = parent.inputs + tuple(
+        f for f in child.inputs if f.name not in internal
+    )
+    total_flops = parent.flops + child.flops
+    # Flops-weighted serial fraction keeps Amdahl timing of the pair
+    # roughly faithful when the general model is in use.
+    alpha = (
+        (parent.alpha * parent.flops + child.alpha * child.flops) / total_flops
+        if total_flops > 0
+        else max(parent.alpha, child.alpha)
+    )
+    return Task(
+        name=f"{parent.name}+{child.name}",
+        flops=total_flops,
+        inputs=inputs,
+        outputs=child.outputs,
+        cores=max(parent.cores, child.cores),
+        alpha=alpha,
+        group=parent.group if parent.group == child.group else "clustered",
+    )
+
+
+def cluster_linear_chains(workflow: Workflow) -> Workflow:
+    """Merge all private linear chains; returns a new workflow.
+
+    Applies repeatedly until no mergeable pair remains, so a chain of
+    any length collapses into one task.  Non-linear structure (fan-out,
+    fan-in, shared files) is untouched, as are stage-in/out tasks.
+    """
+    tasks = {t.name: t for t in workflow}
+    current = Workflow(workflow.name, tasks.values())
+
+    while True:
+        merged: Optional[tuple[str, str]] = None
+        for task in current.topological_order():
+            children = current.children(task.name)
+            if len(children) == 1 and _mergeable(current, task, children[0]):
+                merged = (task.name, children[0].name)
+                break
+        if merged is None:
+            return Workflow(f"{workflow.name}[clustered]", list(current))
+        parent_name, child_name = merged
+        fused = _merge(current.task(parent_name), current.task(child_name))
+        remaining = [
+            t for t in current if t.name not in (parent_name, child_name)
+        ]
+        remaining.append(fused)
+        current = Workflow(current.name, remaining)
+
+
+def clustering_savings(workflow: Workflow) -> tuple[int, float]:
+    """(tasks eliminated, intermediate bytes no longer materialized)."""
+    clustered = cluster_linear_chains(workflow)
+    bytes_before = sum(f.size for f in workflow.intermediate_files())
+    bytes_after = sum(f.size for f in clustered.intermediate_files())
+    return len(workflow) - len(clustered), bytes_before - bytes_after

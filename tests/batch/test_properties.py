@@ -1,0 +1,90 @@
+"""Property-based tests for batch scheduling invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import des
+from repro.batch import BatchScheduler, JobRequest, JobState
+
+N_NODES = 8
+
+
+@st.composite
+def job_mixes(draw):
+    n_jobs = draw(st.integers(min_value=1, max_value=12))
+    jobs = []
+    for i in range(n_jobs):
+        jobs.append(
+            (
+                draw(st.integers(min_value=1, max_value=N_NODES)),   # nodes
+                draw(st.floats(min_value=0.5, max_value=20.0)),      # runtime
+                draw(st.floats(min_value=0.1, max_value=30.0)),      # walltime
+            )
+        )
+    return jobs
+
+
+def run_mix(jobs):
+    env = des.Environment()
+    nodes = [f"n{i}" for i in range(N_NODES)]
+    sched = BatchScheduler(env, nodes)
+    usage = []
+
+    def body_factory(runtime):
+        def body(allocation):
+            usage.append((env.now, len(allocation.nodes), +1))
+            try:
+                yield env.timeout(runtime)
+            finally:
+                usage.append((env.now, len(allocation.nodes), -1))
+
+        return body
+
+    for i, (n, runtime, walltime) in enumerate(jobs):
+        sched.submit(JobRequest(f"j{i}", n, walltime), body_factory(runtime))
+    env.run()
+    return sched, usage
+
+
+@given(job_mixes())
+@settings(max_examples=40, deadline=None)
+def test_every_job_terminates(jobs):
+    sched, _ = run_mix(jobs)
+    assert len(sched.results) == len(jobs)
+    assert sched.queued_jobs == []
+    assert sched.running_jobs == []
+    assert sched.free_nodes == N_NODES
+
+
+@given(job_mixes())
+@settings(max_examples=40, deadline=None)
+def test_nodes_never_oversubscribed(jobs):
+    _, usage = run_mix(jobs)
+    in_use = 0
+    peak = 0
+    # At equal timestamps the scheduler releases nodes before granting
+    # them to the next job, so count releases (delta = -1) first.
+    for _, n, delta in sorted(usage, key=lambda u: (u[0], u[2])):
+        in_use += delta * n
+        peak = max(peak, in_use)
+    assert peak <= N_NODES
+
+
+@given(job_mixes())
+@settings(max_examples=40, deadline=None)
+def test_walltime_respected(jobs):
+    sched, _ = run_mix(jobs)
+    for result in sched.results:
+        assert result.runtime <= result.job.walltime + 1e-9
+        if result.state == JobState.TIMEOUT:
+            assert result.runtime >= result.job.walltime - 1e-9
+
+
+@given(job_mixes())
+@settings(max_examples=40, deadline=None)
+def test_short_enough_jobs_complete(jobs):
+    sched, _ = run_mix(jobs)
+    by_name = {r.job.name: r for r in sched.results}
+    for i, (n, runtime, walltime) in enumerate(jobs):
+        if runtime < walltime:
+            assert by_name[f"j{i}"].state == JobState.COMPLETED

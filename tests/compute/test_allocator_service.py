@@ -1,0 +1,235 @@
+"""Tests for the core allocator and compute service."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import des
+from repro.compute import AllocationError, ComputeService, CoreAllocator
+from repro.platform import Platform
+from repro.platform.presets import TABLE_I, cori_spec
+from repro.workflow import File, Task
+
+
+# ----------------------------------------------------------------------
+# CoreAllocator
+# ----------------------------------------------------------------------
+def test_allocator_grants_immediately_when_free():
+    env = des.Environment()
+    alloc = CoreAllocator(env, 32)
+    granted = []
+
+    def proc(env):
+        a = yield alloc.request(8)
+        granted.append((env.now, alloc.free_cores))
+        a.release()
+
+    env.run(until=env.process(proc(env)))
+    assert granted == [(0.0, 24)]
+    assert alloc.free_cores == 32
+
+
+def test_allocator_blocks_until_release():
+    env = des.Environment()
+    alloc = CoreAllocator(env, 4)
+    log = []
+
+    def holder(env):
+        a = yield alloc.request(4)
+        yield env.timeout(5)
+        a.release()
+
+    def waiter(env):
+        a = yield alloc.request(2)
+        log.append(env.now)
+        a.release()
+
+    env.process(holder(env))
+    env.process(waiter(env))
+    env.run()
+    assert log == [5]
+
+
+def test_allocator_fifo_no_backfill():
+    """A small request behind a large one must wait (strict FIFO)."""
+    env = des.Environment()
+    alloc = CoreAllocator(env, 4)
+    order = []
+
+    def holder(env):
+        a = yield alloc.request(3)
+        yield env.timeout(10)
+        a.release()
+
+    def big(env):
+        yield env.timeout(1)
+        a = yield alloc.request(4)
+        order.append(("big", env.now))
+        a.release()
+
+    def small(env):
+        yield env.timeout(2)
+        a = yield alloc.request(1)  # would fit now, but big is ahead
+        order.append(("small", env.now))
+        a.release()
+
+    env.process(holder(env))
+    env.process(big(env))
+    env.process(small(env))
+    env.run()
+    assert order == [("big", 10), ("small", 10)]
+
+
+def test_allocator_impossible_request_fails_fast():
+    env = des.Environment()
+    alloc = CoreAllocator(env, 8)
+    with pytest.raises(AllocationError):
+        alloc.request(9)
+
+
+def test_allocator_validation():
+    env = des.Environment()
+    with pytest.raises(ValueError):
+        CoreAllocator(env, 0)
+    alloc = CoreAllocator(env, 4)
+    with pytest.raises(ValueError):
+        alloc.request(0)
+
+
+def test_allocation_release_idempotent():
+    env = des.Environment()
+    alloc = CoreAllocator(env, 4)
+
+    def proc(env):
+        a = yield alloc.request(2)
+        a.release()
+        a.release()  # double release must not free extra cores
+
+    env.run(until=env.process(proc(env)))
+    assert alloc.free_cores == 4
+
+
+def test_allocation_context_manager():
+    env = des.Environment()
+    alloc = CoreAllocator(env, 4)
+
+    def proc(env):
+        allocation = yield alloc.request(3)
+        with allocation:
+            assert alloc.free_cores == 1
+            yield env.timeout(1)
+
+    env.run(until=env.process(proc(env)))
+    assert alloc.free_cores == 4
+
+
+@given(
+    st.integers(min_value=1, max_value=16),
+    st.lists(st.integers(min_value=1, max_value=16), min_size=1, max_size=20),
+)
+@settings(max_examples=40)
+def test_allocator_never_oversubscribes(total, requests):
+    env = des.Environment()
+    alloc = CoreAllocator(env, total)
+    peak = [0]
+
+    def user(env, n):
+        a = yield alloc.request(n)
+        peak[0] = max(peak[0], alloc.used_cores)
+        yield env.timeout(1)
+        a.release()
+
+    for n in requests:
+        if n <= total:
+            env.process(user(env, n))
+    env.run()
+    assert peak[0] <= total
+    assert alloc.free_cores == total
+
+
+# ----------------------------------------------------------------------
+# ComputeService
+# ----------------------------------------------------------------------
+@pytest.fixture
+def service():
+    env = des.Environment()
+    plat = Platform(env, cori_spec(n_compute=2))
+    return env, ComputeService(plat, ["cn0", "cn1"])
+
+
+def test_compute_time_scales_with_cores(service):
+    env, svc = service
+    speed = TABLE_I["cori"]["core_speed"]
+    task = Task("t", flops=32 * speed, cores=32)
+    assert svc.compute_time(task, "cn0", cores=1) == pytest.approx(32.0)
+    assert svc.compute_time(task, "cn0", cores=32) == pytest.approx(1.0)
+
+
+def test_compute_time_uses_task_cores_by_default(service):
+    env, svc = service
+    speed = TABLE_I["cori"]["core_speed"]
+    task = Task("t", flops=8 * speed, cores=8)
+    assert svc.compute_time(task, "cn0") == pytest.approx(1.0)
+
+
+def test_compute_time_amdahl_alpha_honored():
+    env = des.Environment()
+    plat = Platform(env, cori_spec())
+    svc = ComputeService(plat, ["cn0"], use_amdahl_alpha=True)
+    speed = TABLE_I["cori"]["core_speed"]
+    task = Task("t", flops=32 * speed, cores=32, alpha=1.0)
+    # Fully serial: 32 s regardless of core count.
+    assert svc.compute_time(task, "cn0") == pytest.approx(32.0)
+
+
+def test_execute_runs_for_amdahl_duration(service):
+    env, svc = service
+    speed = TABLE_I["cori"]["core_speed"]
+    task = Task("t", flops=4 * speed, cores=4)
+    env.run(until=svc.execute(task, "cn0"))
+    assert env.now == pytest.approx(1.0)
+
+
+def test_execute_serializes_on_core_pressure(service):
+    """Two 32-core tasks on a 32-core host must run back to back."""
+    env, svc = service
+    speed = TABLE_I["cori"]["core_speed"]
+    t1 = Task("t1", flops=32 * speed, cores=32)
+    t2 = Task("t2", flops=32 * speed, cores=32)
+    e1 = svc.execute(t1, "cn0")
+    e2 = svc.execute(t2, "cn0")
+    env.run(until=env.all_of([e1, e2]))
+    assert env.now == pytest.approx(2.0)
+
+
+def test_hosts_run_independently(service):
+    env, svc = service
+    speed = TABLE_I["cori"]["core_speed"]
+    t1 = Task("t1", flops=32 * speed, cores=32)
+    t2 = Task("t2", flops=32 * speed, cores=32)
+    e1 = svc.execute(t1, "cn0")
+    e2 = svc.execute(t2, "cn1")
+    env.run(until=env.all_of([e1, e2]))
+    assert env.now == pytest.approx(1.0)
+
+
+def test_oversized_task_clamped_to_host(service):
+    """A 64-core request on a 32-core host runs on 32 cores."""
+    env, svc = service
+    speed = TABLE_I["cori"]["core_speed"]
+    task = Task("t", flops=32 * speed, cores=64)
+    env.run(until=svc.execute(task, "cn0"))
+    assert env.now == pytest.approx(1.0)
+
+
+def test_service_requires_hosts():
+    env = des.Environment()
+    plat = Platform(env, cori_spec())
+    with pytest.raises(ValueError):
+        ComputeService(plat, [])
+
+
+def test_unknown_host_rejected(service):
+    env, svc = service
+    with pytest.raises(KeyError):
+        svc.allocator("ghost")

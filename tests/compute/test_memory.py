@@ -1,0 +1,125 @@
+"""Tests for RAM accounting in the compute service and engine."""
+
+import pytest
+
+from repro import des
+from repro.compute import AllocationError, ComputeService
+from repro.platform import Platform
+from repro.platform.presets import TABLE_I
+from repro.platform.spec import DiskSpec, HostSpec, LinkSpec, PlatformSpec, RouteSpec
+from repro.storage import ParallelFileSystem
+from repro.wms import WorkflowEngine
+from repro.workflow import Task, Workflow
+
+SPEED = TABLE_I["cori"]["core_speed"]
+RAM = 64e9  # 64 GB node
+
+
+def platform_with_ram(env):
+    spec = PlatformSpec(
+        name="ram-test",
+        hosts=(
+            HostSpec(name="cn0", cores=32, core_speed=SPEED, ram=RAM),
+            HostSpec(
+                name="pfs",
+                cores=1,
+                core_speed=SPEED,
+                disks=(DiskSpec("lustre", read_bandwidth=1e8, write_bandwidth=1e8),),
+            ),
+        ),
+        links=(LinkSpec("up", bandwidth=1e9),),
+        routes=(RouteSpec("cn0", "pfs", ["up"]),),
+    )
+    return Platform(env, spec)
+
+
+def test_memory_pool_created_for_finite_ram():
+    env = des.Environment()
+    svc = ComputeService(platform_with_ram(env), ["cn0"])
+    assert "cn0" in svc.memory
+    assert svc.memory["cn0"].level == RAM
+
+
+def test_no_pool_for_infinite_ram():
+    from repro.platform.presets import cori_spec
+
+    env = des.Environment()
+    svc = ComputeService(Platform(env, cori_spec()), ["cn0"])
+    assert svc.memory == {}
+    assert svc.acquire_memory("cn0", 1e9) is None
+
+
+def test_acquire_zero_memory_is_noop():
+    env = des.Environment()
+    svc = ComputeService(platform_with_ram(env), ["cn0"])
+    assert svc.acquire_memory("cn0", 0) is None
+
+
+def test_oversized_memory_request_fails_fast():
+    env = des.Environment()
+    svc = ComputeService(platform_with_ram(env), ["cn0"])
+    with pytest.raises(AllocationError):
+        svc.acquire_memory("cn0", RAM + 1)
+
+
+def test_memory_blocks_and_releases():
+    env = des.Environment()
+    svc = ComputeService(platform_with_ram(env), ["cn0"])
+    timeline = []
+
+    def holder(env):
+        yield svc.acquire_memory("cn0", 48e9)
+        timeline.append(("holder", env.now))
+        yield env.timeout(5)
+        svc.release_memory("cn0", 48e9)
+
+    def waiter(env):
+        yield env.timeout(1)
+        yield svc.acquire_memory("cn0", 32e9)  # blocks until t=5
+        timeline.append(("waiter", env.now))
+        svc.release_memory("cn0", 32e9)
+
+    env.process(holder(env))
+    env.process(waiter(env))
+    env.run()
+    assert timeline == [("holder", 0), ("waiter", 5)]
+    assert svc.memory["cn0"].level == RAM
+
+
+def test_engine_serializes_memory_hungry_tasks():
+    """Two 40 GB tasks on a 64 GB node run back-to-back even though
+    cores are plentiful."""
+    env = des.Environment()
+    plat = platform_with_ram(env)
+    tasks = [
+        Task(f"t{i}", flops=SPEED, cores=1, memory=40e9) for i in range(2)
+    ]
+    engine = WorkflowEngine(
+        plat,
+        Workflow("hungry", tasks),
+        ComputeService(plat, ["cn0"]),
+        ParallelFileSystem(plat),
+        host_assignment=lambda t: "cn0",
+    )
+    trace = engine.run()
+    assert trace.makespan == pytest.approx(2.0, rel=1e-6)
+
+
+def test_engine_releases_memory_after_task():
+    env = des.Environment()
+    plat = platform_with_ram(env)
+    svc = ComputeService(plat, ["cn0"])
+    engine = WorkflowEngine(
+        plat,
+        Workflow("one", [Task("t", flops=SPEED, cores=1, memory=10e9)]),
+        svc,
+        ParallelFileSystem(plat),
+        host_assignment=lambda t: "cn0",
+    )
+    engine.run()
+    assert svc.memory["cn0"].level == RAM
+
+
+def test_task_memory_validation():
+    with pytest.raises(ValueError):
+        Task("t", flops=1, memory=-1)

@@ -1,0 +1,136 @@
+"""Tests for AllOf / AnyOf composite events."""
+
+import pytest
+
+from repro import des
+from repro.des.conditions import ConditionValue
+
+
+def test_allof_waits_for_all():
+    env = des.Environment()
+    events = [env.timeout(d, value=d) for d in (3, 1, 2)]
+    result = env.run(until=env.all_of(events))
+    assert env.now == 3
+    assert result.values() == [3, 1, 2]  # request order preserved
+
+
+def test_allof_empty_is_immediate():
+    env = des.Environment()
+    cond = env.all_of([])
+    result = env.run(until=cond)
+    assert len(result) == 0
+    assert env.now == 0
+
+
+def test_anyof_fires_on_first():
+    env = des.Environment()
+    events = [env.timeout(d, value=d) for d in (5, 2, 9)]
+    result = env.run(until=env.any_of(events))
+    assert env.now == 2
+    assert result.values() == [2]
+
+
+def test_anyof_empty_rejected():
+    env = des.Environment()
+    with pytest.raises(ValueError):
+        env.any_of([])
+
+
+def test_allof_with_already_triggered_events():
+    env = des.Environment()
+    a = env.event().succeed("a")
+    b = env.timeout(1, "b")
+    result = env.run(until=env.all_of([a, b]))
+    assert result.values() == ["a", "b"]
+
+
+def test_anyof_with_already_processed_event():
+    env = des.Environment()
+    a = env.event().succeed("a")
+    env.run()
+    assert a.processed
+    b = env.timeout(10, "b")
+    result = env.run(until=env.any_of([a, b]))
+    assert env.now == 0
+    assert result.values() == ["a"]
+
+
+def test_condition_failure_propagates():
+    env = des.Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise RuntimeError("nope")
+
+    def waiter(env):
+        yield env.all_of([env.process(bad(env)), env.timeout(10)])
+
+    w = env.process(waiter(env))
+    with pytest.raises(RuntimeError, match="nope"):
+        env.run(until=w)
+
+
+def test_anyof_defuses_late_failure():
+    """A failure arriving after the condition fired must not crash run()."""
+    env = des.Environment()
+
+    def bad(env):
+        yield env.timeout(5)
+        raise RuntimeError("late")
+
+    def waiter(env):
+        result = yield env.any_of([env.timeout(1, "fast"), env.process(bad(env))])
+        return result.values()
+
+    w = env.process(waiter(env))
+    env.run()
+    assert w.value == ["fast"]
+
+
+def test_mixing_environments_rejected():
+    env1, env2 = des.Environment(), des.Environment()
+    t1 = env1.timeout(1)
+    t2 = env2.timeout(1)
+    with pytest.raises(des.SimulationError):
+        des.AllOf(env1, [t1, t2])
+
+
+def test_condition_value_mapping_interface():
+    env = des.Environment()
+    a = env.timeout(1, "va")
+    b = env.timeout(2, "vb")
+    result = env.run(until=a & b)
+    assert isinstance(result, ConditionValue)
+    assert result[a] == "va"
+    assert result[b] == "vb"
+    assert a in result and b in result
+    assert result.todict() == {a: "va", b: "vb"}
+    assert result == {a: "va", b: "vb"}
+    assert list(result) == [a, b]
+
+
+def test_condition_value_unknown_key_raises():
+    env = des.Environment()
+    a = env.timeout(1)
+    other = env.timeout(1)
+    result = env.run(until=env.all_of([a]))
+    with pytest.raises(KeyError):
+        result[other]
+
+
+def test_nested_conditions():
+    env = des.Environment()
+    a = env.timeout(1, "a")
+    b = env.timeout(2, "b")
+    c = env.timeout(3, "c")
+    nested = (a & b) | c
+    env.run(until=nested)
+    assert env.now == 2
+
+
+def test_allof_many_events():
+    env = des.Environment()
+    events = [env.timeout(i % 7, value=i) for i in range(50)]
+    result = env.run(until=env.all_of(events))
+    assert result.values() == list(range(50))
+    assert env.now == 6

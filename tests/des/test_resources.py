@@ -1,0 +1,290 @@
+"""Tests for Resource / PriorityResource / Container / Store."""
+
+import pytest
+
+from repro import des
+
+
+# ----------------------------------------------------------------------
+# Resource
+# ----------------------------------------------------------------------
+def test_resource_capacity_validation():
+    env = des.Environment()
+    with pytest.raises(ValueError):
+        des.Resource(env, capacity=0)
+
+
+def test_resource_grants_up_to_capacity():
+    env = des.Environment()
+    res = des.Resource(env, capacity=2)
+    starts = []
+
+    def user(env, res, name):
+        with res.request() as req:
+            yield req
+            starts.append((name, env.now))
+            yield env.timeout(10)
+
+    for n in ("a", "b", "c"):
+        env.process(user(env, res, n))
+    env.run(until=1)
+    assert [s[0] for s in starts] == ["a", "b"]
+    assert res.count == 2
+    assert len(res.queue) == 1
+
+
+def test_resource_fifo_grant_order():
+    env = des.Environment()
+    res = des.Resource(env, capacity=1)
+    order = []
+
+    def user(env, res, name):
+        with res.request() as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1)
+
+    for n in range(5):
+        env.process(user(env, res, n))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_resource_released_on_context_exit():
+    env = des.Environment()
+    res = des.Resource(env, capacity=1)
+
+    def user(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(1)
+
+    env.process(user(env, res))
+    env.run()
+    assert res.count == 0
+
+
+def test_resource_release_idempotent_for_ungranted():
+    env = des.Environment()
+    res = des.Resource(env, capacity=1)
+    held = res.request()
+    pending = res.request()
+    assert not pending.triggered
+    res.release(pending)  # cancels, must not raise
+    res.release(held)
+    assert res.count == 0
+
+
+def test_priority_requests_jump_queue():
+    env = des.Environment()
+    res = des.PriorityResource(env, capacity=1)
+    order = []
+
+    def user(env, res, name, prio, delay):
+        yield env.timeout(delay)
+        with res.request(priority=prio) as req:
+            yield req
+            order.append(name)
+            yield env.timeout(10)
+
+    env.process(user(env, res, "first", 0, 0))      # holds the slot
+    env.process(user(env, res, "low", 5, 1))        # queued at t=1
+    env.process(user(env, res, "high", -1, 2))      # queued at t=2, jumps
+    env.run()
+    assert order == ["first", "high", "low"]
+
+
+def test_resource_count_and_queue_properties():
+    env = des.Environment()
+    res = des.Resource(env, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    r3 = res.request()
+    assert res.count == 1
+    assert res.queue == [r2, r3]
+    env.run()
+
+
+# ----------------------------------------------------------------------
+# Container
+# ----------------------------------------------------------------------
+def test_container_init_validation():
+    env = des.Environment()
+    with pytest.raises(ValueError):
+        des.Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        des.Container(env, capacity=5, init=6)
+    with pytest.raises(ValueError):
+        des.Container(env, capacity=5, init=-1)
+
+
+def test_container_get_blocks_until_available():
+    env = des.Environment()
+    c = des.Container(env, capacity=100, init=0)
+    got = []
+
+    def getter(env, c):
+        yield c.get(30)
+        got.append(env.now)
+
+    def putter(env, c):
+        yield env.timeout(5)
+        yield c.put(30)
+
+    env.process(getter(env, c))
+    env.process(putter(env, c))
+    env.run()
+    assert got == [5]
+    assert c.level == 0
+
+
+def test_container_put_blocks_when_full():
+    env = des.Environment()
+    c = des.Container(env, capacity=10, init=10)
+    done = []
+
+    def putter(env, c):
+        yield c.put(5)
+        done.append(env.now)
+
+    def getter(env, c):
+        yield env.timeout(3)
+        yield c.get(5)
+
+    env.process(putter(env, c))
+    env.process(getter(env, c))
+    env.run()
+    assert done == [3]
+    assert c.level == 10
+
+
+def test_container_amount_validation():
+    env = des.Environment()
+    c = des.Container(env, capacity=10)
+    with pytest.raises(ValueError):
+        c.get(0)
+    with pytest.raises(ValueError):
+        c.put(-1)
+    with pytest.raises(ValueError):
+        c.put(11)  # can never fit
+
+
+def test_container_level_accounting():
+    env = des.Environment()
+    c = des.Container(env, capacity=100, init=50)
+
+    def proc(env, c):
+        yield c.put(25)
+        yield c.get(60)
+
+    env.process(proc(env, c))
+    env.run()
+    assert c.level == 15
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+def test_store_fifo_order():
+    env = des.Environment()
+    s = des.Store(env)
+    got = []
+
+    def producer(env, s):
+        for i in range(3):
+            yield s.put(i)
+
+    def consumer(env, s):
+        for _ in range(3):
+            item = yield s.get()
+            got.append(item)
+
+    env.process(producer(env, s))
+    env.process(consumer(env, s))
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_blocks_until_item():
+    env = des.Environment()
+    s = des.Store(env)
+    got = []
+
+    def consumer(env, s):
+        item = yield s.get()
+        got.append((env.now, item))
+
+    def producer(env, s):
+        yield env.timeout(4)
+        yield s.put("x")
+
+    env.process(consumer(env, s))
+    env.process(producer(env, s))
+    env.run()
+    assert got == [(4, "x")]
+
+
+def test_store_put_blocks_when_full():
+    env = des.Environment()
+    s = des.Store(env, capacity=1)
+    done = []
+
+    def producer(env, s):
+        yield s.put(1)
+        yield s.put(2)
+        done.append(env.now)
+
+    def consumer(env, s):
+        yield env.timeout(7)
+        yield s.get()
+
+    env.process(producer(env, s))
+    env.process(consumer(env, s))
+    env.run()
+    assert done == [7]
+
+
+def test_store_filter_get():
+    env = des.Environment()
+    s = des.Store(env)
+    got = []
+
+    def producer(env, s):
+        for item in ("apple", "banana", "cherry"):
+            yield s.put(item)
+
+    def consumer(env, s):
+        item = yield s.get(filter=lambda x: x.startswith("b"))
+        got.append(item)
+
+    env.process(producer(env, s))
+    env.process(consumer(env, s))
+    env.run()
+    assert got == ["banana"]
+    assert s.items == ["apple", "cherry"]
+
+
+def test_store_filter_get_waits_for_match():
+    env = des.Environment()
+    s = des.Store(env)
+    got = []
+
+    def consumer(env, s):
+        item = yield s.get(filter=lambda x: x > 10)
+        got.append((env.now, item))
+
+    def producer(env, s):
+        yield s.put(1)
+        yield env.timeout(2)
+        yield s.put(50)
+
+    env.process(consumer(env, s))
+    env.process(producer(env, s))
+    env.run()
+    assert got == [(2, 50)]
+
+
+def test_store_capacity_validation():
+    env = des.Environment()
+    with pytest.raises(ValueError):
+        des.Store(env, capacity=0)

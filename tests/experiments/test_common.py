@@ -1,0 +1,144 @@
+"""Tests for experiment infrastructure: results, calibration, CLI."""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, ExperimentResult, calibrate_swarp
+from repro.experiments.cli import main, run_experiment
+from repro.model import observed_time
+from repro.platform.presets import TABLE_I
+
+
+# ----------------------------------------------------------------------
+# ExperimentResult
+# ----------------------------------------------------------------------
+def test_result_add_row_and_column():
+    r = ExperimentResult("x", "title", columns=("a", "b"))
+    r.add_row(1, 2.0)
+    r.add_row(3, 4.0)
+    assert r.column("a") == [1, 3]
+    assert r.column("b") == [2.0, 4.0]
+
+
+def test_result_row_arity_checked():
+    r = ExperimentResult("x", "title", columns=("a", "b"))
+    with pytest.raises(ValueError):
+        r.add_row(1)
+
+
+def test_result_unknown_column():
+    r = ExperimentResult("x", "title", columns=("a",))
+    with pytest.raises(KeyError):
+        r.column("zz")
+
+
+def test_result_render_contains_everything():
+    r = ExperimentResult("figX", "My Title", columns=("col1", "col2"))
+    r.add_row("v", 1.5)
+    r.notes.append("a note")
+    text = r.render()
+    assert "figX" in text and "My Title" in text
+    assert "col1" in text and "col2" in text
+    assert "1.500" in text
+    assert "note: a note" in text
+
+
+def test_result_render_empty_rows():
+    r = ExperimentResult("figX", "t", columns=("c",))
+    assert "c" in r.render()
+
+
+# ----------------------------------------------------------------------
+# calibrate_swarp
+# ----------------------------------------------------------------------
+def test_calibration_runs_for_both_systems():
+    for system in ("cori", "summit"):
+        cal = calibrate_swarp(system)
+        assert cal.resample_flops > 0
+        assert cal.combine_flops > 0
+        assert 0 < cal.lambda_resample < 1
+        assert 0 < cal.lambda_combine < 1
+
+
+def test_calibration_is_cached():
+    assert calibrate_swarp("cori") is calibrate_swarp("cori")
+
+
+def test_calibration_eq4_consistency():
+    """The calibrated flops must predict the observed reference time
+    exactly when fed back through the forward model at the same core
+    count (Eq. 4 is self-inverse at the calibration point)."""
+    cal = calibrate_swarp("cori")
+    speed = TABLE_I["cori"]["core_speed"]
+    tc1 = cal.resample_flops / speed
+    predicted = observed_time(tc1, cal.cores, cal.lambda_resample)
+    assert predicted == pytest.approx(cal.observed_resample_t, rel=1e-9)
+
+
+def test_calibration_per_core_count_differs():
+    c32 = calibrate_swarp("cori", cores=32)
+    c1 = calibrate_swarp("cori", cores=1)
+    assert c32.resample_flops != c1.resample_flops
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_run_experiment_unknown_id():
+    with pytest.raises(ValueError, match="unknown experiment"):
+        run_experiment("fig99")
+
+
+def test_all_experiments_registered():
+    assert set(ALL_EXPERIMENTS) == {
+        "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+        "fig10", "fig11", "fig13", "fig14",
+    }
+
+
+def test_cli_runs_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "cori" in out and "summit" in out
+
+
+def test_cli_rejects_unknown(capsys):
+    assert main(["nope"]) == 2
+
+
+def test_cli_quick_flag(capsys):
+    assert main(["fig4", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "fig4" in out
+
+
+def test_result_json_export(tmp_path):
+    r = ExperimentResult("figX", "t", columns=("a", "b"))
+    r.add_row(1, 2.5)
+    r.notes.append("note")
+    import json
+
+    path = tmp_path / "figX.json"
+    doc = json.loads(r.to_json(path))
+    assert doc == json.loads(path.read_text())
+    assert doc["columns"] == ["a", "b"]
+    assert doc["rows"] == [[1, 2.5]]
+    assert doc["notes"] == ["note"]
+
+
+def test_result_csv_export(tmp_path):
+    r = ExperimentResult("figX", "t", columns=("a", "b"))
+    r.add_row(1, 2.5)
+    r.add_row(3, 4.5)
+    path = tmp_path / "figX.csv"
+    text = r.to_csv(path)
+    lines = text.strip().splitlines()
+    assert lines[0] == "a,b"
+    assert lines[1] == "1,2.5"
+    assert path.read_text() == text
+
+
+def test_cli_output_dir(tmp_path, capsys):
+    out = tmp_path / "results"
+    assert main(["table1", "--output-dir", str(out)]) == 0
+    assert (out / "table1.json").exists()
+    assert (out / "table1.csv").exists()

@@ -1,0 +1,161 @@
+"""End-to-end tests: every figure harness runs (quick) and its rows
+satisfy the paper findings it claims to regenerate."""
+
+import math
+
+import pytest
+
+from repro.experiments.cli import run_experiment
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run every experiment once in quick mode; share across tests."""
+    return {
+        exp: run_experiment(exp, quick=True)
+        for exp in (
+            "table1", "fig4", "fig5", "fig6", "fig7",
+            "fig8", "fig9", "fig10", "fig11", "fig13", "fig14",
+        )
+    }
+
+
+def rows_for(result, **filters):
+    index = {c: i for i, c in enumerate(result.columns)}
+    out = []
+    for row in result.rows:
+        if all(row[index[k]] == v for k, v in filters.items()):
+            out.append({c: row[i] for c, i in index.items()})
+    return out
+
+
+def test_all_experiments_produce_rows(results):
+    for exp, result in results.items():
+        assert result.rows, f"{exp} produced no rows"
+        assert result.render()
+
+
+def test_table1_lists_both_systems(results):
+    assert results["table1"].column("system") == ["cori", "summit"]
+
+
+def test_fig4_onnode_fastest(results):
+    r = results["fig4"]
+    for fraction in (0.5, 1.0):
+        by_config = {
+            row["config"]: row["mean_s"]
+            for row in rows_for(r, fraction=fraction)
+        }
+        assert by_config["on-node"] < by_config["private"] < by_config["striped"]
+
+
+def test_fig4_linear_growth(results):
+    r = results["fig4"]
+    private = [row["mean_s"] for row in rows_for(r, config="private")]
+    assert private == sorted(private)
+
+
+def test_fig5_bb_intermediates_beat_pfs_for_private(results):
+    r = results["fig5"]
+    bb = rows_for(r, config="private", intermediates="bb")
+    pfs = rows_for(r, config="private", intermediates="pfs")
+    for b, p in zip(bb, pfs):
+        assert b["resample_s"] < p["resample_s"]
+
+
+def test_fig6_resample_plateau(results):
+    r = results["fig6"]
+    rows = rows_for(r, config="private")
+    by_cores = {row["cores"]: row["resample_s"] for row in rows}
+    assert by_cores[8] < by_cores[1] / 2
+    assert by_cores[32] > 0.85 * by_cores[8]
+
+
+def test_fig6_combine_flat(results):
+    r = results["fig6"]
+    rows = rows_for(r, config="private")
+    times = [row["combine_s"] for row in rows]
+    assert max(times) / min(times) < 1.2
+
+
+def test_fig7_cori_slows_summit_flat(results):
+    r = results["fig7"]
+    for config, limit in (("private", 1.4), ("on-node", 1.30)):
+        rows = rows_for(r, config=config)
+        by_n = {row["pipelines"]: row["resample_s"] for row in rows}
+        slowdown = by_n[max(by_n)] / by_n[1]
+        if config == "private":
+            assert slowdown > limit
+        else:
+            assert slowdown < limit
+
+
+def test_fig8_onnode_most_stable(results):
+    r = results["fig8"]
+    cv = {
+        (row["config"], row["pipelines"]): row["cv"] for row in rows_for(r)
+    }
+    configs = {c for c, _ in cv}
+    for n in {n for _, n in cv}:
+        assert cv[("on-node", n)] <= cv[("striped", n)]
+
+
+def test_fig9_bandwidth_below_peak(results):
+    r = results["fig9"]
+    for row in rows_for(r):
+        assert 0 < row["peak_fraction"] < 1.0
+
+
+def test_fig9_onnode_highest_bandwidth(results):
+    r = results["fig9"]
+    means = {row["config"]: row["mean_MBps"] for row in rows_for(r)}
+    assert means["on-node"] > means["private"]
+
+
+def test_fig10_errors_in_papers_regime(results):
+    """Mean relative errors should sit near the paper's (≤ ~2× theirs)."""
+    r = results["fig10"]
+    for config, paper_error in (("private", 0.056), ("striped", 0.128), ("on-node", 0.065)):
+        errors = [row["rel_error"] for row in rows_for(r, config=config)]
+        mean_error = sum(errors) / len(errors)
+        assert mean_error < 2.0 * paper_error + 0.02, (
+            f"{config}: {mean_error:.1%} too far above the paper's {paper_error:.1%}"
+        )
+
+
+def test_fig10_striped_underestimated(results):
+    """Paper: the simulator underestimates striped makespans."""
+    r = results["fig10"]
+    rows = rows_for(r, config="striped")
+    assert all(row["simulated_s"] <= row["measured_s"] for row in rows)
+
+
+def test_fig11_trends_agree(results):
+    r = results["fig11"]
+    for config in ("private", "striped", "on-node"):
+        rows = rows_for(r, config=config)
+        measured = [row["measured_s"] for row in rows]
+        simulated = [row["simulated_s"] for row in rows]
+        assert measured == sorted(measured)
+        assert simulated == sorted(simulated)
+
+
+def test_fig13_shapes(results):
+    r = results["fig13"]
+    cori = r.column("cori_s")
+    summit = r.column("summit_s")
+    assert cori == sorted(cori, reverse=True)
+    assert summit == sorted(summit, reverse=True)
+    assert all(s < c for s, c in zip(summit, cori))
+
+
+def test_fig14_speedup_reaches_above_one(results):
+    r = results["fig14"]
+    assert r.column("cori_speedup")[-1] > 1.2
+    assert r.column("summit_speedup")[-1] > r.column("cori_speedup")[-1]
+
+
+def test_fig14_reference_points_present(results):
+    r = results["fig14"]
+    refs = [v for v in r.column("reference") if not math.isnan(v)]
+    assert refs, "no reference points generated"

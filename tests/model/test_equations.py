@@ -1,0 +1,123 @@
+"""Tests for the paper's equations (1)-(4)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model import (
+    amdahl_speedup,
+    amdahl_time,
+    io_fraction_from_times,
+    observed_time,
+    sequential_compute_time,
+)
+
+
+# ----------------------------------------------------------------------
+# Eq. (2): Amdahl's law
+# ----------------------------------------------------------------------
+def test_amdahl_single_core_is_identity():
+    assert amdahl_time(100.0, 1, alpha=0.3) == pytest.approx(100.0)
+
+
+def test_amdahl_perfect_speedup():
+    assert amdahl_time(100.0, 4, alpha=0.0) == pytest.approx(25.0)
+
+
+def test_amdahl_fully_serial():
+    assert amdahl_time(100.0, 32, alpha=1.0) == pytest.approx(100.0)
+
+
+def test_amdahl_mixed():
+    # alpha=0.5, p=2 → 0.5·T + 0.5·T/2 = 0.75·T
+    assert amdahl_time(100.0, 2, alpha=0.5) == pytest.approx(75.0)
+
+
+def test_amdahl_speedup_limit():
+    # Speedup is bounded by 1/alpha.
+    assert amdahl_speedup(10**6, alpha=0.1) == pytest.approx(10.0, rel=1e-4)
+
+
+def test_amdahl_validation():
+    with pytest.raises(ValueError):
+        amdahl_time(1.0, 0)
+    with pytest.raises(ValueError):
+        amdahl_time(1.0, 4, alpha=2.0)
+    with pytest.raises(ValueError):
+        amdahl_time(-1.0, 4)
+
+
+# ----------------------------------------------------------------------
+# Eqs. (3)/(4): recovering T_c(1)
+# ----------------------------------------------------------------------
+def test_eq4_paper_form():
+    """T_c(1) = p (1 − λ) T(p) with alpha = 0."""
+    assert sequential_compute_time(12.0, 32, 0.203) == pytest.approx(
+        32 * (1 - 0.203) * 12.0
+    )
+
+
+def test_eq3_reduces_to_eq4_at_alpha_zero():
+    a = sequential_compute_time(10.0, 8, 0.25, alpha=0.0)
+    b = 8 * (1 - 0.25) * 10.0
+    assert a == pytest.approx(b)
+
+
+def test_eq3_general_form():
+    # alpha=1: all serial → T_c(1) = (1-λ)T(p) regardless of p.
+    assert sequential_compute_time(10.0, 8, 0.25, alpha=1.0) == pytest.approx(7.5)
+
+
+def test_sequential_compute_time_validation():
+    with pytest.raises(ValueError):
+        sequential_compute_time(1.0, 4, 1.0)  # λ must be < 1
+    with pytest.raises(ValueError):
+        sequential_compute_time(-1.0, 4, 0.5)
+
+
+@given(
+    st.floats(min_value=0.1, max_value=1e4),
+    st.integers(min_value=1, max_value=128),
+    st.floats(min_value=0.0, max_value=0.9),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_forward_inverse_roundtrip(tc1, p, lam, alpha):
+    """observed_time and sequential_compute_time are exact inverses."""
+    observed = observed_time(tc1, p, lam, alpha)
+    recovered = sequential_compute_time(observed, p, lam, alpha)
+    assert recovered == pytest.approx(tc1, rel=1e-9)
+
+
+@given(
+    st.floats(min_value=0.1, max_value=1e4),
+    st.integers(min_value=2, max_value=128),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_amdahl_time_monotone_in_alpha(tc1, p, alpha):
+    """More serial fraction can only slow a parallel execution down."""
+    assert amdahl_time(tc1, p, alpha) >= amdahl_time(tc1, p, 0.0) - 1e-12
+
+
+@given(
+    st.floats(min_value=0.1, max_value=1e4),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_amdahl_time_decreasing_in_cores(tc1, alpha):
+    times = [amdahl_time(tc1, p, alpha) for p in (1, 2, 4, 8, 16)]
+    assert all(a >= b - 1e-12 for a, b in zip(times, times[1:]))
+
+
+# ----------------------------------------------------------------------
+# Eq. (1): λ_io
+# ----------------------------------------------------------------------
+def test_io_fraction_basic():
+    assert io_fraction_from_times(10.0, 8.0) == pytest.approx(0.2)
+
+
+def test_io_fraction_bounds():
+    assert io_fraction_from_times(10.0, 10.0) == 0.0
+    assert io_fraction_from_times(10.0, 0.0) == 1.0
+    with pytest.raises(ValueError):
+        io_fraction_from_times(0.0, 0.0)
+    with pytest.raises(ValueError):
+        io_fraction_from_times(10.0, 11.0)

@@ -1,0 +1,128 @@
+"""Tests for calibration fitting and accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    FitResult,
+    fit_amdahl_alpha,
+    fit_lambda_io,
+    mean_relative_error,
+    observed_time,
+    per_point_relative_error,
+    trend_agreement,
+)
+
+
+# ----------------------------------------------------------------------
+# fit_amdahl_alpha
+# ----------------------------------------------------------------------
+def test_fit_recovers_synthetic_parameters():
+    tc1, alpha, lam = 300.0, 0.15, 0.2
+    cores = [1, 2, 4, 8, 16, 32]
+    times = [observed_time(tc1, p, lam, alpha) for p in cores]
+    fit = fit_amdahl_alpha(cores, times, lam)
+    assert fit.tc1 == pytest.approx(tc1, rel=1e-4)
+    assert fit.alpha == pytest.approx(alpha, abs=1e-4)
+    assert fit.residual < 1e-8
+
+
+def test_fit_perfect_speedup_yields_zero_alpha():
+    cores = [1, 2, 4, 8]
+    times = [observed_time(100.0, p, 0.0, 0.0) for p in cores]
+    fit = fit_amdahl_alpha(cores, times, 0.0)
+    assert fit.alpha == pytest.approx(0.0, abs=1e-3)
+
+
+def test_fit_predict_matches_data():
+    tc1, alpha, lam = 50.0, 0.4, 0.3
+    cores = [1, 4, 16]
+    times = [observed_time(tc1, p, lam, alpha) for p in cores]
+    fit = fit_amdahl_alpha(cores, times, lam)
+    for p, t in zip(cores, times):
+        assert fit.predict(p) == pytest.approx(t, rel=1e-4)
+
+
+def test_fit_with_noise_is_close():
+    rng = np.random.default_rng(42)
+    tc1, alpha, lam = 200.0, 0.1, 0.25
+    cores = [1, 2, 4, 8, 16, 32]
+    times = [
+        observed_time(tc1, p, lam, alpha) * (1 + rng.normal(0, 0.02))
+        for p in cores
+    ]
+    fit = fit_amdahl_alpha(cores, times, lam)
+    assert fit.tc1 == pytest.approx(tc1, rel=0.1)
+    assert fit.alpha == pytest.approx(alpha, abs=0.05)
+
+
+def test_fit_validation():
+    with pytest.raises(ValueError):
+        fit_amdahl_alpha([1], [10.0], 0.1)  # too few points
+    with pytest.raises(ValueError):
+        fit_amdahl_alpha([4, 4], [10.0, 10.0], 0.1)  # no distinct p
+    with pytest.raises(ValueError):
+        fit_amdahl_alpha([1, -2], [10.0, 5.0], 0.1)
+    with pytest.raises(ValueError):
+        fit_amdahl_alpha([1, 2], [10.0, 5.0], 1.5)
+
+
+# ----------------------------------------------------------------------
+# fit_lambda_io
+# ----------------------------------------------------------------------
+def test_fit_lambda_io_mean():
+    total = [10.0, 10.0, 20.0]
+    compute = [8.0, 7.0, 16.0]
+    # fractions: 0.2, 0.3, 0.2 → mean ≈ 0.2333
+    assert fit_lambda_io(total, compute) == pytest.approx(0.7 / 3)
+
+
+def test_fit_lambda_io_validation():
+    with pytest.raises(ValueError):
+        fit_lambda_io([], [])
+    with pytest.raises(ValueError):
+        fit_lambda_io([10.0], [11.0])
+    with pytest.raises(ValueError):
+        fit_lambda_io([0.0], [0.0])
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+def test_per_point_relative_error():
+    errs = per_point_relative_error([10, 20], [11, 18])
+    assert errs == pytest.approx([0.1, 0.1])
+
+
+def test_mean_relative_error():
+    assert mean_relative_error([10, 20], [11, 18]) == pytest.approx(0.1)
+
+
+def test_mean_relative_error_perfect():
+    assert mean_relative_error([3, 4, 5], [3, 4, 5]) == 0.0
+
+
+def test_metrics_validation():
+    with pytest.raises(ValueError):
+        mean_relative_error([], [])
+    with pytest.raises(ValueError):
+        mean_relative_error([0.0], [1.0])
+    with pytest.raises(ValueError):
+        mean_relative_error([1.0, 2.0], [1.0])
+
+
+def test_trend_agreement_identical_curves():
+    assert trend_agreement([1, 2, 3, 2], [10, 20, 30, 20]) == 1.0
+
+
+def test_trend_agreement_opposite_curves():
+    assert trend_agreement([1, 2, 3], [3, 2, 1]) == 0.0
+
+
+def test_trend_agreement_flat_matches_anything():
+    assert trend_agreement([1.0, 1.0005, 1.0], [5, 9, 2]) == 1.0
+
+
+def test_trend_agreement_needs_two_points():
+    with pytest.raises(ValueError):
+        trend_agreement([1], [1])

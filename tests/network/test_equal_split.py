@@ -1,0 +1,93 @@
+"""Tests for the equal-split ablation allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import des
+from repro.network import FlowNetwork, Link, equal_split_rates, max_min_fair_rates
+from repro.network.fairshare import allocation_is_feasible
+
+
+def test_equal_split_basic():
+    rates = equal_split_rates([["l"], ["l"]], {"l": 100.0})
+    assert rates == [50.0, 50.0]
+
+
+def test_equal_split_not_work_conserving():
+    """The defining difference from max-min: capacity freed by a flow
+    bottlenecked elsewhere is NOT redistributed."""
+    flows = [["a", "b"], ["a"], ["b"]]
+    caps = {"a": 100.0, "b": 10.0}
+    equal = equal_split_rates(flows, caps)
+    fair = max_min_fair_rates(flows, caps)
+    # Equal split: f1 gets a/2 = 50; max-min gives it 95.
+    assert equal[1] == pytest.approx(50.0)
+    assert fair[1] == pytest.approx(95.0)
+
+
+def test_equal_split_respects_caps():
+    rates = equal_split_rates([["l"]], {"l": 100.0}, flow_caps=[25.0])
+    assert rates == [25.0]
+
+
+def test_equal_split_validation():
+    with pytest.raises(ValueError):
+        equal_split_rates([["ghost"]], {"l": 1.0})
+    with pytest.raises(ValueError):
+        equal_split_rates([[]], {})
+    with pytest.raises(ValueError):
+        equal_split_rates([["l"]], {"l": 1.0}, flow_caps=[1.0, 2.0])
+
+
+def test_equal_split_capless_linkless_flow_uses_cap():
+    assert equal_split_rates([[]], {}, flow_caps=[7.0]) == [7.0]
+
+
+@given(
+    st.lists(
+        st.lists(st.sampled_from("abc"), min_size=1, max_size=3),
+        min_size=1,
+        max_size=10,
+    )
+)
+@settings(max_examples=50)
+def test_equal_split_always_feasible(flows):
+    caps = {"a": 50.0, "b": 100.0, "c": 10.0}
+    rates = equal_split_rates(flows, caps)
+    assert allocation_is_feasible(flows, caps, rates)
+
+
+@given(
+    st.lists(
+        st.lists(st.sampled_from("abc"), min_size=1, max_size=3),
+        min_size=1,
+        max_size=10,
+    )
+)
+@settings(max_examples=50)
+def test_max_min_dominates_equal_split_in_total(flows):
+    """Max-min is work-conserving, so its total throughput is >= equal split."""
+    caps = {"a": 50.0, "b": 100.0, "c": 10.0}
+    assert sum(max_min_fair_rates(flows, caps)) >= sum(
+        equal_split_rates(flows, caps)
+    ) - 1e-9
+
+
+def test_flownetwork_accepts_custom_allocator():
+    env = des.Environment()
+    net = FlowNetwork(env, allocator=equal_split_rates)
+    a = Link("a", bandwidth=100.0)
+    b = Link("b", bandwidth=10.0)
+    done = {}
+
+    def runner(env, net):
+        e1 = net.transfer(1000, [a, b], label="both")
+        e2 = net.transfer(1000, [a], label="a-only")
+        yield env.all_of([e1, e2])
+        done["t"] = env.now
+
+    env.process(runner(env, net))
+    env.run()
+    # Equal split: a-only flow runs at 50 B/s → 20 s (max-min: ~10.5 s).
+    assert done["t"] == pytest.approx(100.0)  # both-flow at 10 B/s finishes last

@@ -1,0 +1,173 @@
+"""Unit and property tests for the max-min fair allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.fairshare import allocation_is_feasible, max_min_fair_rates
+
+
+def test_single_flow_gets_full_link():
+    rates = max_min_fair_rates([["l"]], {"l": 100.0})
+    assert rates == [100.0]
+
+
+def test_two_flows_split_equally():
+    rates = max_min_fair_rates([["l"], ["l"]], {"l": 100.0})
+    assert rates == [50.0, 50.0]
+
+
+def test_disjoint_flows_do_not_interact():
+    rates = max_min_fair_rates([["a"], ["b"]], {"a": 10.0, "b": 70.0})
+    assert rates == [10.0, 70.0]
+
+
+def test_bottleneck_frees_capacity_elsewhere():
+    """Classic max-min example: one flow crosses both links.
+
+    Flows: f0 on (a, b), f1 on (a), f2 on (b), capacities a=100, b=10.
+    Progressive filling: all rise to 5 → b saturates (f0, f2 frozen at 5).
+    f1 continues to 95 (a has 100 − 5 = 95 left).
+    """
+    rates = max_min_fair_rates(
+        [["a", "b"], ["a"], ["b"]], {"a": 100.0, "b": 10.0}
+    )
+    assert rates == pytest.approx([5.0, 95.0, 5.0])
+
+
+def test_flow_cap_limits_rate():
+    rates = max_min_fair_rates([["l"], ["l"]], {"l": 100.0}, flow_caps=[10.0, float("inf")])
+    assert rates == pytest.approx([10.0, 90.0])
+
+
+def test_capped_flow_without_links():
+    rates = max_min_fair_rates([[]], {}, flow_caps=[42.0])
+    assert rates == [42.0]
+
+
+def test_uncapped_flow_without_links_rejected():
+    with pytest.raises(ValueError, match="no links and no cap"):
+        max_min_fair_rates([[]], {})
+
+
+def test_unknown_link_rejected():
+    with pytest.raises(ValueError, match="unknown link"):
+        max_min_fair_rates([["ghost"]], {"l": 1.0})
+
+
+def test_non_positive_capacity_rejected():
+    with pytest.raises(ValueError, match="non-positive"):
+        max_min_fair_rates([["l"]], {"l": 0.0})
+
+
+def test_flow_caps_length_mismatch_rejected():
+    with pytest.raises(ValueError, match="length"):
+        max_min_fair_rates([["l"]], {"l": 1.0}, flow_caps=[1.0, 2.0])
+
+
+def test_no_flows_returns_empty():
+    assert max_min_fair_rates([], {"l": 5.0}) == []
+
+
+def test_duplicate_link_in_route_counts_once():
+    """A flow listing the same link twice must not get half capacity."""
+    rates = max_min_fair_rates([["l", "l"]], {"l": 100.0})
+    assert rates == [100.0]
+
+
+def test_three_level_waterfill():
+    """Caps create a three-stage fill: 5, then 20, then the rest."""
+    rates = max_min_fair_rates(
+        [["l"], ["l"], ["l"]],
+        {"l": 100.0},
+        flow_caps=[5.0, 20.0, float("inf")],
+    )
+    assert rates == pytest.approx([5.0, 20.0, 75.0])
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+link_ids = st.sampled_from(list("abcdef"))
+
+
+@st.composite
+def scenarios(draw):
+    caps = {
+        lid: draw(st.floats(min_value=1.0, max_value=1000.0))
+        for lid in "abcdef"
+    }
+    n_flows = draw(st.integers(min_value=1, max_value=12))
+    flows = [
+        draw(st.lists(link_ids, min_size=1, max_size=4)) for _ in range(n_flows)
+    ]
+    return flows, caps
+
+
+@given(scenarios())
+@settings(max_examples=100)
+def test_allocation_is_always_feasible(scenario):
+    flows, caps = scenario
+    rates = max_min_fair_rates(flows, caps)
+    assert allocation_is_feasible(flows, caps, rates)
+
+
+@given(scenarios())
+@settings(max_examples=100)
+def test_all_rates_positive(scenario):
+    """Max-min fairness never starves a flow."""
+    flows, caps = scenario
+    rates = max_min_fair_rates(flows, caps)
+    assert all(r > 0 for r in rates)
+
+
+@given(scenarios())
+@settings(max_examples=100)
+def test_work_conserving_bottleneck_exists(scenario):
+    """Every flow is limited by at least one saturated link (work conservation)."""
+    flows, caps = scenario
+    rates = max_min_fair_rates(flows, caps)
+    load = {lid: 0.0 for lid in caps}
+    for links, rate in zip(flows, rates):
+        for lid in set(links):
+            load[lid] += rate
+    for links in flows:
+        assert any(load[lid] >= caps[lid] * (1 - 1e-6) for lid in set(links))
+
+
+@given(scenarios())
+@settings(max_examples=100)
+def test_max_min_property(scenario):
+    """No flow's rate can rise without lowering some equal-or-poorer flow.
+
+    Equivalent check: for each flow f there is a saturated link on f's path
+    where f's rate is maximal among the flows crossing that link.
+    """
+    flows, caps = scenario
+    rates = max_min_fair_rates(flows, caps)
+    load = {lid: 0.0 for lid in caps}
+    for links, rate in zip(flows, rates):
+        for lid in set(links):
+            load[lid] += rate
+    for i, links in enumerate(flows):
+        has_witness = False
+        for lid in set(links):
+            if load[lid] >= caps[lid] * (1 - 1e-6):
+                users = [
+                    rates[j]
+                    for j, other in enumerate(flows)
+                    if lid in set(other)
+                ]
+                if rates[i] >= max(users) - 1e-6 * max(users):
+                    has_witness = True
+                    break
+        assert has_witness, f"flow {i} is not max-min justified"
+
+
+@given(
+    st.integers(min_value=1, max_value=50),
+    st.floats(min_value=1.0, max_value=1e6),
+)
+def test_equal_split_for_identical_flows(n, cap):
+    rates = max_min_fair_rates([["l"]] * n, {"l": cap})
+    assert all(r == pytest.approx(cap / n) for r in rates)

@@ -1,0 +1,202 @@
+"""Integration tests for the event-driven flow network."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import des
+from repro.network import FlowNetwork, Link
+
+
+def run_transfers(transfers):
+    """Run a set of (start_time, size, links, kwargs) transfers.
+
+    Returns {label: completion_time}.
+    """
+    env = des.Environment()
+    net = FlowNetwork(env)
+    done_at = {}
+
+    def starter(env, net, start, size, links, kwargs, label):
+        if start > 0:
+            yield env.timeout(start)
+        yield net.transfer(size, links, label=label, **kwargs)
+        done_at[label] = env.now
+
+    for i, (start, size, links, kwargs) in enumerate(transfers):
+        env.process(starter(env, net, start, size, links, kwargs, f"t{i}"))
+    env.run()
+    return done_at
+
+
+def test_single_transfer_duration():
+    l = Link("l", bandwidth=100.0)
+    done = run_transfers([(0, 1000, [l], {})])
+    assert done["t0"] == pytest.approx(10.0)
+
+
+def test_latency_added_once():
+    l = Link("l", bandwidth=100.0, latency=2.0)
+    done = run_transfers([(0, 100, [l], {})])
+    assert done["t0"] == pytest.approx(3.0)
+
+
+def test_extra_latency_parameter():
+    l = Link("l", bandwidth=100.0)
+    done = run_transfers([(0, 100, [l], {"latency": 5.0})])
+    assert done["t0"] == pytest.approx(6.0)
+
+
+def test_two_concurrent_flows_share_fairly():
+    l = Link("l", bandwidth=100.0)
+    done = run_transfers([(0, 1000, [l], {}), (0, 1000, [l], {})])
+    assert done["t0"] == pytest.approx(20.0)
+    assert done["t1"] == pytest.approx(20.0)
+
+
+def test_rate_recomputed_when_flow_leaves():
+    """1000B and 250B sharing 100B/s: the small one leaves at t=10 and the
+    big one speeds back up, finishing at 12.5 instead of 15."""
+    l = Link("l", bandwidth=100.0)
+    done = run_transfers([(0, 1000, [l], {}), (5.0, 250, [l], {})])
+    assert done["t1"] == pytest.approx(10.0)
+    assert done["t0"] == pytest.approx(12.5)
+
+
+def test_rate_recomputed_when_flow_joins():
+    l = Link("l", bandwidth=100.0)
+    done = run_transfers([(0, 500, [l], {}), (2.5, 500, [l], {})])
+    # t0: 250B alone by t=2.5, then 50B/s → 250 more bytes takes 5s → 7.5
+    assert done["t0"] == pytest.approx(7.5)
+    # t1: 50B/s until t0 leaves at 7.5 (250B done), then 100B/s → 10.0
+    assert done["t1"] == pytest.approx(10.0)
+
+
+def test_max_rate_cap_respected():
+    l = Link("l", bandwidth=100.0)
+    done = run_transfers([(0, 100, [l], {"max_rate": 10.0})])
+    assert done["t0"] == pytest.approx(10.0)
+
+
+def test_capped_flow_leaves_bandwidth_for_others():
+    l = Link("l", bandwidth=100.0)
+    done = run_transfers(
+        [(0, 100, [l], {"max_rate": 10.0}), (0, 900, [l], {})]
+    )
+    assert done["t0"] == pytest.approx(10.0)
+    assert done["t1"] == pytest.approx(10.0)  # 90 B/s
+
+
+def test_multi_link_flow_limited_by_bottleneck():
+    fast = Link("fast", bandwidth=1000.0)
+    slow = Link("slow", bandwidth=10.0)
+    done = run_transfers([(0, 100, [fast, slow], {})])
+    assert done["t0"] == pytest.approx(10.0)
+
+
+def test_zero_size_transfer_completes_after_latency():
+    l = Link("l", bandwidth=100.0, latency=1.0)
+    done = run_transfers([(0, 0, [l], {"latency": 0.5})])
+    assert done["t0"] == pytest.approx(1.5)
+
+
+def test_loopback_transfer_without_links():
+    done = run_transfers([(0, 12345, [], {"latency": 0.25})])
+    assert done["t0"] == pytest.approx(0.25)
+
+
+def test_negative_size_rejected():
+    env = des.Environment()
+    net = FlowNetwork(env)
+    with pytest.raises(ValueError):
+        net.transfer(-1, [])
+
+
+def test_non_positive_max_rate_rejected():
+    env = des.Environment()
+    net = FlowNetwork(env)
+    with pytest.raises(ValueError):
+        net.transfer(1, [], max_rate=0)
+
+
+def test_flow_records_achieved_bandwidth():
+    env = des.Environment()
+    net = FlowNetwork(env)
+    l = Link("l", bandwidth=100.0)
+    flow = env.run(until=net.transfer(1000, [l]))
+    assert flow.achieved_bandwidth == pytest.approx(100.0)
+    assert flow.elapsed == pytest.approx(10.0)
+
+
+def test_completed_log_populated():
+    env = des.Environment()
+    net = FlowNetwork(env)
+    l = Link("l", bandwidth=100.0)
+    net.transfer(100, [l])
+    net.transfer(200, [l])
+    env.run()
+    assert len(net.completed) == 2
+    assert not net.active_flows
+
+
+def test_utilization_full_while_transferring():
+    env = des.Environment()
+    net = FlowNetwork(env)
+    l = Link("l", bandwidth=100.0)
+    net.transfer(1000, [l])
+    env.run(until=1.0)
+    assert net.utilization(l) == pytest.approx(1.0)
+
+
+def test_concurrency_penalty_slows_aggregate():
+    """With a 10% penalty per extra flow, 2 flows share 90 B/s not 100."""
+    l = Link("l", bandwidth=100.0, concurrency_penalty=0.1)
+    done = run_transfers([(0, 450, [l], {}), (0, 450, [l], {})])
+    assert done["t0"] == pytest.approx(10.0)
+    assert done["t1"] == pytest.approx(10.0)
+
+
+def test_many_flows_conserve_total_bytes():
+    """n identical flows through one link finish in exactly n× single time."""
+    l = Link("l", bandwidth=100.0)
+    n = 16
+    done = run_transfers([(0, 100, [l], {}) for _ in range(n)])
+    for i in range(n):
+        assert done[f"t{i}"] == pytest.approx(n * 1.0)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=50),
+            st.floats(min_value=1, max_value=1e4),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_makespan_bounds(arrivals):
+    """Makespan is bounded below by total-bytes/capacity (after last idle)
+    and above by sequential execution of everything."""
+    cap = 100.0
+    l = Link("l", bandwidth=cap)
+    done = run_transfers([(start, size, [l], {}) for start, size in arrivals])
+    makespan = max(done.values())
+    total = sum(size for _, size in arrivals)
+    last_arrival = max(start for start, _ in arrivals)
+    assert makespan >= total / cap - 1e-6
+    assert makespan <= last_arrival + total / cap + 1e-6
+
+
+@given(
+    st.integers(min_value=1, max_value=10),
+    st.floats(min_value=10.0, max_value=1e4),
+)
+@settings(max_examples=40, deadline=None)
+def test_simultaneous_equal_flows_finish_together(n, size):
+    l = Link("l", bandwidth=100.0)
+    done = run_transfers([(0, size, [l], {}) for _ in range(n)])
+    times = set(round(t, 6) for t in done.values())
+    assert len(times) == 1
+    assert times.pop() == pytest.approx(n * size / 100.0)

@@ -1,0 +1,184 @@
+"""Tests for Table I presets, the runtime Platform, and serialization."""
+
+import pytest
+
+from repro import des
+from repro.platform import Platform, platform_from_json, platform_to_json
+from repro.platform.presets import (
+    BB_DISK,
+    PFS_DISK,
+    PFS_HOST,
+    TABLE_I,
+    cori_spec,
+    local_bb_host,
+    summit_spec,
+)
+from repro.platform.units import GB, GFLOPS, MB
+
+
+# ----------------------------------------------------------------------
+# Table I constants
+# ----------------------------------------------------------------------
+def test_table1_cori_values_match_paper():
+    cori = TABLE_I["cori"]
+    assert cori["core_speed"] == pytest.approx(36.80 * GFLOPS)
+    assert cori["bb_network_bandwidth"] == pytest.approx(800 * MB)
+    assert cori["bb_disk_bandwidth"] == pytest.approx(950 * MB)
+    assert cori["pfs_network_bandwidth"] == pytest.approx(1.0 * GB)
+    assert cori["pfs_disk_bandwidth"] == pytest.approx(100 * MB)
+
+
+def test_table1_summit_values_match_paper():
+    summit = TABLE_I["summit"]
+    assert summit["core_speed"] == pytest.approx(49.12 * GFLOPS)
+    assert summit["bb_network_bandwidth"] == pytest.approx(6.5 * GB)
+    assert summit["bb_disk_bandwidth"] == pytest.approx(3.3 * GB)
+    assert summit["pfs_network_bandwidth"] == pytest.approx(2.1 * GB)
+    assert summit["pfs_disk_bandwidth"] == pytest.approx(100 * MB)
+
+
+# ----------------------------------------------------------------------
+# Preset topology
+# ----------------------------------------------------------------------
+def test_cori_spec_structure():
+    spec = cori_spec(n_compute=2, n_bb_nodes=3)
+    names = {h.name for h in spec.hosts}
+    assert {"cn0", "cn1", "bb0", "bb1", "bb2", PFS_HOST} <= names
+    assert spec.host("cn0").cores == 32
+    assert spec.host("bb0").disk(BB_DISK).capacity == pytest.approx(6.4e12)
+    assert spec.host(PFS_HOST).disk(PFS_DISK).read_bandwidth == pytest.approx(100 * MB)
+
+
+def test_cori_routes_exist():
+    spec = cori_spec(n_compute=2, n_bb_nodes=2)
+    pairs = {(r.src, r.dst) for r in spec.routes}
+    for cn in ("cn0", "cn1"):
+        for bb in ("bb0", "bb1"):
+            assert (cn, bb) in pairs
+        assert (cn, PFS_HOST) in pairs
+
+
+def test_summit_spec_structure():
+    spec = summit_spec(n_compute=2)
+    names = {h.name for h in spec.hosts}
+    assert {"cn0", "cn1", local_bb_host("cn0"), local_bb_host("cn1"), PFS_HOST} <= names
+    bb = spec.host(local_bb_host("cn0")).disk(BB_DISK)
+    assert bb.read_bandwidth == pytest.approx(3.3 * GB)
+    assert bb.capacity == pytest.approx(1.6e12)
+
+
+def test_summit_cross_node_bb_routes():
+    spec = summit_spec(n_compute=2)
+    pairs = {(r.src, r.dst) for r in spec.routes}
+    assert ("cn0", local_bb_host("cn1")) in pairs
+    assert ("cn1", local_bb_host("cn0")) in pairs
+
+
+# ----------------------------------------------------------------------
+# Runtime platform + end-to-end transfers at Table I rates
+# ----------------------------------------------------------------------
+def test_cori_bb_write_rate_is_network_limited():
+    """CN→BB writes cross an 800 MB/s uplink and a 950 MB/s SSD: the
+    uplink is the bottleneck, so 800 MB moves in ~1 s."""
+    env = des.Environment()
+    plat = Platform(env, cori_spec())
+    done = plat.write_to_disk(800 * MB, "bb0", BB_DISK, src_host="cn0")
+    flow = env.run(until=done)
+    assert env.now == pytest.approx(1.0, rel=1e-6)
+    assert flow.achieved_bandwidth == pytest.approx(800 * MB, rel=1e-6)
+
+
+def test_cori_pfs_write_rate_is_disk_limited():
+    """CN→PFS writes cross a 1 GB/s uplink into a 100 MB/s disk."""
+    env = des.Environment()
+    plat = Platform(env, cori_spec())
+    done = plat.write_to_disk(100 * MB, PFS_HOST, PFS_DISK, src_host="cn0")
+    env.run(until=done)
+    assert env.now == pytest.approx(1.0, rel=1e-6)
+
+
+def test_summit_local_bb_read_rate():
+    """On-node reads cross the 6.5 GB/s PCIe and the 3.3 GB/s device."""
+    env = des.Environment()
+    plat = Platform(env, summit_spec())
+    done = plat.read_from_disk(
+        3.3 * GB, local_bb_host("cn0"), BB_DISK, dest_host="cn0"
+    )
+    env.run(until=done)
+    assert env.now == pytest.approx(1.0, rel=1e-4)
+
+
+def test_pfs_disk_shared_across_nodes():
+    """Two nodes writing to the PFS at once halve each other's rate."""
+    env = des.Environment()
+    plat = Platform(env, cori_spec(n_compute=2))
+    d0 = plat.write_to_disk(100 * MB, PFS_HOST, PFS_DISK, src_host="cn0")
+    d1 = plat.write_to_disk(100 * MB, PFS_HOST, PFS_DISK, src_host="cn1")
+    env.run(until=env.all_of([d0, d1]))
+    assert env.now == pytest.approx(2.0, rel=1e-6)
+
+
+def test_bb_uplinks_are_per_node():
+    """Two nodes writing to the (multi-node) BB do NOT contend on their
+    private uplinks; each still moves at 800 MB/s to separate BB nodes."""
+    env = des.Environment()
+    plat = Platform(env, cori_spec(n_compute=2, n_bb_nodes=2))
+    d0 = plat.write_to_disk(800 * MB, "bb0", BB_DISK, src_host="cn0")
+    d1 = plat.write_to_disk(800 * MB, "bb1", BB_DISK, src_host="cn1")
+    env.run(until=env.all_of([d0, d1]))
+    assert env.now == pytest.approx(1.0, rel=1e-6)
+
+
+def test_disk_to_disk_transfer():
+    env = des.Environment()
+    plat = Platform(env, cori_spec())
+    done = plat.transfer_between_disks(
+        100 * MB, (PFS_HOST, PFS_DISK), ("bb0", BB_DISK)
+    )
+    env.run(until=done)
+    # PFS read channel 100 MB/s is the bottleneck.
+    assert env.now == pytest.approx(1.0, rel=1e-4)
+
+
+def test_runtime_lookup_errors():
+    env = des.Environment()
+    plat = Platform(env, cori_spec())
+    with pytest.raises(KeyError):
+        plat.host("ghost")
+    with pytest.raises(KeyError):
+        plat.disk_read_link("cn0", "ghost")
+
+
+# ----------------------------------------------------------------------
+# Serialization round-trip
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("factory", [cori_spec, summit_spec])
+def test_platform_json_roundtrip(factory, tmp_path):
+    spec = factory(n_compute=2)
+    path = tmp_path / "platform.json"
+    platform_to_json(spec, path)
+    loaded = platform_from_json(path)
+    assert loaded == spec
+
+
+def test_platform_json_from_string():
+    spec = cori_spec()
+    text = platform_to_json(spec)
+    assert platform_from_json(text) == spec
+
+
+def test_platform_json_missing_fields_rejected():
+    with pytest.raises(ValueError):
+        platform_from_json('{"hosts": []}')
+
+
+def test_loaded_platform_is_runnable(tmp_path):
+    env = des.Environment()
+    path = tmp_path / "p.json"
+    platform_to_json(summit_spec(), path)
+    plat = Platform(env, platform_from_json(path))
+    done = plat.write_to_disk(
+        1 * GB, local_bb_host("cn0"), BB_DISK, src_host="cn0"
+    )
+    env.run(until=done)
+    assert env.now > 0

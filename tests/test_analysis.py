@@ -1,0 +1,157 @@
+"""Tests for the analysis helpers (curves, summaries, Gantt)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    crossover_point,
+    describe,
+    per_group_summary,
+    plateau_fraction,
+    speedup_curve,
+)
+from repro.traces import ExecutionTrace, TaskRecord, render_gantt
+
+
+# ----------------------------------------------------------------------
+# speedup_curve
+# ----------------------------------------------------------------------
+def test_speedup_curve_basic():
+    assert speedup_curve([100, 50, 25]) == pytest.approx([1.0, 2.0, 4.0])
+
+
+def test_speedup_curve_validation():
+    with pytest.raises(ValueError):
+        speedup_curve([])
+    with pytest.raises(ValueError):
+        speedup_curve([0.0, 1.0])
+    with pytest.raises(ValueError):
+        speedup_curve([1.0, -2.0])
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=20))
+def test_speedup_curve_starts_at_one(makespans):
+    assert speedup_curve(makespans)[0] == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# plateau_fraction
+# ----------------------------------------------------------------------
+def test_plateau_detected():
+    xs = [0.0, 0.25, 0.5, 0.75, 1.0]
+    ys = [100, 80, 60, 59.9, 59.8]  # flattens after 0.5
+    assert plateau_fraction(xs, ys) == 0.5
+
+
+def test_plateau_never_flattens_returns_last():
+    xs = [0.0, 0.5, 1.0]
+    ys = [100, 80, 60]
+    assert plateau_fraction(xs, ys) == 1.0
+
+
+def test_plateau_validation():
+    with pytest.raises(ValueError):
+        plateau_fraction([0.0], [1.0])
+    with pytest.raises(ValueError):
+        plateau_fraction([1.0, 0.0], [1.0, 2.0])  # xs not increasing
+
+
+# ----------------------------------------------------------------------
+# crossover_point
+# ----------------------------------------------------------------------
+def test_crossover_interpolated():
+    xs = [0.0, 1.0]
+    a = [0.0, 2.0]
+    b = [1.0, 1.0]
+    assert crossover_point(xs, a, b) == pytest.approx(0.5)
+
+
+def test_crossover_none_when_disjoint():
+    assert crossover_point([0, 1], [1, 2], [3, 4]) is None
+
+
+def test_crossover_at_sample():
+    assert crossover_point([0, 1, 2], [3, 2, 1], [3, 0, 0]) == 0
+
+
+def test_crossover_validation():
+    with pytest.raises(ValueError):
+        crossover_point([0], [1], [1])
+
+
+# ----------------------------------------------------------------------
+# describe / per_group_summary
+# ----------------------------------------------------------------------
+def test_describe():
+    s = describe([1.0, 2.0, 3.0])
+    assert s.n == 3
+    assert s.mean == pytest.approx(2.0)
+    assert s.median == 2.0
+    assert s.min == 1.0 and s.max == 3.0
+
+
+def test_describe_empty_rejected():
+    with pytest.raises(ValueError):
+        describe([])
+
+
+def test_per_group_summary():
+    trace = ExecutionTrace("wf")
+    trace.add_record(TaskRecord(name="a", group="g1", host="h", cores=1, end=2.0))
+    trace.add_record(TaskRecord(name="b", group="g1", host="h", cores=1, end=4.0))
+    trace.add_record(TaskRecord(name="c", group="g2", host="h", cores=1, end=6.0))
+    summary = per_group_summary(trace)
+    assert summary["g1"].mean == pytest.approx(3.0)
+    assert summary["g2"].n == 1
+
+
+# ----------------------------------------------------------------------
+# Gantt
+# ----------------------------------------------------------------------
+def make_trace():
+    trace = ExecutionTrace("wf")
+    trace.add_record(
+        TaskRecord(
+            name="t1", group="g", host="h", cores=1,
+            start=0.0, read_start=0.0, read_end=1.0,
+            compute_end=3.0, write_end=4.0, end=4.0,
+        )
+    )
+    trace.add_record(
+        TaskRecord(
+            name="t2", group="g", host="h", cores=1,
+            start=4.0, read_start=4.0, read_end=5.0,
+            compute_end=7.0, write_end=8.0, end=8.0,
+        )
+    )
+    return trace
+
+
+def test_gantt_renders_all_tasks():
+    text = render_gantt(make_trace())
+    assert "t1" in text and "t2" in text
+    assert "r" in text and "#" in text and "w" in text
+
+
+def test_gantt_empty_trace():
+    assert "empty" in render_gantt(ExecutionTrace())
+
+
+def test_gantt_truncates_long_traces():
+    trace = ExecutionTrace("big")
+    for i in range(50):
+        trace.add_record(
+            TaskRecord(
+                name=f"t{i:02d}", group="g", host="h", cores=1,
+                start=float(i), read_start=float(i), read_end=i + 0.2,
+                compute_end=i + 0.8, write_end=i + 1.0, end=i + 1.0,
+            )
+        )
+    text = render_gantt(trace, max_tasks=10)
+    assert "40 more tasks" in text
+
+
+def test_gantt_width_validation():
+    with pytest.raises(ValueError):
+        render_gantt(make_trace(), width=5)

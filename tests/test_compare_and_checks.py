@@ -1,0 +1,147 @@
+"""Tests for trace comparison and workflow linting."""
+
+import pytest
+
+from repro.analysis.compare import compare_traces, render_comparison
+from repro.platform.presets import TABLE_I
+from repro.scenarios import run_swarp
+from repro.storage import BBMode
+from repro.workflow import File, Task, Workflow
+from repro.workflow.checks import lint_workflow
+from repro.workflow.swarp import make_swarp
+
+SPEED = TABLE_I["cori"]["core_speed"]
+
+
+# ----------------------------------------------------------------------
+# compare_traces
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def two_traces():
+    kwargs = dict(
+        system="cori",
+        bb_mode=BBMode.PRIVATE,
+        n_pipelines=2,
+        include_stage_in=False,
+        emulated=True,
+        seed=None,
+    )
+    slow = run_swarp(input_fraction=0.0, intermediates_in_bb=False, **kwargs)
+    fast = run_swarp(input_fraction=1.0, intermediates_in_bb=True, **kwargs)
+    return slow.trace, fast.trace
+
+
+def test_comparison_makespan_speedup(two_traces):
+    slow, fast = two_traces
+    comparison = compare_traces(slow, fast)
+    assert comparison.makespan_speedup > 1.0
+    assert comparison.baseline_makespan == slow.makespan
+
+
+def test_comparison_group_speedups(two_traces):
+    slow, fast = two_traces
+    comparison = compare_traces(slow, fast)
+    assert set(comparison.groups) == {"resample", "combine"}
+    assert comparison.groups["resample"].speedup > 1.0
+
+
+def test_comparison_improvements_listed(two_traces):
+    slow, fast = two_traces
+    comparison = compare_traces(slow, fast)
+    assert comparison.biggest_improvements  # everything got faster
+    assert comparison.biggest_regressions == ()
+    for delta in comparison.biggest_improvements:
+        assert delta.delta < 0
+
+
+def test_comparison_rejects_mismatched_traces(two_traces):
+    slow, _ = two_traces
+    other = run_swarp(n_pipelines=1, include_stage_in=False).trace
+    with pytest.raises(ValueError, match="different task sets"):
+        compare_traces(slow, other)
+
+
+def test_render_comparison(two_traces):
+    slow, fast = two_traces
+    text = render_comparison(compare_traces(slow, fast))
+    assert "makespan" in text
+    assert "resample" in text
+
+
+def test_comparison_identical_trace_is_neutral(two_traces):
+    slow, _ = two_traces
+    comparison = compare_traces(slow, slow)
+    assert comparison.makespan_speedup == pytest.approx(1.0)
+    assert comparison.biggest_regressions == ()
+    assert comparison.biggest_improvements == ()
+
+
+# ----------------------------------------------------------------------
+# lint_workflow
+# ----------------------------------------------------------------------
+def test_clean_workflow_has_no_warnings():
+    wf = make_swarp(n_pipelines=1)
+    findings = lint_workflow(wf, max_host_cores=32)
+    assert [f for f in findings if f.severity == "warning"] == []
+
+
+def test_zero_flops_flagged():
+    wf = Workflow("w", [Task("t", flops=0, cores=1)])
+    codes = {f.code for f in lint_workflow(wf)}
+    assert "zero-flops" in codes
+
+
+def test_stage_in_zero_flops_not_flagged():
+    wf = make_swarp(n_pipelines=1)  # stage_in has 0 flops by design
+    codes = {f.code for f in lint_workflow(wf)}
+    assert "zero-flops" not in codes
+
+
+def test_detached_and_disconnected_flagged():
+    f = File("f", 1)
+    tasks = [
+        Task("a", flops=1, outputs=(f,)),
+        Task("b", flops=1, inputs=(f,)),
+        Task("island", flops=1),
+    ]
+    codes = {x.code for x in lint_workflow(Workflow("w", tasks))}
+    assert "detached-task" in codes
+    assert "disconnected" in codes
+
+
+def test_cores_clamped_flagged():
+    wf = Workflow("w", [Task("t", flops=1, cores=128)])
+    codes = {f.code for f in lint_workflow(wf, max_host_cores=32)}
+    assert "cores-clamped" in codes
+    # Without host information the check is skipped.
+    codes = {f.code for f in lint_workflow(wf)}
+    assert "cores-clamped" not in codes
+
+
+def test_size_skew_flagged():
+    tasks = [
+        Task("a", flops=1, outputs=(File("tiny", 1),)),
+        Task("b", flops=1, inputs=(File("tiny", 1),), outputs=(File("huge", 2e12),)),
+        Task("c", flops=1, inputs=(File("huge", 2e12),)),
+    ]
+    codes = {f.code for f in lint_workflow(Workflow("w", tasks))}
+    assert "size-skew" in codes
+
+
+def test_unused_output_flagged_for_non_exit_task():
+    used = File("used", 1)
+    dangling = File("dangling", 1)
+    tasks = [
+        Task("a", flops=1, outputs=(used, dangling)),
+        Task("b", flops=1, inputs=(used,)),
+    ]
+    findings = lint_workflow(Workflow("w", tasks))
+    unused = [f for f in findings if f.code == "unused-output"]
+    assert len(unused) == 1
+    assert "dangling" in unused[0].message
+
+
+def test_exit_task_outputs_not_flagged():
+    wf = make_swarp(n_pipelines=1, include_stage_in=False)
+    codes = {f.code for f in lint_workflow(wf)}
+    assert "unused-output" not in codes

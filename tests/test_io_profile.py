@@ -1,0 +1,97 @@
+"""Tests for the I/O profiling module."""
+
+import pytest
+
+from repro.analysis import profile_trace, render_profile
+from repro.scenarios import run_swarp
+from repro.storage import BBMode
+from repro.workflow import calibration as cal
+
+
+@pytest.fixture(scope="module")
+def profile():
+    result = run_swarp(
+        system="cori",
+        bb_mode=BBMode.PRIVATE,
+        input_fraction=1.0,
+        intermediates_in_bb=True,
+        n_pipelines=2,
+        include_stage_in=False,
+        emulated=True,
+        seed=None,
+    )
+    return profile_trace(result.trace), result
+
+
+def test_groups_present(profile):
+    prof, result = profile
+    assert set(prof.groups) == {"resample", "combine"}
+    assert prof.groups["resample"].tasks == 2
+    assert prof.groups["combine"].tasks == 2
+
+
+def test_lambda_io_in_unit_range(profile):
+    prof, result = profile
+    for g in prof.groups.values():
+        assert 0.0 < g.mean_lambda_io < 1.0
+
+
+def test_service_byte_totals(profile):
+    prof, result = profile
+    # Everything except the coadd outputs flows through the BB:
+    # 2 pipelines × (768 MiB reads + 768 MiB writes + 768 MiB combine reads).
+    bb = next(s for name, s in prof.services.items() if name.startswith("bb"))
+    expected = 2 * 3 * 768 * 1024**2
+    assert bb.total_bytes == pytest.approx(expected, rel=1e-6)
+    assert 0 < bb.read_fraction < 1
+
+
+def test_total_bytes_is_sum_of_services(profile):
+    prof, result = profile
+    assert prof.total_bytes == pytest.approx(
+        sum(s.total_bytes for s in prof.services.values())
+    )
+
+
+def test_bandwidths_below_physical_limits(profile):
+    prof, result = profile
+    for s in prof.services.values():
+        for bw in (s.mean_read_bandwidth, s.mean_write_bandwidth):
+            if bw is not None:
+                assert 0 < bw < 6.5e9
+
+
+def test_lookup_errors(profile):
+    prof, result = profile
+    with pytest.raises(KeyError):
+        prof.service("ghost")
+    with pytest.raises(KeyError):
+        prof.group("ghost")
+
+
+def test_render_profile_mentions_everything(profile):
+    prof, result = profile
+    text = render_profile(prof)
+    assert "resample" in text and "combine" in text
+    assert "lambda_io" in text
+    assert "total bytes moved" in text
+
+
+def test_profile_feeds_calibration():
+    """The profile of an emulated PFS baseline is exactly the λ_io input
+    the paper's Eq. (4) calibration needs — the loop closes."""
+    result = run_swarp(
+        system="cori",
+        input_fraction=0.0,
+        intermediates_in_bb=False,
+        include_stage_in=False,
+        emulated=True,
+        seed=None,
+    )
+    prof = profile_trace(result.trace)
+    from repro.experiments.common import calibrate_swarp
+
+    calibration = calibrate_swarp("cori")
+    assert prof.groups["resample"].mean_lambda_io == pytest.approx(
+        calibration.lambda_resample, rel=1e-9
+    )

@@ -1,0 +1,109 @@
+"""Property-based round-trip tests across serialization boundaries."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform import platform_from_json, platform_to_json
+from repro.platform.spec import DiskSpec, HostSpec, LinkSpec, PlatformSpec, RouteSpec
+from repro.workflow.synthetic import make_random_dag
+from repro.workflow.wfformat import workflow_from_wfformat, workflow_to_wfformat
+
+
+# ----------------------------------------------------------------------
+# Random platform specs
+# ----------------------------------------------------------------------
+@st.composite
+def platform_specs(draw):
+    n_hosts = draw(st.integers(min_value=1, max_value=6))
+    hosts = []
+    for i in range(n_hosts):
+        disks = tuple(
+            DiskSpec(
+                name=f"d{k}",
+                read_bandwidth=draw(st.floats(min_value=1e6, max_value=1e10)),
+                write_bandwidth=draw(st.floats(min_value=1e6, max_value=1e10)),
+                capacity=draw(st.floats(min_value=1e9, max_value=1e15)),
+            )
+            for k in range(draw(st.integers(min_value=0, max_value=2)))
+        )
+        hosts.append(
+            HostSpec(
+                name=f"h{i}",
+                cores=draw(st.integers(min_value=1, max_value=128)),
+                core_speed=draw(st.floats(min_value=1e9, max_value=1e11)),
+                ram=draw(
+                    st.one_of(
+                        st.just(float("inf")),
+                        st.floats(min_value=1e9, max_value=1e12),
+                    )
+                ),
+                disks=disks,
+            )
+        )
+    n_links = draw(st.integers(min_value=0, max_value=4))
+    links = tuple(
+        LinkSpec(
+            name=f"l{i}",
+            bandwidth=draw(st.floats(min_value=1e6, max_value=1e11)),
+            latency=draw(st.floats(min_value=0, max_value=1e-3)),
+            concurrency_penalty=draw(st.floats(min_value=0, max_value=0.5)),
+        )
+        for i in range(n_links)
+    )
+    routes = []
+    if n_hosts >= 2 and n_links >= 1:
+        for _ in range(draw(st.integers(min_value=0, max_value=4))):
+            a, b = draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=n_hosts - 1),
+                    min_size=2,
+                    max_size=2,
+                    unique=True,
+                )
+            )
+            pair = (f"h{a}", f"h{b}")
+            if any((r.src, r.dst) == pair for r in routes):
+                continue
+            routes.append(
+                RouteSpec(
+                    pair[0],
+                    pair[1],
+                    [f"l{draw(st.integers(min_value=0, max_value=n_links - 1))}"],
+                )
+            )
+    return PlatformSpec(
+        name=draw(st.text(min_size=1, max_size=12)),
+        hosts=tuple(hosts),
+        links=links,
+        routes=tuple(routes),
+    )
+
+
+@given(platform_specs())
+@settings(max_examples=50, deadline=None)
+def test_platform_json_roundtrip_any_spec(spec):
+    assert platform_from_json(platform_to_json(spec)) == spec
+
+
+# ----------------------------------------------------------------------
+# Random workflows through WfCommons JSON
+# ----------------------------------------------------------------------
+@given(
+    st.integers(min_value=1, max_value=25),
+    st.integers(min_value=0, max_value=50),
+)
+@settings(max_examples=30, deadline=None)
+def test_wfformat_roundtrip_random_dags(n, seed):
+    original = make_random_dag(n, seed=seed)
+    loaded = workflow_from_wfformat(workflow_to_wfformat(original))
+    assert set(loaded.tasks) == set(original.tasks)
+    assert sorted(loaded.graph.edges) == sorted(original.graph.edges)
+    for name, task in original.tasks.items():
+        other = loaded.task(name)
+        # Flops go through seconds with float rounding; sizes are
+        # truncated to integer bytes by the schema.
+        assert other.flops == pytest.approx(task.flops, rel=1e-9)
+        assert other.cores == task.cores
+        assert {f.name for f in other.inputs} == {f.name for f in task.inputs}
+        assert {f.name for f in other.outputs} == {f.name for f in task.outputs}

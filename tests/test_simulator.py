@@ -1,0 +1,142 @@
+"""Tests for the WRENCH-style Simulator facade and its CLI."""
+
+import json
+
+import pytest
+
+from repro.platform import platform_to_json
+from repro.platform.presets import cori_spec, summit_spec
+from repro.simulator import Simulator, SimulatorConfig, main
+from repro.storage import BBMode
+from repro.workflow.swarp import make_swarp
+from repro.workflow.wfformat import workflow_to_wfformat
+
+
+@pytest.fixture
+def files(tmp_path):
+    platform_path = tmp_path / "platform.json"
+    workflow_path = tmp_path / "workflow.json"
+    platform_to_json(cori_spec(n_compute=1, n_bb_nodes=2), platform_path)
+    workflow_to_wfformat(make_swarp(n_pipelines=2), path=workflow_path)
+    return platform_path, workflow_path
+
+
+def test_simulator_runs_from_files(files):
+    platform_path, workflow_path = files
+    trace = Simulator(platform_path, workflow_path).run()
+    assert trace.makespan > 0
+    assert len(trace.records) == 5
+
+
+def test_simulator_accepts_objects():
+    trace = Simulator(cori_spec(), make_swarp()).run()
+    assert trace.makespan > 0
+
+
+def test_simulator_modes_differ():
+    """Striped across 2 BB nodes and private to one node are different
+    executions (flows touch different disk channels)."""
+    spec = cori_spec(n_compute=1, n_bb_nodes=2)
+    wf = make_swarp(n_pipelines=1)
+    private = Simulator(
+        spec, wf, SimulatorConfig(bb_mode=BBMode.PRIVATE)
+    ).run()
+    striped = Simulator(
+        spec, wf, SimulatorConfig(bb_mode=BBMode.STRIPED)
+    ).run()
+    assert private.makespan > 0 and striped.makespan > 0
+
+
+def test_simulator_on_summit_uses_local_bbs():
+    trace = Simulator(summit_spec(n_compute=1), make_swarp()).run()
+    assert trace.makespan > 0
+
+
+def test_simulator_fraction_zero_keeps_pfs_only():
+    config = SimulatorConfig(
+        input_fraction=0.0, intermediate_fraction=0.0, output_fraction=0.0
+    )
+    bb = Simulator(cori_spec(), make_swarp(), SimulatorConfig()).run()
+    pfs_only = Simulator(cori_spec(), make_swarp(), config).run()
+    # Intermediates over the 100 MB/s PFS are much slower than the BB.
+    assert pfs_only.makespan > bb.makespan
+
+
+def test_simulator_requires_compute_hosts():
+    from repro.platform.spec import DiskSpec, HostSpec, PlatformSpec
+
+    spec = PlatformSpec(
+        name="nocn",
+        hosts=(
+            HostSpec(
+                name="pfs",
+                cores=1,
+                core_speed=1e9,
+                disks=(DiskSpec("lustre", read_bandwidth=1e8, write_bandwidth=1e8),),
+            ),
+        ),
+    )
+    with pytest.raises(ValueError, match="compute hosts"):
+        Simulator(spec, make_swarp())
+
+
+def test_simulator_requires_pfs_host():
+    from repro.platform.spec import HostSpec, PlatformSpec
+
+    spec = PlatformSpec(
+        name="nopfs", hosts=(HostSpec(name="cn0", cores=4, core_speed=1e9),)
+    )
+    with pytest.raises(ValueError, match="pfs"):
+        Simulator(spec, make_swarp())
+
+
+def test_cli_end_to_end(files, tmp_path, capsys):
+    platform_path, workflow_path = files
+    out = tmp_path / "trace.json"
+    code = main(
+        [
+            "--platform", str(platform_path),
+            "--workflow", str(workflow_path),
+            "--mode", "private",
+            "--input-fraction", "0.5",
+            "-o", str(out),
+        ]
+    )
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "makespan:" in printed
+    doc = json.loads(out.read_text())
+    assert doc["makespan"] > 0
+    assert len(doc["tasks"]) == 5
+
+
+def test_cli_gantt(files, capsys):
+    platform_path, workflow_path = files
+    assert main(
+        [
+            "--platform", str(platform_path),
+            "--workflow", str(workflow_path),
+            "--gantt",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "legend: r=read" in out
+
+
+def test_simulator_on_generated_fat_tree(tmp_path):
+    """The facade runs on a topology-generated platform (BB-less)."""
+    from repro.platform.topologies import build_fat_tree
+
+    spec = build_fat_tree(pods=2, nodes_per_pod=2)
+    trace = Simulator(spec, make_swarp(n_pipelines=2)).run()
+    assert trace.makespan > 0
+    hosts = {r.host for r in trace.records.values()}
+    assert hosts <= {"cn0", "cn1", "cn2", "cn3"}
+
+
+def test_simulator_on_generated_dragonfly():
+    from repro.platform.topologies import build_dragonfly
+
+    spec = build_dragonfly(groups=2, nodes_per_group=2)
+    trace = Simulator(spec, make_swarp(n_pipelines=2)).run()
+    assert trace.makespan > 0

@@ -1,0 +1,158 @@
+"""Tests for execution traces and bandwidth accounting."""
+
+import json
+
+import pytest
+
+from repro import des
+from repro.network import FlowNetwork, Link
+from repro.traces import (
+    ExecutionTrace,
+    TaskRecord,
+    TraceEvent,
+    achieved_bandwidths,
+    mean_achieved_bandwidth,
+)
+
+
+# ----------------------------------------------------------------------
+# TaskRecord
+# ----------------------------------------------------------------------
+def make_record(**kw):
+    defaults = dict(
+        name="t", group="g", host="cn0", cores=4,
+        start=0.0, read_start=0.0, read_end=2.0,
+        compute_end=8.0, write_end=10.0, end=10.0,
+    )
+    defaults.update(kw)
+    return TaskRecord(**defaults)
+
+
+def test_record_phase_durations():
+    r = make_record()
+    assert r.duration == 10.0
+    assert r.read_time == 2.0
+    assert r.compute_time == 6.0
+    assert r.write_time == 2.0
+    assert r.io_time == 4.0
+
+
+def test_record_io_fraction_matches_eq1():
+    r = make_record()
+    assert r.io_fraction == pytest.approx(0.4)
+
+
+def test_record_io_fraction_zero_duration():
+    r = make_record(end=0.0, read_end=0.0, compute_end=0.0, write_end=0.0)
+    assert r.io_fraction == 0.0
+
+
+# ----------------------------------------------------------------------
+# ExecutionTrace
+# ----------------------------------------------------------------------
+def test_trace_makespan_is_last_event():
+    trace = ExecutionTrace("wf")
+    trace.log(1.0, "task_start", "a")
+    trace.log(5.5, "task_end", "a")
+    trace.log(3.0, "task_start", "b")
+    assert trace.makespan == 5.5
+
+
+def test_trace_empty_makespan_zero():
+    assert ExecutionTrace().makespan == 0.0
+
+
+def test_trace_record_queries():
+    trace = ExecutionTrace("wf")
+    trace.add_record(make_record(name="a", group="resample"))
+    trace.add_record(make_record(name="b", group="resample", end=20.0))
+    trace.add_record(make_record(name="c", group="combine"))
+    assert trace.task_record("a").name == "a"
+    assert [r.name for r in trace.records_in_group("resample")] == ["a", "b"]
+    assert trace.group_mean_duration("resample") == pytest.approx(15.0)
+    with pytest.raises(KeyError):
+        trace.task_record("ghost")
+    with pytest.raises(KeyError):
+        trace.group_mean_duration("ghost")
+
+
+def test_trace_events_of_kind():
+    trace = ExecutionTrace()
+    trace.log(1.0, "x", "a")
+    trace.log(2.0, "y", "b")
+    trace.log(3.0, "x", "c")
+    assert [e.task for e in trace.events_of_kind("x")] == ["a", "c"]
+
+
+def test_trace_json_roundtrippable(tmp_path):
+    trace = ExecutionTrace("wf")
+    trace.log(1.0, "task_start", "a", "detail")
+    trace.add_record(make_record(name="a"))
+    path = tmp_path / "trace.json"
+    text = trace.to_json(path)
+    doc = json.loads(path.read_text())
+    assert doc == json.loads(text)
+    assert doc["workflow"] == "wf"
+    assert doc["makespan"] == 1.0
+    assert doc["events"][0]["kind"] == "task_start"
+    assert doc["tasks"][0]["name"] == "a"
+    assert doc["tasks"][0]["read_time"] == 2.0
+
+
+def test_trace_event_to_dict():
+    e = TraceEvent(1.5, "kind", "task", "detail")
+    assert e.to_dict() == {
+        "time": 1.5, "kind": "kind", "task": "task", "detail": "detail"
+    }
+
+
+def test_trace_len_counts_events():
+    trace = ExecutionTrace()
+    trace.log(0.0, "a")
+    trace.log(1.0, "b")
+    assert len(trace) == 2
+
+
+# ----------------------------------------------------------------------
+# Bandwidth accounting
+# ----------------------------------------------------------------------
+def run_flows():
+    env = des.Environment()
+    net = FlowNetwork(env)
+    l = Link("l", bandwidth=100.0)
+    net.transfer(1000, [l], label="bb:read:f1")
+    net.transfer(500, [l], label="pfs:read:f2")
+    env.run()
+    return net
+
+
+def test_achieved_bandwidths_all():
+    net = run_flows()
+    assert len(achieved_bandwidths(net)) == 2
+
+
+def test_achieved_bandwidths_filtered_by_prefix():
+    net = run_flows()
+    bw = achieved_bandwidths(net, label_prefix="bb:")
+    assert len(bw) == 1
+
+
+def test_mean_achieved_bandwidth():
+    net = run_flows()
+    # Both flows share the link; each achieves well under 100 B/s.
+    mean = mean_achieved_bandwidth(net)
+    assert 0 < mean < 100.0
+
+
+def test_mean_achieved_bandwidth_no_match_raises():
+    net = run_flows()
+    with pytest.raises(ValueError):
+        mean_achieved_bandwidth(net, label_prefix="nothing:")
+
+
+def test_zero_byte_flows_excluded():
+    env = des.Environment()
+    net = FlowNetwork(env)
+    net.transfer(0, [], latency=1.0, label="empty")
+    env.run()
+    assert achieved_bandwidths(net) == []

@@ -1,0 +1,98 @@
+"""Tests for per-file I/O operation logging."""
+
+import json
+
+import pytest
+
+from repro import des
+from repro.compute import ComputeService
+from repro.platform import Platform
+from repro.platform.presets import TABLE_I, cori_spec
+from repro.platform.units import MB
+from repro.storage import BBMode, ParallelFileSystem, SharedBurstBuffer
+from repro.traces import IOOperation
+from repro.wms import AllBB, WorkflowEngine
+from repro.workflow import File, Task, Workflow
+
+SPEED = TABLE_I["cori"]["core_speed"]
+
+
+@pytest.fixture
+def trace_with_io():
+    env = des.Environment()
+    plat = Platform(env, cori_spec(n_compute=1, n_bb_nodes=1))
+    ext = File("ext", 100 * MB)
+    mid = File("mid", 200 * MB)
+    a = Task("a", flops=SPEED, inputs=(ext,), outputs=(mid,), cores=1)
+    b = Task("b", flops=SPEED, inputs=(mid,), cores=1)
+    bb = SharedBurstBuffer(plat, ["bb0"], BBMode.PRIVATE, owner_host="cn0")
+    engine = WorkflowEngine(
+        plat,
+        Workflow("w", [a, b]),
+        ComputeService(plat, ["cn0"]),
+        ParallelFileSystem(plat),
+        bb_for_host=lambda h: bb,
+        placement=AllBB(),
+        host_assignment=lambda t: "cn0",
+    )
+    return engine.run()
+
+
+def test_every_file_access_logged(trace_with_io):
+    ops = {(op.task, op.file, op.kind) for op in trace_with_io.io_operations}
+    assert ops == {
+        ("a", "ext", "read"),
+        ("a", "mid", "write"),
+        ("b", "mid", "read"),
+    }
+
+
+def test_io_operation_timing(trace_with_io):
+    # a reads 100 MB from the BB (prestaged): 800 MB/s uplink → 0.125 s.
+    (read_op,) = [
+        op for op in trace_with_io.io_operations
+        if op.task == "a" and op.kind == "read"
+    ]
+    assert read_op.duration == pytest.approx(0.125, rel=1e-6)
+    assert read_op.bandwidth == pytest.approx(800 * MB, rel=1e-6)
+    assert read_op.service.startswith("bb")
+
+
+def test_io_for_task_query(trace_with_io):
+    assert len(trace_with_io.io_for_task("a")) == 2
+    assert len(trace_with_io.io_for_task("b")) == 1
+    assert trace_with_io.io_for_task("ghost") == []
+
+
+def test_io_for_service_query(trace_with_io):
+    bb_ops = [
+        op
+        for op in trace_with_io.io_operations
+        if op.service.startswith("bb")
+    ]
+    service = bb_ops[0].service
+    assert trace_with_io.io_for_service(service) == bb_ops
+
+
+def test_service_bytes_accounting(trace_with_io):
+    totals = trace_with_io.service_bytes()
+    bb_total = sum(v for k, v in totals.items() if k.startswith("bb"))
+    # ext read (100) + mid write (200) + mid read (200) = 500 MB via BB.
+    assert bb_total == pytest.approx(500 * MB)
+
+
+def test_io_operations_serialized(trace_with_io):
+    doc = json.loads(trace_with_io.to_json())
+    assert len(doc["io_operations"]) == 3
+    assert {"task", "file", "service", "kind", "size", "start", "end"} <= set(
+        doc["io_operations"][0]
+    )
+
+
+def test_zero_duration_bandwidth_is_none():
+    op = IOOperation(
+        task="t", file="f", service="s", kind="read", size=10.0,
+        start=1.0, end=1.0,
+    )
+    assert op.bandwidth is None
+    assert op.duration == 0.0

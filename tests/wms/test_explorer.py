@@ -1,0 +1,215 @@
+"""Tests for the placement explorer (policy scoring + greedy search)."""
+
+import pytest
+
+from repro import des
+from repro.compute import ComputeService
+from repro.platform import Platform
+from repro.platform.presets import TABLE_I, cori_spec
+from repro.platform.units import MB
+from repro.storage import BBMode, ParallelFileSystem, SharedBurstBuffer
+from repro.wms import (
+    AllBB,
+    AllPFS,
+    ExplicitPlacement,
+    GreedyPlacementSearch,
+    WorkflowEngine,
+    evaluate_policies,
+    workflow_candidates,
+)
+from repro.wms.placement import Tier
+from repro.workflow import File, Task, Workflow
+
+SPEED = TABLE_I["cori"]["core_speed"]
+
+
+def make_workflow():
+    """Two pipelines with fat and thin intermediate files."""
+    tasks = []
+    for i, size in enumerate((400 * MB, 10 * MB)):
+        ext = File(f"in{i}", size)
+        mid = File(f"mid{i}", size)
+        out = File(f"out{i}", MB)
+        tasks.append(Task(f"a{i}", flops=SPEED, inputs=(ext,), outputs=(mid,), cores=1))
+        tasks.append(Task(f"b{i}", flops=SPEED, inputs=(mid,), outputs=(out,), cores=1))
+    return Workflow("two-pipes", tasks)
+
+
+def make_evaluator(workflow):
+    def evaluate(placement) -> float:
+        env = des.Environment()
+        plat = Platform(env, cori_spec(n_compute=1, n_bb_nodes=1))
+        engine = WorkflowEngine(
+            plat,
+            workflow,
+            ComputeService(plat, ["cn0"]),
+            ParallelFileSystem(plat),
+            bb_for_host=lambda h: SharedBurstBuffer(
+                plat, ["bb0"], BBMode.PRIVATE, owner_host=h
+            ),
+            placement=placement,
+            host_assignment=lambda t: "cn0",
+        )
+        return engine.run().makespan
+
+    return evaluate
+
+
+# ----------------------------------------------------------------------
+# ExplicitPlacement
+# ----------------------------------------------------------------------
+def test_explicit_placement_defaults_to_pfs():
+    wf = make_workflow()
+    policy = ExplicitPlacement()
+    assert policy.tier_of(wf.files["in0"], wf) == Tier.PFS
+
+
+def test_explicit_placement_with_file():
+    wf = make_workflow()
+    policy = ExplicitPlacement().with_file("in0")
+    assert policy.tier_of(wf.files["in0"], wf) == Tier.BB
+    assert policy.tier_of(wf.files["in1"], wf) == Tier.PFS
+    back = policy.without_file("in0")
+    assert back.tier_of(wf.files["in0"], wf) == Tier.PFS
+
+
+def test_explicit_placement_moves_are_copies():
+    base = ExplicitPlacement()
+    moved = base.with_file("x")
+    assert "x" not in base.bb_files
+    assert "x" in moved.bb_files
+
+
+# ----------------------------------------------------------------------
+# evaluate_policies
+# ----------------------------------------------------------------------
+def test_evaluate_policies_sorted_best_first():
+    wf = make_workflow()
+    scores = evaluate_policies(
+        make_evaluator(wf), {"pfs": AllPFS(), "bb": AllBB()}
+    )
+    assert scores[0].makespan <= scores[1].makespan
+    assert scores[0].name == "bb"  # BB wins on this I/O-heavy workflow
+    assert scores[0].speedup_vs_worst >= 1.0
+
+
+def test_evaluate_policies_empty_rejected():
+    with pytest.raises(ValueError):
+        evaluate_policies(lambda p: 1.0, {})
+
+
+# ----------------------------------------------------------------------
+# GreedyPlacementSearch
+# ----------------------------------------------------------------------
+def test_greedy_search_improves_makespan():
+    wf = make_workflow()
+    search = GreedyPlacementSearch(
+        make_evaluator(wf), workflow_candidates(wf)
+    )
+    result = search.run()
+    assert result.makespan <= result.baseline_makespan
+    assert result.speedup >= 1.0
+    assert result.steps  # at least one profitable move on this workflow
+    # Moves are recorded consistently.
+    for step in result.steps:
+        assert step.gain > 0
+    assert result.steps[-1].makespan_after == pytest.approx(result.makespan)
+
+
+def test_greedy_search_prefers_fat_files_first():
+    """The 400 MB intermediate buys more than the 10 MB one."""
+    wf = make_workflow()
+    search = GreedyPlacementSearch(
+        make_evaluator(wf), workflow_candidates(wf), max_moves=1
+    )
+    result = search.run()
+    assert len(result.steps) == 1
+    assert result.steps[0].file_name in ("in0", "mid0")
+
+
+def test_greedy_search_respects_eval_budget():
+    wf = make_workflow()
+    search = GreedyPlacementSearch(
+        make_evaluator(wf), workflow_candidates(wf), max_evaluations=3
+    )
+    result = search.run()
+    assert result.evaluations <= 3
+
+
+def test_greedy_search_stops_when_no_gain():
+    """On a compute-bound workflow no placement move helps."""
+    ext = File("in", 1)  # 1-byte files: I/O is free
+    mid = File("mid", 1)
+    tasks = [
+        Task("a", flops=10 * SPEED, inputs=(ext,), outputs=(mid,), cores=1),
+        Task("b", flops=10 * SPEED, inputs=(mid,), cores=1),
+    ]
+    wf = Workflow("compute-bound", tasks)
+    search = GreedyPlacementSearch(make_evaluator(wf), workflow_candidates(wf))
+    result = search.run()
+    assert result.steps == []
+    assert result.makespan == result.baseline_makespan
+
+
+def test_greedy_search_validation():
+    with pytest.raises(ValueError):
+        GreedyPlacementSearch(lambda p: 1.0, [])
+    with pytest.raises(ValueError):
+        GreedyPlacementSearch(lambda p: 1.0, [File("f", 1)], max_evaluations=0)
+
+
+def test_workflow_candidates_excludes_final_outputs():
+    wf = make_workflow()
+    names = {f.name for f in workflow_candidates(wf)}
+    assert names == {"in0", "in1", "mid0", "mid1"}
+
+
+# ----------------------------------------------------------------------
+# AnnealingPlacementSearch
+# ----------------------------------------------------------------------
+def test_annealing_improves_on_io_heavy_workflow():
+    from repro.wms import AnnealingPlacementSearch
+
+    wf = make_workflow()
+    search = AnnealingPlacementSearch(
+        make_evaluator(wf), workflow_candidates(wf), seed=3, iterations=60
+    )
+    result = search.run()
+    assert result.makespan <= result.baseline_makespan
+    assert result.speedup >= 1.0
+
+
+def test_annealing_deterministic_under_seed():
+    from repro.wms import AnnealingPlacementSearch
+
+    wf = make_workflow()
+    a = AnnealingPlacementSearch(
+        make_evaluator(wf), workflow_candidates(wf), seed=5, iterations=30
+    ).run()
+    b = AnnealingPlacementSearch(
+        make_evaluator(wf), workflow_candidates(wf), seed=5, iterations=30
+    ).run()
+    assert a.makespan == b.makespan
+    assert a.placement.bb_files == b.placement.bb_files
+
+
+def test_annealing_best_never_worse_than_visited():
+    from repro.wms import AnnealingPlacementSearch
+
+    wf = make_workflow()
+    result = AnnealingPlacementSearch(
+        make_evaluator(wf), workflow_candidates(wf), seed=9, iterations=40
+    ).run()
+    visited = [s.makespan_after for s in result.steps] + [result.baseline_makespan]
+    assert result.makespan == pytest.approx(min(visited))
+
+
+def test_annealing_validation():
+    from repro.wms import AnnealingPlacementSearch
+
+    with pytest.raises(ValueError):
+        AnnealingPlacementSearch(lambda p: 1.0, [], seed=1)
+    with pytest.raises(ValueError):
+        AnnealingPlacementSearch(lambda p: 1.0, [File("f", 1)], seed=1, iterations=0)
+    with pytest.raises(ValueError):
+        AnnealingPlacementSearch(lambda p: 1.0, [File("f", 1)], seed=1, cooling=1.5)

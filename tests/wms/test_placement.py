@@ -1,0 +1,135 @@
+"""Tests for placement policies."""
+
+import pytest
+
+from repro.platform.units import MiB
+from repro.wms.placement import (
+    AllBB,
+    AllPFS,
+    FileRole,
+    FractionPlacement,
+    LocalityPlacement,
+    SizeThresholdPlacement,
+    Tier,
+    classify,
+)
+from repro.workflow import File, Task, Workflow
+from repro.workflow.swarp import make_swarp
+
+
+@pytest.fixture
+def swarp():
+    return make_swarp(n_pipelines=1)
+
+
+def test_classify_roles(swarp):
+    input_file = swarp.files["p0/input_0.fits"]
+    mid_file = swarp.files["p0/resamp_0.fits"]
+    out_file = swarp.files["p0/coadd.fits"]
+    assert classify(input_file, swarp) == FileRole.INPUT
+    assert classify(mid_file, swarp) == FileRole.INTERMEDIATE
+    assert classify(out_file, swarp) == FileRole.OUTPUT
+
+
+def test_classify_stage_in_outputs_are_inputs(swarp):
+    """Files 'produced' by stage-in are workflow inputs, not intermediates."""
+    f = swarp.files["p0/weight_3.fits"]
+    assert swarp.producer_of(f.name).name == "stage_in"
+    assert classify(f, swarp) == FileRole.INPUT
+
+
+def test_fraction_zero_places_nothing(swarp):
+    policy = FractionPlacement(0.0, 0.0, 0.0).bind(swarp)
+    assert all(
+        policy.tier_of(f, swarp) == Tier.PFS for f in swarp.files.values()
+    )
+    assert policy.staged_input_names(swarp) == []
+
+
+def test_fraction_one_places_everything(swarp):
+    policy = AllBB().bind(swarp)
+    assert all(
+        policy.tier_of(f, swarp) == Tier.BB for f in swarp.files.values()
+    )
+
+
+def test_fraction_half_inputs(swarp):
+    policy = FractionPlacement(input_fraction=0.5).bind(swarp)
+    staged = policy.staged_input_names(swarp)
+    assert len(staged) == 16  # half of the 32 input files
+    # Deterministic: first half by sorted name.
+    names = sorted(f.name for f in swarp.external_input_files())
+    assert staged == sorted(names[:16])
+
+
+def test_fraction_selection_is_monotone(swarp):
+    """Raising the fraction never removes previously selected files."""
+    previous: set = set()
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        staged = set(
+            FractionPlacement(input_fraction=frac).bind(swarp).staged_input_names(swarp)
+        )
+        assert previous <= staged
+        previous = staged
+
+
+def test_fraction_scopes_are_independent(swarp):
+    policy = FractionPlacement(
+        input_fraction=0.0, intermediate_fraction=1.0
+    ).bind(swarp)
+    assert policy.tier_of(swarp.files["p0/input_0.fits"], swarp) == Tier.PFS
+    assert policy.tier_of(swarp.files["p0/resamp_0.fits"], swarp) == Tier.BB
+
+
+def test_fraction_validation():
+    with pytest.raises(ValueError):
+        FractionPlacement(input_fraction=1.5)
+    with pytest.raises(ValueError):
+        FractionPlacement(output_fraction=-0.1)
+
+
+def test_fraction_ceil_rounding():
+    """ceil semantics: any positive fraction selects at least one file."""
+    f_in = File("a", 1)
+    t = Task("t", flops=1, inputs=(f_in,))
+    wf = Workflow("w", [t])
+    policy = FractionPlacement(input_fraction=0.01).bind(wf)
+    assert policy.staged_input_names(wf) == ["a"]
+
+
+def test_all_pfs_convenience(swarp):
+    policy = AllPFS().bind(swarp)
+    assert policy.staged_input_names(swarp) == []
+
+
+def test_size_threshold_large_to_bb(swarp):
+    policy = SizeThresholdPlacement(threshold=20 * MiB, large_to_bb=True)
+    img = swarp.files["p0/input_0.fits"]      # 32 MiB
+    weight = swarp.files["p0/weight_0.fits"]  # 16 MiB
+    assert policy.tier_of(img, swarp) == Tier.BB
+    assert policy.tier_of(weight, swarp) == Tier.PFS
+
+
+def test_size_threshold_small_to_bb(swarp):
+    policy = SizeThresholdPlacement(threshold=20 * MiB, large_to_bb=False)
+    img = swarp.files["p0/input_0.fits"]
+    weight = swarp.files["p0/weight_0.fits"]
+    assert policy.tier_of(img, swarp) == Tier.PFS
+    assert policy.tier_of(weight, swarp) == Tier.BB
+
+
+def test_size_threshold_validation():
+    with pytest.raises(ValueError):
+        SizeThresholdPlacement(threshold=-1)
+
+
+def test_locality_placement(swarp):
+    policy = LocalityPlacement()
+    assert policy.tier_of(swarp.files["p0/resamp_0.fits"], swarp) == Tier.BB
+    assert policy.tier_of(swarp.files["p0/input_0.fits"], swarp) == Tier.PFS
+    assert policy.tier_of(swarp.files["p0/coadd.fits"], swarp) == Tier.PFS
+
+
+def test_locality_placement_with_inputs(swarp):
+    policy = LocalityPlacement(inputs_to_bb=True)
+    assert policy.tier_of(swarp.files["p0/input_0.fits"], swarp) == Tier.BB

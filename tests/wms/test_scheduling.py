@@ -1,0 +1,146 @@
+"""Tests for the scheduling policies."""
+
+import pytest
+
+from repro import des
+from repro.compute import ComputeService
+from repro.platform import Platform
+from repro.platform.presets import TABLE_I, local_bb_host, summit_spec, cori_spec
+from repro.platform.units import MB
+from repro.storage import OnNodeBurstBuffer, ParallelFileSystem
+from repro.wms import (
+    AllBB,
+    AllPFS,
+    DataLocalityScheduler,
+    LeastLoadedScheduler,
+    RoundRobinScheduler,
+    WorkflowEngine,
+    consistent_hash_assignment,
+)
+from repro.workflow import File, Task, Workflow
+from repro.workflow.synthetic import make_fork_join
+
+SPEED = TABLE_I["cori"]["core_speed"]
+
+
+def build_engine(workflow, scheduler, n_compute=2, placement=None, summit=False):
+    env = des.Environment()
+    if summit:
+        plat = Platform(env, summit_spec(n_compute=n_compute))
+        bbs = {
+            f"cn{i}": OnNodeBurstBuffer(plat, local_bb_host(f"cn{i}"))
+            for i in range(n_compute)
+        }
+        bb_for_host = lambda h: bbs[h]
+    else:
+        plat = Platform(env, cori_spec(n_compute=n_compute))
+        bb_for_host = None
+    hosts = [f"cn{i}" for i in range(n_compute)]
+    return WorkflowEngine(
+        plat,
+        workflow,
+        ComputeService(plat, hosts),
+        ParallelFileSystem(plat),
+        bb_for_host=bb_for_host,
+        placement=placement or AllPFS(),
+        host_assignment=scheduler,
+    )
+
+
+def test_round_robin_spreads_tasks():
+    wf = Workflow(
+        "bag", [Task(f"t{i}", flops=SPEED, cores=1) for i in range(8)]
+    )
+    engine = build_engine(wf, RoundRobinScheduler(), n_compute=2)
+    trace = engine.run()
+    hosts = {r.host for r in trace.records.values()}
+    assert hosts == {"cn0", "cn1"}
+    counts = [sum(1 for r in trace.records.values() if r.host == h) for h in hosts]
+    assert counts == [4, 4]
+
+
+def test_least_loaded_balances_unequal_tasks():
+    """A 24-core task and several 8-core tasks: least-loaded packs the
+    small ones onto the freer host instead of blindly alternating."""
+    tasks = [Task("big", flops=10 * SPEED, cores=24)]
+    tasks += [Task(f"small{i}", flops=10 * SPEED, cores=8) for i in range(4)]
+    wf = Workflow("mixed", tasks)
+    engine = build_engine(wf, LeastLoadedScheduler(), n_compute=2)
+    trace = engine.run()
+    # All five tasks fit concurrently: 24+8 on one host, 3×8 on the other.
+    starts = {r.start for r in trace.records.values()}
+    assert starts == {0.0}
+
+
+def test_least_loaded_beats_round_robin_on_makespan():
+    """With 3 equal tasks and 2 hosts, both run 2 waves; with 4 hosts
+    least-loaded uses all of them."""
+    tasks = [Task(f"t{i}", flops=32 * SPEED, cores=32) for i in range(4)]
+    wf = Workflow("bag", tasks)
+    rr = build_engine(wf, RoundRobinScheduler(), n_compute=4).run()
+    ll = build_engine(wf, LeastLoadedScheduler(), n_compute=4).run()
+    assert ll.makespan <= rr.makespan
+    assert ll.makespan == pytest.approx(1.0, rel=1e-6)
+
+
+def test_data_locality_follows_producer():
+    """The consumer lands on the host whose local BB holds its input."""
+    mid = File("mid", 200 * MB)
+    producer = Task("produce", flops=SPEED, outputs=(mid,), cores=1)
+    consumer = Task("consume", flops=SPEED, inputs=(mid,), cores=1)
+    wf = Workflow("pair", [producer, consumer])
+
+    scheduler = DataLocalityScheduler()
+    engine = build_engine(
+        wf, scheduler, n_compute=2, placement=AllBB(), summit=True
+    )
+    trace = engine.run()
+    assert trace.task_record("consume").host == trace.task_record("produce").host
+
+
+def test_data_locality_falls_back_to_load():
+    """Without any BB copies the locality scheduler degrades to
+    least-loaded behaviour (it must not crash on a BB-less engine)."""
+    wf = make_fork_join(4)
+    engine = build_engine(wf, DataLocalityScheduler(), n_compute=2)
+    trace = engine.run()
+    assert len(trace.records) == 6
+
+
+def test_scheduler_requires_attachment():
+    scheduler = LeastLoadedScheduler()
+    with pytest.raises(AssertionError):
+        scheduler(Task("t", flops=1))
+
+
+def test_assignment_memoized_per_task():
+    """A stateful scheduler must be asked once per task even though the
+    engine consults assignments repeatedly for placement decisions."""
+    calls = []
+
+    class Spy(RoundRobinScheduler):
+        def __call__(self, task):
+            calls.append(task.name)
+            return super().__call__(task)
+
+    wf = make_fork_join(3)
+    engine = build_engine(wf, Spy(), n_compute=2, placement=AllPFS())
+    engine.run()
+    assert sorted(calls) == sorted(set(calls))
+
+
+def test_consistent_hash_assignment_stable():
+    assign = consistent_hash_assignment(["cn0", "cn1", "cn2"])
+    t = Task("some_task", flops=1)
+    assert assign(t) == assign(t)
+    with pytest.raises(ValueError):
+        consistent_hash_assignment([])
+
+
+def test_consistent_hash_runs_workflow():
+    wf = make_fork_join(6)
+    engine = build_engine(
+        wf, consistent_hash_assignment(["cn0", "cn1"]), n_compute=2
+    )
+    trace = engine.run()
+    assert len(trace.records) == 8

@@ -1,0 +1,119 @@
+"""Tests for task clustering."""
+
+import pytest
+
+from repro.platform.presets import TABLE_I
+from repro.workflow import File, Task, Workflow
+from repro.workflow.swarp import make_swarp
+from repro.workflow.synthetic import make_chain, make_fork_join
+from repro.workflow.transforms import cluster_linear_chains, clustering_savings
+
+SPEED = TABLE_I["cori"]["core_speed"]
+
+
+def test_chain_collapses_to_single_task():
+    wf = make_chain(5, task_seconds=10.0)
+    clustered = cluster_linear_chains(wf)
+    assert len(clustered) == 1
+    (task,) = list(clustered)
+    assert task.flops == pytest.approx(wf.total_flops)
+
+
+def test_clustering_preserves_external_files():
+    wf = make_chain(4)
+    clustered = cluster_linear_chains(wf)
+    assert [f.name for f in clustered.external_input_files()] == [
+        f.name for f in wf.external_input_files()
+    ]
+    assert [f.name for f in clustered.output_files()] == [
+        f.name for f in wf.output_files()
+    ]
+
+
+def test_clustering_removes_intermediates():
+    wf = make_chain(4, file_size=100e6)
+    eliminated, saved_bytes = clustering_savings(wf)
+    assert eliminated == 3
+    assert saved_bytes == pytest.approx(3 * 100e6)
+
+
+def test_fork_join_is_not_linear():
+    """Workers share a parent/child, so only nothing merges... except
+    each worker chain is length 1 (source has 4 children, sink 4
+    parents): the structure is preserved entirely."""
+    wf = make_fork_join(4)
+    clustered = cluster_linear_chains(wf)
+    assert len(clustered) == len(wf)
+
+
+def test_swarp_pipelines_cluster():
+    """Each Resample→Combine pair is a private linear chain."""
+    wf = make_swarp(n_pipelines=3, include_stage_in=False)
+    clustered = cluster_linear_chains(wf)
+    assert len(clustered) == 3
+    for task in clustered:
+        assert "+" in task.name
+        assert task.group == "clustered"
+
+
+def test_swarp_with_stage_in_not_merged_into_it():
+    """Stage-in tasks are never clustered."""
+    wf = make_swarp(n_pipelines=1, include_stage_in=True)
+    clustered = cluster_linear_chains(wf)
+    names = set(clustered.tasks)
+    assert "stage_in" in names
+    assert "resample_0+combine_0" in names
+
+
+def test_shared_file_blocks_merge():
+    """If a second consumer reads the intermediate, no merge happens."""
+    mid = File("mid", 10)
+    a = Task("a", flops=1, outputs=(mid,))
+    b = Task("b", flops=1, inputs=(mid,))
+    c = Task("c", flops=1, inputs=(mid,))
+    wf = Workflow("shared", [a, b, c])
+    assert len(cluster_linear_chains(wf)) == 3
+
+
+def test_alpha_is_flops_weighted():
+    mid = File("mid", 10)
+    a = Task("a", flops=3e9, alpha=0.0, outputs=(mid,))
+    b = Task("b", flops=1e9, alpha=0.8, inputs=(mid,))
+    clustered = cluster_linear_chains(Workflow("w", [a, b]))
+    (task,) = list(clustered)
+    assert task.alpha == pytest.approx(0.2)
+
+
+def test_merged_cores_is_max():
+    mid = File("mid", 10)
+    a = Task("a", flops=1, cores=4, outputs=(mid,))
+    b = Task("b", flops=1, cores=16, inputs=(mid,))
+    clustered = cluster_linear_chains(Workflow("w", [a, b]))
+    assert list(clustered)[0].cores == 16
+
+
+def test_clustered_workflow_executes_faster_on_slow_storage():
+    """The point of clustering: the chain's intermediates never touch
+    storage, so on a PFS-only platform the clustered version wins."""
+    from repro import des
+    from repro.compute import ComputeService
+    from repro.platform import Platform
+    from repro.platform.presets import cori_spec
+    from repro.storage import ParallelFileSystem
+    from repro.wms import WorkflowEngine
+
+    wf = make_chain(4, task_seconds=1.0, file_size=200e6)
+
+    def makespan(workflow):
+        env = des.Environment()
+        plat = Platform(env, cori_spec())
+        engine = WorkflowEngine(
+            plat,
+            workflow,
+            ComputeService(plat, ["cn0"]),
+            ParallelFileSystem(plat),
+            host_assignment=lambda t: "cn0",
+        )
+        return engine.run().makespan
+
+    assert makespan(cluster_linear_chains(wf)) < makespan(wf)
