@@ -1,0 +1,104 @@
+"""The checker: walks files, runs rules, filters pragmas."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.lint.context import FileContext
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.pragmas import Pragmas
+from repro.lint.rules import Rule, all_rules
+
+#: Pseudo-rule for unparseable files (cannot be suppressed per-line).
+PARSE_ERROR_ID = "SIM999"
+
+
+class Checker:
+    """Runs a selected set of rules over files or directory trees."""
+
+    def __init__(
+        self,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+    ) -> None:
+        registry = all_rules()
+        selected = set(select) if select else set(registry)
+        selected -= set(ignore or ())
+        unknown = selected - set(registry)
+        if unknown:
+            raise ValueError(f"unknown rule ids: {', '.join(sorted(unknown))}")
+        self.rules: list[Rule] = [registry[rule_id]() for rule_id in sorted(selected)]
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def check_paths(self, paths: Sequence["str | Path"]) -> list[Diagnostic]:
+        """Lint files and directory trees; returns sorted diagnostics."""
+        diagnostics: list[Diagnostic] = []
+        for file_path in self._collect_files(paths):
+            diagnostics.extend(self.check_file(file_path))
+        return sorted(diagnostics)
+
+    def check_file(self, path: "str | Path") -> list[Diagnostic]:
+        path = Path(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            return [
+                Diagnostic(
+                    path=str(path),
+                    line=1,
+                    col=1,
+                    rule_id=PARSE_ERROR_ID,
+                    message=f"cannot read file: {error}",
+                    severity=Severity.ERROR,
+                )
+            ]
+        return self.check_source(source, path=str(path))
+
+    def check_source(self, source: str, path: str = "<string>") -> list[Diagnostic]:
+        """Lint one source string (used by tests and editor integrations)."""
+        try:
+            ctx = FileContext.parse(path, source)
+        except SyntaxError as error:
+            return [
+                Diagnostic(
+                    path=path,
+                    line=error.lineno or 1,
+                    col=(error.offset or 0) + 1,
+                    rule_id=PARSE_ERROR_ID,
+                    message=f"syntax error: {error.msg}",
+                    severity=Severity.ERROR,
+                )
+            ]
+        pragmas = Pragmas.scan(source)
+        diagnostics = [
+            diag
+            for rule in self.rules
+            if rule.applies_to(ctx)
+            for diag in rule.check(ctx)
+            if not pragmas.suppresses(diag.rule_id, diag.line)
+        ]
+        return sorted(diagnostics)
+
+    # ------------------------------------------------------------------
+    # File discovery
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _collect_files(paths: Sequence["str | Path"]) -> Iterator[Path]:
+        seen: set[Path] = set()
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+            else:
+                candidates = [path]
+            for candidate in candidates:
+                if "__pycache__" in candidate.parts:
+                    continue
+                resolved = candidate.resolve()
+                if resolved in seen:
+                    continue
+                seen.add(resolved)
+                yield candidate

@@ -1,0 +1,106 @@
+"""Command-line interface: ``python -m repro.lint`` / ``repro-lint``.
+
+Exit codes: 0 = clean, 1 = diagnostics reported, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.lint.checker import Checker
+from repro.lint.config import LintConfig
+from repro.lint.rules import all_rules
+
+
+def _split_ids(values: "list[str] | None") -> "list[str] | None":
+    if not values:
+        return None
+    out: list[str] = []
+    for value in values:
+        out.extend(part.strip() for part in value.split(",") if part.strip())
+    return out
+
+
+def list_rules() -> str:
+    """Render the rule catalogue (``--list-rules``)."""
+    lines = []
+    for rule_id, cls in all_rules().items():
+        lines.append(f"{rule_id}  [{cls.severity.value:7s}]  {cls.summary}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Simulation-correctness linter: determinism, unit "
+            "consistency, and DES-process hygiene for the repro codebase."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: [tool.repro-lint] "
+        "paths, falling back to src/)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(list_rules())
+        return 0
+
+    config = LintConfig.load()
+    select = _split_ids(args.select) or config.select
+    ignore = _split_ids(args.ignore) or config.ignore
+    paths = list(args.paths) or config.paths
+
+    try:
+        checker = Checker(select=select, ignore=ignore)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    diagnostics = checker.check_paths(paths)
+
+    if args.format == "json":
+        print(json.dumps([d.to_dict() for d in diagnostics], indent=2))
+    else:
+        for diagnostic in diagnostics:
+            print(diagnostic.render())
+        if diagnostics:
+            print(
+                f"\n{len(diagnostics)} finding(s) in "
+                f"{len({d.path for d in diagnostics})} file(s)",
+                file=sys.stderr,
+            )
+    return 1 if diagnostics else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m
+    raise SystemExit(main())

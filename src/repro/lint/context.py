@@ -1,0 +1,146 @@
+"""Per-file analysis context shared by all rules.
+
+A :class:`FileContext` is built once per file by the checker and handed
+to every rule: the parsed AST, the raw source lines, an import map that
+resolves local names back to their fully-qualified origins (so
+``from time import time as clock; clock()`` is still recognized as
+``time.time``), and the file's path *inside* the ``repro`` package (so
+rules can scope themselves to ``wms/``, ``des/``, etc.).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePath
+from typing import Optional
+
+
+def _qualified_name(node: ast.AST) -> Optional[str]:
+    """Dotted source text of a ``Name``/``Attribute`` chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ImportMap:
+    """Resolves local names to fully-qualified module paths.
+
+    Built from a module's ``import`` statements::
+
+        import numpy as np        ->  np        : numpy
+        from time import time     ->  time      : time.time
+        from x.y import z as w    ->  w         : x.y.z
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self._aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Fully-qualified name of a ``Name``/``Attribute`` expression.
+
+        The leading component is expanded through the import aliases;
+        unknown names are returned as written (``env.process`` stays
+        ``env.process``) so rules can still match on suffixes.
+        """
+        dotted = _qualified_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        head = self._aliases.get(head, head)
+        return f"{head}.{rest}" if rest else head
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to analyze one file."""
+
+    path: str                       # path as given (for diagnostics)
+    source: str
+    tree: ast.Module
+    imports: ImportMap
+    #: Path relative to the ``repro`` package root ("wms/engine.py"),
+    #: or None when the file is not inside a ``repro`` package (e.g.
+    #: test fixtures) — scoped rules treat None as "in scope".
+    package_relpath: Optional[str] = None
+    lines: list[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "FileContext":
+        tree = ast.parse(source, filename=path)
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            imports=ImportMap(tree),
+            package_relpath=package_relpath(path),
+            lines=source.splitlines(),
+        )
+
+    def in_package_dir(self, *prefixes: str) -> bool:
+        """True when the file lives under one of ``prefixes`` inside the
+        ``repro`` package — or is outside any package (fixtures)."""
+        if self.package_relpath is None:
+            return True
+        return any(self.package_relpath.startswith(p) for p in prefixes)
+
+    def outside_package_dir(self, *prefixes: str) -> bool:
+        """True unless the file lives under one of ``prefixes``."""
+        if self.package_relpath is None:
+            return True
+        return not any(self.package_relpath.startswith(p) for p in prefixes)
+
+
+def package_relpath(path: str) -> Optional[str]:
+    """Path relative to the last ``repro`` directory component, if any.
+
+    ``src/repro/wms/engine.py`` → ``wms/engine.py``;
+    ``tests/lint/fixtures/sim001_bad.py`` → ``None``.
+    """
+    parts = PurePath(path).parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro" and i + 1 < len(parts):
+            return "/".join(parts[i + 1 :])
+    return None
+
+
+def iter_function_defs(tree: ast.Module):
+    """Yield every function/method definition in the module."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def is_generator(func: "ast.FunctionDef | ast.AsyncFunctionDef") -> bool:
+    """True if ``func`` itself contains a yield (ignoring nested defs)."""
+    for node in walk_shallow(func):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+def walk_shallow(func: ast.AST):
+    """Walk a function body without descending into nested function or
+    class definitions (their yields/calls belong to a different scope)."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,62 @@
+"""Suppression pragmas.
+
+Two forms, both requiring an explicit rule list (a bare ``lint: ignore``
+suppresses every rule on that line — allowed, but discouraged):
+
+* line pragma — suppresses findings reported *on that physical line*::
+
+      start = time.time()  # lint: ignore[SIM001] - harness progress message
+
+* file pragma — suppresses a rule for the whole file; put it near the
+  top with a justification::
+
+      # lint: ignore-file[SIM010] - this module *defines* the unit constants
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_LINE_RE = re.compile(r"#\s*lint:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?")
+_FILE_RE = re.compile(r"#\s*lint:\s*ignore-file\[(?P<rules>[A-Z0-9,\s]+)\]")
+
+
+def _split(rules: "str | None") -> frozenset[str]:
+    if rules is None:
+        return frozenset()  # bare pragma: matches every rule
+    return frozenset(r.strip() for r in rules.split(",") if r.strip())
+
+
+@dataclass(frozen=True)
+class Pragmas:
+    """Parsed suppressions for one file."""
+
+    #: line number -> rule IDs suppressed there (empty set = all rules)
+    line_rules: dict[int, frozenset[str]]
+    #: rule IDs suppressed for the entire file
+    file_rules: frozenset[str]
+
+    @classmethod
+    def scan(cls, source: str) -> "Pragmas":
+        line_rules: dict[int, frozenset[str]] = {}
+        file_rules: set[str] = set()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            if "#" not in line:
+                continue
+            file_match = _FILE_RE.search(line)
+            if file_match:
+                file_rules |= _split(file_match.group("rules"))
+                continue
+            line_match = _LINE_RE.search(line)
+            if line_match:
+                line_rules[lineno] = _split(line_match.group("rules"))
+        return cls(line_rules=line_rules, file_rules=frozenset(file_rules))
+
+    def suppresses(self, rule_id: str, line: int) -> bool:
+        if rule_id in self.file_rules:
+            return True
+        rules = self.line_rules.get(line)
+        if rules is None:
+            return False
+        return not rules or rule_id in rules

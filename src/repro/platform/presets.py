@@ -42,7 +42,7 @@ SUMMIT_BB_NODE_CAPACITY = 1.6 * TB
 NON_TABLE_I_CONSTANTS = {
     "compute_fabric_bandwidth": 12.5 * GB,
     "compute_fabric_latency": 1 * US,
-    "pfs_capacity": 30e15,  # effectively unlimited for our workloads
+    "pfs_capacity": 30_000 * TB,  # 30 PB — effectively unlimited for our workloads
 }
 
 #: Canonical host names used by the presets.

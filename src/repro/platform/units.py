@@ -7,6 +7,11 @@ can quote the paper verbatim.
 
 from __future__ import annotations
 
+import math
+
+# lint: ignore-file[SIM010] - this module *defines* the unit vocabulary,
+# so its raw magnitudes are the one sanctioned source of such literals.
+
 # Decimal byte units (bandwidths, vendor capacities)
 KB = 1e3
 MB = 1e6
@@ -36,6 +41,8 @@ def parse_size(text: str) -> float:
 
     Supports the decimal (kB/MB/GB/TB) and binary (KiB/MiB/GiB/TiB)
     families, a bare ``B`` suffix, and unit-less numbers (bytes).
+    Sizes are byte counts, so negative, ``NaN``, and infinite
+    magnitudes are rejected with :class:`ValueError`.
     """
     units = {
         "b": 1.0,
@@ -48,8 +55,19 @@ def parse_size(text: str) -> float:
             number = s[: -len(suffix)]
             if not number:
                 raise ValueError(f"missing magnitude in size {text!r}")
-            return float(number) * units[suffix]
-    return float(s)
+            return _checked_magnitude(number, text) * units[suffix]
+    return _checked_magnitude(s, text)
+
+
+def _checked_magnitude(number: str, original: str) -> float:
+    value = float(number)  # raises ValueError on garbage already
+    if math.isnan(value):
+        raise ValueError(f"size {original!r} is not a number")
+    if math.isinf(value):
+        raise ValueError(f"size {original!r} is infinite")
+    if value < 0:
+        raise ValueError(f"size {original!r} is negative; sizes are byte counts")
+    return value
 
 
 def format_size(n_bytes: float) -> str:

@@ -6,6 +6,7 @@ placement policies or contention effects without leaving the shell.
 
 from __future__ import annotations
 
+from repro.platform.units import format_size
 from repro.traces.events import ExecutionTrace
 
 _PHASES = (
@@ -59,5 +60,14 @@ def render_gantt(
         lines.append(f"{name} |{''.join(row)}|")
     if len(records) > max_tasks:
         lines.append(f"... ({len(records) - max_tasks} more tasks)")
-    lines.append(f"legend: r=read  #=compute  w=write")
+    lines.append("legend: r=read  #=compute  w=write")
+    if trace.io_operations:
+        per_service = ", ".join(
+            f"{service}: {format_size(total)}"
+            for service, total in sorted(trace.service_bytes().items())
+        )
+        lines.append(
+            f"io: {format_size(sum(op.size for op in trace.io_operations))} "
+            f"in {len(trace.io_operations)} operations ({per_service})"
+        )
     return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Known-bad: wall-clock reads in simulation code (SIM001)."""
+
+import time
+from datetime import datetime
+from time import monotonic as mono
+
+
+def stamp_event(trace):
+    trace.append(time.time())  # expect[SIM001]
+
+
+def label_run():
+    started = datetime.now()  # expect[SIM001]
+    tick = mono()  # expect[SIM001]
+    return started, tick

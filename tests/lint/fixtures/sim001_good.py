@@ -1,0 +1,9 @@
+"""Known-good: simulated time comes from the environment clock."""
+
+
+def stamp_event(env, trace):
+    trace.append(env.now)
+
+
+def duration(env, start):
+    return env.now - start

@@ -1,0 +1,15 @@
+"""Known-bad: draws from the process-global RNG (SIM002)."""
+
+import random
+
+import numpy as np
+
+
+def jitter(values):
+    random.shuffle(values)  # expect[SIM002]
+    return values[0] + random.random()  # expect[SIM002]
+
+
+def noise(n):
+    np.random.seed(42)  # expect[SIM002]
+    return np.random.rand(n)  # expect[SIM002]

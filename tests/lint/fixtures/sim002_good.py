@@ -1,0 +1,19 @@
+"""Known-good: explicitly seeded generators threaded as parameters."""
+
+import random
+
+import numpy as np
+
+
+def jitter(values, rng: random.Random):
+    rng.shuffle(values)
+    return values[0] + rng.random()
+
+
+def noise(n, seed: int):
+    rng = np.random.default_rng(seed)
+    return rng.random(n)
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed)

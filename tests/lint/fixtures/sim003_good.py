@@ -1,0 +1,15 @@
+"""Known-good: explicit ordering before any scheduling decision."""
+
+
+def schedule_ready(ready_names, start_task):
+    for name in sorted(set(ready_names)):
+        start_task(name)
+
+
+def next_task(queue):
+    return min(queue.items(), key=lambda kv: (kv[1], kv[0]))
+
+
+def all_done(task_done_events):
+    # Materializing a dict view into a list is not a tie-break.
+    return list(task_done_events.values())

@@ -1,0 +1,18 @@
+"""Known-bad: raw magnitudes where unit constants belong (SIM010)."""
+
+PFS_BANDWIDTH = 100000000  # expect[SIM010]
+bb_capacity = 6.4e12  # expect[SIM010]
+
+
+def make_disk(spec_cls):
+    return spec_cls(
+        name="ssd",
+        read_bandwidth=950e6,  # expect[SIM010]
+        capacity=1600000000000,  # expect[SIM010]
+    )
+
+
+TABLE = {
+    "core_speed": 3.68e10,  # expect[SIM010]
+    "n_nodes": 9688,
+}

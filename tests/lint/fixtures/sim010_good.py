@@ -1,0 +1,22 @@
+"""Known-good: magnitudes expressed through the units vocabulary."""
+
+from repro.platform.units import GB, GFLOPS, MB, TB, parse_size
+
+PFS_BANDWIDTH = 100 * MB
+bb_capacity = 6.4 * TB
+staged_bytes = parse_size("52 GB")
+
+
+def make_disk(spec_cls):
+    return spec_cls(
+        name="ssd",
+        read_bandwidth=950 * MB,
+        capacity=1.6 * TB,
+    )
+
+
+TABLE = {
+    "core_speed": 36.8 * GFLOPS,
+    "pfs_network_bandwidth": 1.0 * GB,
+    "n_nodes": 9688,
+}

@@ -1,0 +1,9 @@
+"""Known-bad: +/- across decimal/binary unit families (SIM011)."""
+
+from repro.platform.units import GB, GiB, MB, MiB
+
+image_footprint = 16 * 32 * MiB + 16 * 16 * MB  # expect[SIM011]
+
+
+def headroom(used_gib):
+    return 6.5 * GB - used_gib * GiB  # expect[SIM011]

@@ -1,0 +1,11 @@
+"""Known-good: sums stay within one family; ratios may convert."""
+
+from repro.platform.units import GB, GiB, MB, MiB
+
+image_footprint = 16 * 32 * MiB + 16 * 16 * MiB
+bandwidth_budget = 800 * MB + 950 * MB
+
+
+def as_gib(n_gb):
+    # Cross-family *ratio* is a legitimate conversion.
+    return n_gb * GB / GiB

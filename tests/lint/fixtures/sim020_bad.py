@@ -1,0 +1,19 @@
+"""Known-bad: non-generators handed to env.process (SIM020)."""
+
+
+def run_transfer(env, flow):
+    def body():
+        flow.start()
+        return flow.wait()
+
+    env.process(body())  # expect[SIM020]
+    env.process(body)  # expect[SIM020]
+    env.process(lambda: flow.wait())  # expect[SIM020]
+
+
+class Service:
+    def _drain(self, queue):
+        queue.pop()
+
+    def start(self, env, queue):
+        env.process(self._drain(queue))  # expect[SIM020]

@@ -1,0 +1,18 @@
+"""Known-bad: blocking calls inside process generators (SIM021)."""
+
+import subprocess
+import time
+
+
+def transfer(env, flow):
+    flow.start()
+    time.sleep(0.1)  # expect[SIM021]
+    yield flow.done_event
+
+
+def monitor(env, path):
+    while True:
+        handle = open(path)  # expect[SIM021]
+        handle.close()
+        subprocess.run(["sync"])  # expect[SIM021]
+        yield env.timeout(1.0)

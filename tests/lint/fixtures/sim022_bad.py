@@ -1,0 +1,12 @@
+"""Known-bad: exact equality on simulated timestamps (SIM022)."""
+
+
+def is_deadline(env, deadline):
+    return env.now == deadline  # expect[SIM022]
+
+
+def phase_changed(env, last_change):
+    stamp = env.now
+    if stamp != last_change:  # expect[SIM022]
+        return True
+    return False

@@ -1,0 +1,16 @@
+"""Known-good: ordered comparisons and tolerant equality on time."""
+
+import math
+
+
+def is_deadline(env, deadline):
+    return env.now >= deadline
+
+
+def phase_changed(env, last_change, tol=1e-9):
+    return not math.isclose(env.now, last_change, abs_tol=tol)
+
+
+def count_matches(kind, events):
+    # == on non-time values is fine.
+    return sum(1 for e in events if e.kind == kind)

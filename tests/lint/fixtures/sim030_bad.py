@@ -1,0 +1,14 @@
+"""Known-bad: mutable default arguments (SIM030)."""
+
+
+def run_batch(jobs, completed=[]):  # expect[SIM030]
+    completed.extend(jobs)
+    return completed
+
+
+def configure(overrides={}, tags=set()):  # expect[SIM030] expect[SIM030]
+    return overrides, tags
+
+
+def keyword_only(*, hosts=list()):  # expect[SIM030]
+    return hosts

@@ -1,0 +1,19 @@
+"""Known-good: None defaults, immutable defaults, default_factory."""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+def run_batch(jobs, completed: Optional[list] = None):
+    completed = [] if completed is None else completed
+    completed.extend(jobs)
+    return completed
+
+
+def configure(overrides=None, tags: tuple = ()):
+    return overrides or {}, tags
+
+
+@dataclass
+class Config:
+    hosts: list = field(default_factory=list)

@@ -1,0 +1,64 @@
+"""Suppression semantics: line pragmas, file pragmas, scoping."""
+
+from __future__ import annotations
+
+from repro.lint import Checker
+from repro.lint.pragmas import Pragmas
+
+WALL_CLOCK = "import time\n\nstart = time.time(){pragma}\n"
+
+
+def _lint(source: str):
+    return Checker(select=["SIM001"]).check_source(source)
+
+
+def test_unsuppressed_finding_fires():
+    assert len(_lint(WALL_CLOCK.format(pragma=""))) == 1
+
+
+def test_line_pragma_with_matching_rule():
+    source = WALL_CLOCK.format(pragma="  # lint: ignore[SIM001] - harness timing")
+    assert _lint(source) == []
+
+
+def test_line_pragma_with_other_rule_does_not_suppress():
+    source = WALL_CLOCK.format(pragma="  # lint: ignore[SIM030]")
+    assert len(_lint(source)) == 1
+
+
+def test_bare_line_pragma_suppresses_everything():
+    source = WALL_CLOCK.format(pragma="  # lint: ignore")
+    assert _lint(source) == []
+
+
+def test_line_pragma_only_covers_its_own_line():
+    source = (
+        "import time\n"
+        "# lint: ignore[SIM001]\n"
+        "start = time.time()\n"
+    )
+    assert len(_lint(source)) == 1
+
+
+def test_file_pragma_suppresses_whole_file():
+    source = (
+        "# lint: ignore-file[SIM001] - fixture exercising the wall clock\n"
+        "import time\n"
+        "a = time.time()\n"
+        "b = time.time()\n"
+    )
+    assert _lint(source) == []
+
+
+def test_file_pragma_lists_multiple_rules():
+    pragmas = Pragmas.scan("# lint: ignore-file[SIM001, SIM010]\n")
+    assert pragmas.suppresses("SIM001", 99)
+    assert pragmas.suppresses("SIM010", 1)
+    assert not pragmas.suppresses("SIM030", 1)
+
+
+def test_multi_rule_line_pragma():
+    pragmas = Pragmas.scan("x = 1  # lint: ignore[SIM010,SIM011]\n")
+    assert pragmas.suppresses("SIM010", 1)
+    assert pragmas.suppresses("SIM011", 1)
+    assert not pragmas.suppresses("SIM001", 1)

@@ -1,0 +1,81 @@
+"""Fixture-corpus tests: every rule ID fires at exactly the marked
+lines of its known-bad snippet and stays silent on the known-good one.
+
+Expected findings are encoded in the fixtures themselves: a line that
+should be flagged carries an ``# expect[SIMxxx]`` marker (repeated when
+one line yields several findings).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Checker, all_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+EXPECT = re.compile(r"expect\[(SIM\d+)\]")
+
+
+def _expected_findings(path: Path) -> Counter:
+    """(rule_id, line) -> count, parsed from expect markers."""
+    expected: Counter = Counter()
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for rule_id in EXPECT.findall(line):
+            expected[(rule_id, lineno)] += 1
+    return expected
+
+
+def _rule_ids_with_fixtures() -> list[str]:
+    return sorted(p.stem[:6].upper() for p in FIXTURES.glob("sim*_bad.py"))
+
+
+@pytest.mark.parametrize("rule_id", _rule_ids_with_fixtures())
+def test_bad_fixture_flags_exact_lines(rule_id):
+    path = FIXTURES / f"{rule_id.lower()}_bad.py"
+    diagnostics = Checker(select=[rule_id]).check_file(path)
+    found = Counter((d.rule_id, d.line) for d in diagnostics)
+    expected = _expected_findings(path)
+    assert expected, f"fixture {path.name} has no expect markers"
+    assert found == expected
+    assert all(d.rule_id == rule_id for d in diagnostics)
+    assert all(d.col >= 1 for d in diagnostics)
+
+
+@pytest.mark.parametrize("rule_id", _rule_ids_with_fixtures())
+def test_good_fixture_is_clean(rule_id):
+    path = FIXTURES / f"{rule_id.lower()}_good.py"
+    assert path.exists(), f"missing good fixture for {rule_id}"
+    assert Checker(select=[rule_id]).check_file(path) == []
+
+
+def test_every_registered_rule_has_a_fixture():
+    with_fixtures = set(_rule_ids_with_fixtures())
+    assert set(all_rules()) <= with_fixtures
+
+
+def test_at_least_eight_rules_registered():
+    assert len(all_rules()) >= 8
+
+
+def test_rule_metadata_complete():
+    for rule_id, cls in all_rules().items():
+        assert cls.id == rule_id
+        assert cls.summary, rule_id
+        assert cls.rationale, rule_id
+        assert cls.fix_hint, rule_id
+
+
+def test_unknown_rule_id_rejected():
+    with pytest.raises(ValueError, match="unknown rule"):
+        Checker(select=["SIM404"])
+
+
+def test_syntax_error_reported_not_raised(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    diagnostics = Checker().check_file(bad)
+    assert [d.rule_id for d in diagnostics] == ["SIM999"]

@@ -1,0 +1,21 @@
+"""Tier-1 gate: the repository's own source tree lints clean.
+
+This is what turns the rules from advisory into enforced — any new
+wall-clock call, global-RNG draw, raw magnitude, or DES-hygiene slip
+in ``src/`` fails the test suite, not just a separate CI step.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import Checker
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_tree_lints_clean():
+    src = REPO_ROOT / "src"
+    assert src.is_dir(), f"source tree not found at {src}"
+    diagnostics = Checker().check_paths([src])
+    assert diagnostics == [], "\n" + "\n".join(d.render() for d in diagnostics)

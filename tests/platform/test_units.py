@@ -58,6 +58,29 @@ def test_parse_size_rejects_garbage():
         parse_size("lots of bytes")
 
 
+@pytest.mark.parametrize("text", ["-1", "-32 MiB", "-0.5GB"])
+def test_parse_size_rejects_negative(text):
+    with pytest.raises(ValueError, match="negative"):
+        parse_size(text)
+
+
+@pytest.mark.parametrize("text", ["nan", "NaN MiB", "nan GB"])
+def test_parse_size_rejects_nan(text):
+    with pytest.raises(ValueError, match="not a number"):
+        parse_size(text)
+
+
+@pytest.mark.parametrize("text", ["inf", "infinity", "inf GiB", "-inf"])
+def test_parse_size_rejects_infinite(text):
+    with pytest.raises(ValueError):
+        parse_size(text)
+
+
+def test_parse_size_accepts_zero():
+    assert parse_size("0") == 0.0
+    assert parse_size("0 MiB") == 0.0
+
+
 def test_format_size():
     assert format_size(512) == "512.0 B"
     assert format_size(32 * MiB) == "32.0 MiB"

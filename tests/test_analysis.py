@@ -134,6 +134,28 @@ def test_gantt_renders_all_tasks():
     assert "r" in text and "#" in text and "w" in text
 
 
+def test_gantt_io_footer_uses_format_size():
+    from repro.platform.units import MiB
+    from repro.traces.events import IOOperation
+
+    trace = make_trace()
+    trace.log_io(IOOperation(
+        task="t1", file="f1", service="bb", kind="read",
+        size=32 * MiB, start=0.0, end=1.0,
+    ))
+    trace.log_io(IOOperation(
+        task="t2", file="f2", service="pfs", kind="write",
+        size=16 * MiB, start=4.0, end=5.0,
+    ))
+    text = render_gantt(trace)
+    assert "io: 48.0 MiB in 2 operations" in text
+    assert "bb: 32.0 MiB" in text and "pfs: 16.0 MiB" in text
+
+
+def test_gantt_no_io_footer_without_operations():
+    assert "io:" not in render_gantt(make_trace())
+
+
 def test_gantt_empty_trace():
     assert "empty" in render_gantt(ExecutionTrace())
 
