@@ -40,13 +40,18 @@ class CoreAllocation:
 
 
 class CoreAllocator:
-    """FIFO gang allocator over a host's cores."""
+    """FIFO gang allocator over a host's cores.
 
-    def __init__(self, env: Environment, total_cores: int) -> None:
+    ``label`` names the host in telemetry (busy-core and queue-depth
+    series); it has no scheduling effect.
+    """
+
+    def __init__(self, env: Environment, total_cores: int, label: str = "") -> None:
         if total_cores <= 0:
             raise ValueError("total_cores must be positive")
         self.env = env
         self.total_cores = total_cores
+        self.label = label
         self._free = total_cores
         self._queue: list[tuple[int, Event]] = []
 
@@ -77,12 +82,14 @@ class CoreAllocator:
         event = self.env.event()
         self._queue.append((cores, event))
         self._grant()
+        self._notify()
         return event
 
     def _release(self, cores: int) -> None:
         self._free += cores
         assert self._free <= self.total_cores
         self._grant()
+        self._notify()
 
     def _grant(self) -> None:
         # Strict FIFO: stop at the first request that does not fit.
@@ -90,3 +97,11 @@ class CoreAllocator:
             cores, event = self._queue.pop(0)
             self._free -= cores
             event.succeed(CoreAllocation(self, cores))
+
+    def _notify(self) -> None:
+        """Publish busy-core and queue-depth samples after a change."""
+        obs = self.env.obs
+        if obs is not None:
+            obs.on_core_allocation(
+                self.label, self.used_cores, self.total_cores, len(self._queue)
+            )

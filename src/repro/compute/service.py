@@ -34,7 +34,8 @@ class ComputeService:
         if not hosts:
             raise ValueError("compute service needs at least one host")
         self.allocators: dict[str, CoreAllocator] = {
-            h: CoreAllocator(self.env, platform.host(h).cores) for h in hosts
+            h: CoreAllocator(self.env, platform.host(h).cores, label=h)
+            for h in hosts
         }
         #: Per-host RAM pools (only for hosts with finite RAM declared).
         self.memory: dict[str, Container] = {}

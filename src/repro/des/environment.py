@@ -41,6 +41,13 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0  # monotonically increasing tiebreaker → FIFO at same t
         self._active_process: Optional[Process] = None
+        #: Attached :class:`repro.obs.Observer`, or ``None`` (the
+        #: default).  This is the single attachment point the whole
+        #: instrumentation layer hangs off: every hook site in the
+        #: simulator reads ``env.obs`` and bails on ``None``, so the
+        #: disabled path costs one attribute load per hook.  Observers
+        #: only record — they never schedule events or advance time.
+        self.obs = None
 
     # ------------------------------------------------------------------
     # Clock and introspection
@@ -119,6 +126,10 @@ class Environment:
         assert callbacks is not None
         for callback in callbacks:
             callback(event)
+
+        obs = self.obs
+        if obs is not None:
+            obs.on_event_processed()
 
         if not event._ok and not event.defused:
             # An unhandled failure: re-raise so bugs surface loudly.

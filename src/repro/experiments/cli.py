@@ -42,6 +42,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--output-dir",
         help="also write <id>.json and <id>.csv into this directory",
     )
+    parser.add_argument(
+        "--obs-dir",
+        help="write a provenance manifest per experiment "
+        "(<id>.manifest.json) into this directory, so every figure run "
+        "carries its simulator version and configuration",
+    )
     args = parser.parse_args(argv)
 
     requested = list(args.experiments)
@@ -65,6 +71,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             out.mkdir(parents=True, exist_ok=True)
             result.to_json(out / f"{experiment_id}.json")
             result.to_csv(out / f"{experiment_id}.csv")
+        if args.obs_dir:
+            from pathlib import Path
+
+            from repro.obs import build_manifest, write_manifest
+
+            manifest = build_manifest(
+                extra={"experiment": experiment_id, "quick": bool(args.quick)}
+            )
+            write_manifest(
+                manifest, Path(args.obs_dir) / f"{experiment_id}.manifest.json"
+            )
         elapsed = time.time() - start  # lint: ignore[SIM001]
         print(f"\n[{experiment_id} completed in {elapsed:.1f}s]\n")
     return 0

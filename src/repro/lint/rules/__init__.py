@@ -17,6 +17,7 @@ Rule families (see ``docs/LINT.md`` for the full catalogue):
 * ``SIM01x`` — unit consistency (raw magnitudes, decimal/binary mixing)
 * ``SIM02x`` — DES process hygiene (generators, blocking calls, ``now``)
 * ``SIM03x`` — API hygiene (mutable defaults)
+* ``SIM04x`` — observability (bare ``print()`` in library code)
 """
 
 from __future__ import annotations
@@ -74,6 +75,12 @@ def register(cls: Type[Rule]) -> Type[Rule]:
 def all_rules() -> dict[str, Type[Rule]]:
     """All registered rules, importing the built-in rule modules."""
     # Import for side effects (each module registers its rules).
-    from repro.lint.rules import api, des_hygiene, determinism, units  # noqa: F401
+    from repro.lint.rules import (  # noqa: F401
+        api,
+        des_hygiene,
+        determinism,
+        observability,
+        units,
+    )
 
     return dict(sorted(_REGISTRY.items()))

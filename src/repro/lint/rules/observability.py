@@ -1,0 +1,56 @@
+"""Observability rules (SIM040)."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.rules import Rule, register
+
+#: Module basenames whose whole purpose is terminal output.
+_CLI_BASENAMES = frozenset({"cli.py", "__main__.py"})
+
+
+@register
+class NoBarePrint(Rule):
+    """SIM040: no bare ``print()`` outside CLI entry points."""
+
+    id = "SIM040"
+    summary = "bare print() in library code"
+    rationale = (
+        "A print() buried in simulation code writes to stdout on every "
+        "run — it corrupts machine-read output (JSON/CSV pipelines), "
+        "cannot be silenced per-run, and hides from the observability "
+        "layer.  Telemetry belongs in repro.obs; user-facing text "
+        "belongs in CLI modules."
+    )
+    severity = Severity.ERROR
+    fix_hint = (
+        "record through repro.obs (or return the value) and print only "
+        "in cli.py/__main__.py or a main() entry point"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return PurePath(ctx.path).name not in _CLI_BASENAMES
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        yield from self._scan(ctx, ctx.tree)
+
+    def _scan(self, ctx: FileContext, node: ast.AST) -> Iterator[Diagnostic]:
+        for child in ast.iter_child_nodes(node):
+            if (
+                isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and child.name == "main"
+            ):
+                # A main() function *is* a CLI entry point, wherever it
+                # lives; its output is the interface.
+                continue
+            if (
+                isinstance(child, ast.Call)
+                and ctx.imports.resolve(child.func) == "print"
+            ):
+                yield self.diagnostic(ctx, child, "bare print() in library code")
+            yield from self._scan(ctx, child)

@@ -135,10 +135,7 @@ class FlowNetwork:
     # ------------------------------------------------------------------
     def _complete_after(self, flow: Flow, delay: float):
         yield self.env.timeout(delay)
-        flow.completed_at = self.env.now
-        self.completed.append(flow)
-        assert flow.done_event is not None
-        flow.done_event.succeed(flow)
+        self._finish(flow)
 
     def _admit_after(self, flow: Flow, delay: float):
         yield self.env.timeout(delay)
@@ -153,6 +150,9 @@ class FlowNetwork:
             self._reschedule()
             return
         self._flows[flow.fid] = flow
+        obs = self.env.obs
+        if obs is not None:
+            obs.on_flow_admitted(len(self._flows))
         self._recompute_rates()
         self._reschedule()
 
@@ -242,5 +242,10 @@ class FlowNetwork:
         flow.rate = 0.0
         flow.completed_at = self.env.now
         self.completed.append(flow)
+        obs = self.env.obs
+        if obs is not None:
+            # The flow is already out of (or never entered) _flows, so
+            # the count reflects concurrency after this completion.
+            obs.on_flow_finished(flow, len(self._flows))
         assert flow.done_event is not None
         flow.done_event.succeed(flow)

@@ -1,0 +1,70 @@
+"""Observability: resource telemetry, task spans, and trace exporters.
+
+A zero-cost-when-disabled instrumentation layer threaded through the
+DES kernel, compute service, storage services, flow network, and
+workflow engine.  Components publish into an :class:`Observer` through
+lightweight hook points guarded by a single ``env.obs is not None``
+check; with no observer attached the simulator behaves (and times)
+exactly as before.
+
+Quick start::
+
+    from repro import des
+    from repro.obs import Observer, export_run
+
+    obs = Observer()                    # or Observer(metrics=["storage"])
+    env = des.Environment()
+    obs.attach(env)
+    ...                                 # build and run on env
+    export_run(obs, "telemetry/")       # manifest + Perfetto trace + CSVs
+
+See ``docs/OBSERVABILITY.md`` for the probe API, the metric catalogue,
+exporter formats, and the Perfetto how-to.
+"""
+
+from repro.obs.exporters import (
+    chrome_trace,
+    export_run,
+    write_chrome_trace,
+    write_metric_csvs,
+)
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    config_from_manifest,
+    platform_digest,
+    write_manifest,
+)
+from repro.obs.observer import METRIC_GROUPS, Observer
+from repro.obs.probes import Counter, Gauge, MetricRegistry, TimeSeries
+from repro.obs.spans import Span, spans_from_record
+from repro.obs.validate import (
+    validate_chrome_trace,
+    validate_manifest,
+    validate_metrics_dir,
+    validate_obs_dir,
+)
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "METRIC_GROUPS",
+    "Counter",
+    "Gauge",
+    "MetricRegistry",
+    "Observer",
+    "Span",
+    "TimeSeries",
+    "build_manifest",
+    "chrome_trace",
+    "config_from_manifest",
+    "export_run",
+    "platform_digest",
+    "spans_from_record",
+    "validate_chrome_trace",
+    "validate_manifest",
+    "validate_metrics_dir",
+    "validate_obs_dir",
+    "write_chrome_trace",
+    "write_manifest",
+    "write_metric_csvs",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.obs <dir>`` — validate exported telemetry."""
+
+from repro.obs.validate import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,102 @@
+"""Run manifests: the provenance record exported next to telemetry.
+
+A manifest captures *what produced* a telemetry directory — the exact
+:class:`~repro.simulator.SimulatorConfig`, a digest of the platform
+description, workflow identity, simulator version, and headline results
+— so any figure or trace can be traced back to its inputs and
+regenerated.  Manifests are deliberately wall-clock-free: two runs of
+the same configuration produce byte-identical manifests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro import __version__
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.observer import Observer
+    from repro.platform.spec import PlatformSpec
+    from repro.simulator import SimulatorConfig
+    from repro.traces.events import ExecutionTrace
+    from repro.workflow.model import Workflow
+
+#: Manifest format identifier; bump on breaking layout changes.
+MANIFEST_SCHEMA = "repro.obs.manifest/1"
+
+
+def platform_digest(spec: "PlatformSpec") -> str:
+    """Stable sha256 digest of a platform description.
+
+    Computed over the canonical JSON serialization, so two specs that
+    serialize identically share a digest regardless of construction.
+    """
+    from repro.platform.serialization import platform_to_json
+
+    return hashlib.sha256(platform_to_json(spec).encode("utf-8")).hexdigest()
+
+
+def build_manifest(
+    *,
+    config: "Optional[SimulatorConfig]" = None,
+    platform: "Optional[PlatformSpec]" = None,
+    workflow: "Optional[Workflow]" = None,
+    trace: "Optional[ExecutionTrace]" = None,
+    observer: "Optional[Observer]" = None,
+    extra: Optional[dict[str, Any]] = None,
+) -> dict[str, Any]:
+    """Assemble a manifest document from whichever parts are known."""
+    doc: dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "simulator_version": __version__,
+    }
+    if config is not None:
+        fields = asdict(config)
+        fields["bb_mode"] = config.bb_mode.value
+        doc["config"] = fields
+    if platform is not None:
+        doc["platform"] = {
+            "digest": platform_digest(platform),
+            "n_hosts": len(platform.hosts),
+            "n_links": len(platform.links),
+        }
+    if workflow is not None:
+        doc["workflow"] = {
+            "name": workflow.name,
+            "n_tasks": len(workflow),
+            "n_files": len(workflow.files),
+        }
+    if trace is not None:
+        doc["result"] = {
+            "makespan": trace.makespan,
+            "n_events": len(trace.events),
+            "n_tasks": len(trace.records),
+            "n_io_operations": len(trace.io_operations),
+        }
+    if observer is not None:
+        doc["metrics"] = observer.registry.names()
+        doc["n_spans"] = len(observer.spans)
+    if extra:
+        doc.update(extra)
+    return doc
+
+
+def config_from_manifest(doc: dict[str, Any]) -> "SimulatorConfig":
+    """Reconstruct the exact :class:`SimulatorConfig` a manifest records."""
+    from repro.simulator import SimulatorConfig
+    from repro.storage import BBMode
+
+    fields = dict(doc["config"])
+    fields["bb_mode"] = BBMode(fields["bb_mode"])
+    return SimulatorConfig(**fields)
+
+
+def write_manifest(doc: dict[str, Any], path: "str | Path") -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,197 @@
+"""The observer: the hub every instrumentation hook publishes into.
+
+Design contract — **zero cost when disabled, zero influence when
+enabled**:
+
+* Components never hold observer references.  Each hook site reads
+  ``env.obs`` (``None`` by default) and bails on ``None`` — the entire
+  disabled path is one attribute load and an identity check.
+* Hooks only *record*: they never create DES events, never yield, never
+  touch simulated state.  An instrumented run is bit-identical to an
+  uninstrumented one (asserted in ``tests/obs/test_overhead.py``).
+
+Enable by attaching an observer to the environment before services are
+built::
+
+    obs = Observer()
+    env = des.Environment()
+    obs.attach(env)
+    ...  # build platform/services/engine on env, run
+    export_run(obs, "telemetry/")        # see repro.obs.exporters
+
+Metric groups (``Observer(metrics=...)`` restricts collection):
+
+========  ==========================================================
+group     signals
+========  ==========================================================
+storage   per-service occupancy, capacity, cumulative bytes, op counts
+network   concurrent-flow count, per-service achieved bandwidth
+compute   per-host busy cores and allocation queue depth
+engine    ready-task depth, task lifecycle spans, completion counts
+des       kernel events processed
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.obs.probes import MetricRegistry
+from repro.obs.spans import Span, spans_from_record
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.des.environment import Environment
+    from repro.network.flownet import Flow
+    from repro.traces.events import TaskRecord
+
+#: The metric groups an observer can collect, in documentation order.
+METRIC_GROUPS = ("storage", "network", "compute", "engine", "des")
+
+
+class Observer:
+    """Collects metrics and spans from an instrumented simulation.
+
+    Parameters
+    ----------
+    metrics:
+        Iterable of group names to collect (see :data:`METRIC_GROUPS`);
+        ``None`` collects everything.
+    """
+
+    def __init__(self, metrics: Optional[Iterable[str]] = None) -> None:
+        groups = frozenset(metrics) if metrics is not None else frozenset(METRIC_GROUPS)
+        unknown = groups - frozenset(METRIC_GROUPS)
+        if unknown:
+            raise ValueError(
+                f"unknown metric groups: {', '.join(sorted(unknown))} "
+                f"(choose from {', '.join(METRIC_GROUPS)})"
+            )
+        self.groups = groups
+        self.registry = MetricRegistry()
+        self.spans: list[Span] = []
+        self.env: Optional["Environment"] = None
+        # Group flags are plain attributes so enabled-path hooks pay one
+        # attribute test, not a set lookup.
+        self._storage = "storage" in groups
+        self._network = "network" in groups
+        self._compute = "compute" in groups
+        self._engine = "engine" in groups
+        self._des = "des" in groups
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, env: "Environment") -> "Observer":
+        """Bind to ``env`` and become its active observer.
+
+        Must happen before instrumented components are exercised (hook
+        sites read ``env.obs`` at call time, so attaching late simply
+        loses earlier samples — it never errors).
+        """
+        if self.env is not None and self.env is not env:
+            raise ValueError("observer is already attached to another environment")
+        self.env = env
+        env.obs = self
+        return self
+
+    def detach(self) -> None:
+        """Stop observing (the environment reverts to the disabled path)."""
+        if self.env is not None:
+            self.env.obs = None
+            self.env = None
+
+    @property
+    def now(self) -> float:
+        if self.env is None:
+            raise RuntimeError("observer is not attached to an environment")
+        return self.env.now
+
+    # ------------------------------------------------------------------
+    # Storage hooks
+    # ------------------------------------------------------------------
+    def on_storage_occupancy(self, service: str, used: float, capacity: float) -> None:
+        """A service's content table changed (file added or deleted)."""
+        if not self._storage:
+            return
+        self.registry.timeseries(f"storage.{service}.occupancy_bytes").sample(
+            self.now, used
+        )
+        self.registry.gauge(f"storage.{service}.capacity_bytes").set(capacity)
+
+    def on_storage_op(self, service: str, kind: str, nbytes: float) -> None:
+        """A read/write/stage operation was issued against a service."""
+        if not self._storage:
+            return
+        self.registry.counter(f"storage.{service}.{kind}_ops").inc()
+        bytes_total = self.registry.counter(f"storage.{service}.{kind}_bytes")
+        bytes_total.inc(nbytes)
+        self.registry.timeseries(f"storage.{service}.cumulative_{kind}_bytes").sample(
+            self.now, bytes_total.value
+        )
+
+    # ------------------------------------------------------------------
+    # Network hooks
+    # ------------------------------------------------------------------
+    def on_flow_admitted(self, n_active: int) -> None:
+        if not self._network:
+            return
+        self.registry.timeseries("network.active_flows").sample(self.now, n_active)
+
+    def on_flow_finished(self, flow: "Flow", n_active: int) -> None:
+        if not self._network:
+            return
+        self.registry.timeseries("network.active_flows").sample(self.now, n_active)
+        self.registry.counter("network.flows_completed").inc()
+        self.registry.counter("network.bytes_completed").inc(flow.size)
+        bandwidth = flow.achieved_bandwidth
+        if bandwidth is not None and flow.size > 0:
+            service = flow.label.partition(":")[0] if flow.label else "unlabeled"
+            self.registry.timeseries(
+                f"network.{service}.achieved_bandwidth"
+            ).sample(self.now, bandwidth)
+
+    # ------------------------------------------------------------------
+    # Compute hooks
+    # ------------------------------------------------------------------
+    def on_core_allocation(
+        self, host: str, busy: int, total: int, queued: int
+    ) -> None:
+        """A host's core allocator granted or released cores."""
+        if not self._compute:
+            return
+        self.registry.timeseries(f"compute.{host}.busy_cores").sample(self.now, busy)
+        self.registry.gauge(f"compute.{host}.total_cores").set(total)
+        self.registry.timeseries(f"compute.{host}.queue_depth").sample(
+            self.now, queued
+        )
+
+    # ------------------------------------------------------------------
+    # Engine hooks
+    # ------------------------------------------------------------------
+    def on_ready_depth(self, depth: int) -> None:
+        """Tasks whose dependencies are met but that have not started."""
+        if not self._engine:
+            return
+        self.registry.timeseries("engine.ready_tasks").sample(self.now, depth)
+
+    def on_task_complete(self, record: "TaskRecord", category: str) -> None:
+        """A task finished; derive its lifecycle spans from the record."""
+        if not self._engine:
+            return
+        self.registry.counter("engine.tasks_completed").inc()
+        self.spans.extend(spans_from_record(record, category))
+
+    # ------------------------------------------------------------------
+    # DES kernel hooks
+    # ------------------------------------------------------------------
+    def on_event_processed(self) -> None:
+        if not self._des:
+            return
+        self.registry.counter("des.events_processed").inc()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "attached" if self.env is not None else "detached"
+        return (
+            f"<Observer {state}: {len(self.registry)} metrics, "
+            f"{len(self.spans)} spans>"
+        )

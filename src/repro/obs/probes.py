@@ -1,0 +1,161 @@
+"""Metric primitives: counters, gauges, and timestamped series.
+
+Three probe kinds cover every signal the simulator publishes:
+
+* :class:`Counter` — monotonically increasing totals (bytes moved,
+  operations issued, events processed);
+* :class:`Gauge` — a single last-value scalar (a service's configured
+  capacity, a final utilization figure);
+* :class:`TimeSeries` — a step function sampled *on change* (burst
+  buffer occupancy, busy cores, concurrent flows).  Discrete-event
+  simulations make push-on-change sampling exact: between samples the
+  value cannot have changed, so no periodic sampler process is needed
+  (and none could perturb the simulation).
+
+Probes live in a :class:`MetricRegistry`, created lazily by name so
+instrumentation points never need declaring metrics up front.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment {amount}")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A last-value scalar."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class TimeSeries:
+    """A timestamped step series, sampled whenever the value changes.
+
+    Consecutive samples at the same timestamp collapse to the last one
+    (a DES processes many state changes at one instant; only the value
+    the instant settles on is observable).  Timestamps must be
+    non-decreasing — they come from the simulation clock.
+    """
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def sample(self, time: float, value: float) -> None:
+        if self.times:
+            last = self.times[-1]
+            if time < last:
+                raise ValueError(
+                    f"series {self.name!r}: time went backwards "
+                    f"({time} < {last})"
+                )
+            if time == last:  # lint: ignore[SIM022] — same-instant collapse is intentional
+                self.values[-1] = value
+                return
+        self.times.append(time)
+        self.values.append(value)
+
+    def items(self) -> Iterator[tuple[float, float]]:
+        return zip(self.times, self.values)
+
+    @property
+    def last(self) -> Optional[float]:
+        return self.values[-1] if self.values else None
+
+    @property
+    def peak(self) -> Optional[float]:
+        return max(self.values) if self.values else None
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<TimeSeries {self.name}: {len(self)} samples>"
+
+
+class MetricRegistry:
+    """Lazily-created probes, addressed by dotted metric name.
+
+    Names follow ``<group>.<subject>.<quantity>`` —
+    ``storage.bb-private.occupancy_bytes``, ``compute.cn0.busy_cores``.
+    One name maps to exactly one probe kind; asking for the same name
+    with a different kind is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.series: dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        probe = self.counters.get(name)
+        if probe is None:
+            self._claim(name)
+            probe = self.counters[name] = Counter(name)
+        return probe
+
+    def gauge(self, name: str) -> Gauge:
+        probe = self.gauges.get(name)
+        if probe is None:
+            self._claim(name)
+            probe = self.gauges[name] = Gauge(name)
+        return probe
+
+    def timeseries(self, name: str) -> TimeSeries:
+        probe = self.series.get(name)
+        if probe is None:
+            self._claim(name)
+            probe = self.series[name] = TimeSeries(name)
+        return probe
+
+    def _claim(self, name: str) -> None:
+        if name in self.counters or name in self.gauges or name in self.series:
+            raise ValueError(f"metric {name!r} already exists with another kind")
+
+    def names(self) -> list[str]:
+        """Every registered metric name, sorted."""
+        return sorted([*self.counters, *self.gauges, *self.series])
+
+    def snapshot(self) -> dict:
+        """Plain-data view of every probe (JSON-ready)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "series": {
+                n: {"times": list(s.times), "values": list(s.values)}
+                for n, s in sorted(self.series.items())
+            },
+        }
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.gauges) + len(self.series)

@@ -1,0 +1,260 @@
+"""Schema checks for exported telemetry (CI's observability smoke gate).
+
+``python -m repro.obs <dir>`` validates a directory produced by
+:func:`repro.obs.exporters.export_run`:
+
+* ``manifest.json`` — schema tag, simulator version, config shape;
+* ``trace.json`` — Chrome trace-event JSON with non-negative, monotonic
+  timestamps, non-negative ``dur`` on complete (``X``) events, and
+  balanced ``B``/``E`` pairs;
+* ``metrics/`` — parseable CSVs with non-decreasing timestamps, and
+  every storage occupancy series peaking at or below the service's
+  recorded capacity.
+
+Each check returns a list of human-readable error strings (empty =
+valid) so tests can assert on specific failures.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from repro.obs.manifest import MANIFEST_SCHEMA
+
+#: Relative slack for float-accumulation noise in capacity comparisons.
+_CAPACITY_TOLERANCE = 1e-9
+
+
+# ----------------------------------------------------------------------
+# Manifest
+# ----------------------------------------------------------------------
+def validate_manifest(doc: Any) -> list[str]:
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["manifest: document is not a JSON object"]
+    if doc.get("schema") != MANIFEST_SCHEMA:
+        errors.append(
+            f"manifest: schema is {doc.get('schema')!r}, expected {MANIFEST_SCHEMA!r}"
+        )
+    if not isinstance(doc.get("simulator_version"), str):
+        errors.append("manifest: missing simulator_version")
+    config = doc.get("config")
+    if config is not None:
+        if not isinstance(config, dict):
+            errors.append("manifest: config is not an object")
+        else:
+            for key in ("bb_mode", "input_fraction", "intermediate_fraction", "output_fraction"):
+                if key not in config:
+                    errors.append(f"manifest: config missing {key!r}")
+    platform = doc.get("platform")
+    if platform is not None and not isinstance(platform.get("digest"), str):
+        errors.append("manifest: platform.digest missing or not a string")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# Chrome trace
+# ----------------------------------------------------------------------
+def validate_chrome_trace(doc: Any) -> list[str]:
+    errors: list[str] = []
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return ["trace: missing traceEvents array"]
+
+    open_begins: dict[tuple[Any, Any, Any], int] = {}
+    last_ts: Optional[float] = None
+    for i, event in enumerate(doc["traceEvents"]):
+        if not isinstance(event, dict):
+            errors.append(f"trace: event #{i} is not an object")
+            continue
+        phase = event.get("ph")
+        if phase == "M":  # metadata events carry no timestamp
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            errors.append(f"trace: event #{i} ({event.get('name')!r}) has no ts")
+            continue
+        if ts < 0:
+            errors.append(f"trace: event #{i} has negative ts {ts}")
+        if last_ts is not None and ts < last_ts:
+            errors.append(
+                f"trace: event #{i} ts {ts} precedes previous ts {last_ts} "
+                "(events must be time-sorted)"
+            )
+        last_ts = max(ts, last_ts) if last_ts is not None else ts
+        if phase == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                errors.append(
+                    f"trace: X event #{i} ({event.get('name')!r}) has bad dur "
+                    f"{duration!r}"
+                )
+        elif phase == "B":
+            key = (event.get("pid"), event.get("tid"), event.get("name"))
+            open_begins[key] = open_begins.get(key, 0) + 1
+        elif phase == "E":
+            key = (event.get("pid"), event.get("tid"), event.get("name"))
+            count = open_begins.get(key, 0)
+            if count <= 0:
+                errors.append(
+                    f"trace: E event #{i} ({event.get('name')!r}) has no open B"
+                )
+            else:
+                open_begins[key] = count - 1
+    for (pid, tid, name), count in sorted(
+        open_begins.items(), key=lambda kv: repr(kv[0])
+    ):
+        if count:
+            errors.append(
+                f"trace: {count} unclosed B event(s) for {name!r} "
+                f"(pid={pid}, tid={tid})"
+            )
+    return errors
+
+
+# ----------------------------------------------------------------------
+# Metric CSVs
+# ----------------------------------------------------------------------
+def _read_kv_csv(path: Path, errors: list[str]) -> dict[str, float]:
+    out: dict[str, float] = {}
+    lines = path.read_text().splitlines()
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        name, _, raw = line.rpartition(",")
+        try:
+            out[name] = float(raw)
+        except ValueError:
+            errors.append(f"{path.name}:{lineno}: bad value {raw!r}")
+    return out
+
+
+def _read_series_csv(path: Path, errors: list[str]) -> list[tuple[float, float]]:
+    rows: list[tuple[float, float]] = []
+    lines = path.read_text().splitlines()
+    if not lines or lines[0] != "time,value":
+        errors.append(f"{path.name}: missing 'time,value' header")
+        return rows
+    previous: Optional[float] = None
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            raw_t, raw_v = line.split(",", 1)
+            time, value = float(raw_t), float(raw_v)
+        except ValueError:
+            errors.append(f"{path.name}:{lineno}: unparseable row {line!r}")
+            continue
+        if time < 0:
+            errors.append(f"{path.name}:{lineno}: negative timestamp {time}")
+        if previous is not None and time < previous:
+            errors.append(
+                f"{path.name}:{lineno}: timestamp {time} precedes {previous}"
+            )
+        previous = time
+        rows.append((time, value))
+    return rows
+
+
+def validate_metrics_dir(directory: "str | Path") -> list[str]:
+    directory = Path(directory)
+    errors: list[str] = []
+    index_path = directory / "index.csv"
+    if not index_path.is_file():
+        return [f"metrics: missing {index_path.name}"]
+
+    series: dict[str, list[tuple[float, float]]] = {}
+    for lineno, line in enumerate(index_path.read_text().splitlines()[1:], start=2):
+        if not line.strip():
+            continue
+        metric, _, filename = line.rpartition(",")
+        path = directory / filename
+        if not path.is_file():
+            errors.append(f"metrics: index.csv:{lineno}: missing file {filename}")
+            continue
+        series[metric] = _read_series_csv(path, errors)
+
+    gauges_path = directory / "gauges.csv"
+    gauges = _read_kv_csv(gauges_path, errors) if gauges_path.is_file() else {}
+
+    # Every occupancy series must respect its service's capacity.
+    for metric, rows in sorted(series.items()):
+        if not (metric.startswith("storage.") and metric.endswith(".occupancy_bytes")):
+            continue
+        service = metric[len("storage.") : -len(".occupancy_bytes")]
+        capacity = gauges.get(f"storage.{service}.capacity_bytes")
+        if capacity is None:
+            errors.append(f"metrics: no capacity gauge for service {service!r}")
+            continue
+        peak = max((v for _, v in rows), default=0.0)
+        if peak > capacity * (1 + _CAPACITY_TOLERANCE):
+            errors.append(
+                f"metrics: {metric} peak {peak} exceeds capacity {capacity}"
+            )
+        if any(v < 0 for _, v in rows):
+            errors.append(f"metrics: {metric} has negative occupancy samples")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# Whole-directory validation
+# ----------------------------------------------------------------------
+def validate_obs_dir(directory: "str | Path") -> list[str]:
+    """Validate a full telemetry directory; returns all errors found."""
+    directory = Path(directory)
+    errors: list[str] = []
+
+    manifest_path = directory / "manifest.json"
+    if manifest_path.is_file():
+        try:
+            errors.extend(validate_manifest(json.loads(manifest_path.read_text())))
+        except json.JSONDecodeError as error:
+            errors.append(f"manifest: invalid JSON ({error})")
+    else:
+        errors.append("missing manifest.json")
+
+    trace_path = directory / "trace.json"
+    if trace_path.is_file():
+        try:
+            errors.extend(validate_chrome_trace(json.loads(trace_path.read_text())))
+        except json.JSONDecodeError as error:
+            errors.append(f"trace: invalid JSON ({error})")
+    else:
+        errors.append("missing trace.json")
+
+    metrics_dir = directory / "metrics"
+    if metrics_dir.is_dir():
+        errors.extend(validate_metrics_dir(metrics_dir))
+    else:
+        errors.append("missing metrics/ directory")
+    return errors
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: validate one or more telemetry directories."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Validate exported simulation telemetry "
+        "(manifest, Chrome trace, metric CSVs).",
+    )
+    parser.add_argument("directories", nargs="+", help="telemetry directories")
+    args = parser.parse_args(argv)
+
+    failed = False
+    for directory in args.directories:
+        errors = validate_obs_dir(directory)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"{directory}: {error}", file=sys.stderr)
+        else:
+            print(f"{directory}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

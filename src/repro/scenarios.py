@@ -25,6 +25,7 @@ import numpy as np
 
 from repro import des
 from repro.compute import ComputeService
+from repro.obs import Observer
 from repro.emulation.calibration import (
     EmulationEffects,
     SWARP_TRUTH,
@@ -177,6 +178,7 @@ def run_swarp(
     resample_flops: Optional[float] = None,
     combine_flops: Optional[float] = None,
     effects: Optional[EmulationEffects] = None,
+    observer: Optional[Observer] = None,
 ) -> ScenarioResult:
     """Run one SWarp configuration on a single compute node.
 
@@ -191,6 +193,8 @@ def run_swarp(
     _validate_fraction("input_fraction", input_fraction)
 
     env = des.Environment()
+    if observer is not None:
+        observer.attach(env)
     if not emulated:
         effects = None
     elif effects is None:
@@ -358,6 +362,7 @@ def run_genomes(
     seed: Optional[int] = None,
     n_bb_nodes: int = 1,
     effects: Optional[EmulationEffects] = None,
+    observer: Optional[Observer] = None,
 ) -> ScenarioResult:
     """Run the 1000Genomes case study (Section IV-C).
 
@@ -376,6 +381,8 @@ def run_genomes(
         raise ValueError("n_bb_nodes must be positive")
 
     env = des.Environment()
+    if observer is not None:
+        observer.attach(env)
     if not emulated:
         effects = None
     elif effects is None:

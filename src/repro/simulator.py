@@ -26,6 +26,7 @@ from typing import Optional, Sequence
 
 from repro import des
 from repro.compute import ComputeService
+from repro.obs import Observer
 from repro.platform import Platform, PlatformSpec, platform_from_json
 from repro.storage import (
     BBMode,
@@ -60,6 +61,7 @@ class Simulator:
         platform: "PlatformSpec | str | Path",
         workflow: "Workflow | str | Path",
         config: Optional[SimulatorConfig] = None,
+        observer: Optional[Observer] = None,
     ) -> None:
         if not isinstance(platform, PlatformSpec):
             platform = platform_from_json(platform)
@@ -68,6 +70,9 @@ class Simulator:
         self.spec = platform
         self.workflow = workflow
         self.config = config or SimulatorConfig()
+        #: Optional telemetry sink; attached to the run's environment
+        #: before any service is built, so every sample is captured.
+        self.observer = observer
 
         self._compute_hosts = [
             h.name
@@ -92,6 +97,8 @@ class Simulator:
     def run(self) -> ExecutionTrace:
         """Simulate the workflow execution; returns the event trace."""
         env = des.Environment()
+        if self.observer is not None:
+            self.observer.attach(env)
         platform = Platform(env, self.spec)
         pfs = ParallelFileSystem(platform)
         compute = ComputeService(
@@ -139,6 +146,28 @@ class Simulator:
         )
         return engine.run()
 
+    def export_telemetry(
+        self, directory: "str | Path", trace: Optional[ExecutionTrace] = None
+    ) -> Path:
+        """Write this run's telemetry (manifest, Chrome trace, CSVs).
+
+        Requires the simulator to have been constructed with an
+        :class:`~repro.obs.Observer` and :meth:`run` to have completed;
+        ``trace`` enriches the manifest with result figures.
+        """
+        from repro.obs import build_manifest, export_run
+
+        if self.observer is None:
+            raise ValueError("simulator was constructed without an observer")
+        manifest = build_manifest(
+            config=self.config,
+            platform=self.spec,
+            workflow=self.workflow,
+            trace=trace,
+            observer=self.observer,
+        )
+        return export_run(self.observer, directory, manifest=manifest)
+
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI: simulate a workflow JSON on a platform JSON."""
@@ -162,7 +191,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--gantt", action="store_true", help="print an ASCII Gantt chart"
     )
+    parser.add_argument(
+        "--obs-dir",
+        help="export run telemetry (manifest, Perfetto trace, metric CSVs) "
+        "into this directory",
+    )
+    parser.add_argument(
+        "--obs-metrics",
+        help="comma-separated metric groups to collect "
+        "(storage,network,compute,engine,des); default: all",
+    )
     args = parser.parse_args(argv)
+
+    observer: Optional[Observer] = None
+    if args.obs_dir or args.obs_metrics:
+        groups = (
+            [g.strip() for g in args.obs_metrics.split(",") if g.strip()]
+            if args.obs_metrics
+            else None
+        )
+        observer = Observer(metrics=groups)
 
     simulator = Simulator(
         Path(args.platform),
@@ -173,6 +221,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             intermediate_fraction=args.intermediate_fraction,
             output_fraction=args.output_fraction,
         ),
+        observer=observer,
     )
     trace = simulator.run()
     print(f"workflow: {trace.workflow_name}")
@@ -186,6 +235,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.output:
         trace.to_json(args.output)
         print(f"trace written to {args.output}")
+    if args.obs_dir:
+        directory = simulator.export_telemetry(args.obs_dir, trace=trace)
+        print(f"telemetry written to {directory}")
     return 0
 
 

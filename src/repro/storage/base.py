@@ -117,10 +117,24 @@ class StorageService(abc.ABC):
             return
         self._reserve(file)
         self._contents[file.name] = file
+        self._notify_occupancy()
 
     def delete(self, file: File) -> None:
         """Remove ``file``, freeing its space (no-op if absent)."""
-        self._contents.pop(file.name, None)
+        if self._contents.pop(file.name, None) is not None:
+            self._notify_occupancy()
+
+    def _notify_occupancy(self) -> None:
+        """Publish the occupancy sample after a content-table change."""
+        obs = self.env.obs
+        if obs is not None:
+            obs.on_storage_occupancy(self.name, self.used, self.capacity)
+
+    def _notify_op(self, kind: str, nbytes: float) -> None:
+        """Publish one issued operation (``read``/``write``/``stage``)."""
+        obs = self.env.obs
+        if obs is not None:
+            obs.on_storage_op(self.name, kind, nbytes)
 
     def _reserve(self, file: File) -> None:
         if file.size > self.free_space:
@@ -141,12 +155,15 @@ class StorageService(abc.ABC):
         if not self.contains(file):
             self._reserve(file)
             self._contents[file.name] = file
+            self._notify_occupancy()
+        self._notify_op("write", file.size)
         return self._gated(lambda: self._write_flow(file, src_host))
 
     def read(self, file: File, dest_host: str) -> Event:
         """Read ``file`` from this service into ``dest_host``'s RAM."""
         if not self.contains(file):
             raise FileNotOnService(f"{self.name}: no file {file.name!r}")
+        self._notify_op("read", file.size)
         return self._gated(lambda: self._read_flow(file, dest_host))
 
     def _gated(self, start_transfer) -> Event:

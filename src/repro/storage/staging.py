@@ -55,8 +55,9 @@ def stage_file(
             registry.register(file, target)
         return done
 
-    target._reserve(file)
-    target._contents[file.name] = file
+    target.add_file(file)
+    source._notify_op("stage", file.size)
+    target._notify_op("stage", file.size)
 
     src = _service_endpoint(source, None)
     dst = _service_endpoint(target, None)

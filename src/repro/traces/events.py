@@ -146,8 +146,15 @@ class ExecutionTrace:
     # ------------------------------------------------------------------
     @property
     def makespan(self) -> float:
-        """Date of the last event (last task completion)."""
-        return max((e.time for e in self.events), default=0.0)
+        """Date of the last event (last task completion).
+
+        Falls back to the latest task-record end when the event log is
+        sparse (e.g. a trace re-loaded from a records-only export), so
+        a trace with finished tasks never reports a 0.0 makespan.
+        """
+        from_events = max((e.time for e in self.events), default=0.0)
+        from_records = max((r.end for r in self.records.values()), default=0.0)
+        return max(from_events, from_records)
 
     def task_record(self, name: str) -> TaskRecord:
         try:
@@ -186,6 +193,12 @@ class ExecutionTrace:
                     "cores": r.cores,
                     "start": r.start,
                     "end": r.end,
+                    # Raw phase timestamps (lossless round trip) ...
+                    "read_start": r.read_start,
+                    "read_end": r.read_end,
+                    "compute_end": r.compute_end,
+                    "write_end": r.write_end,
+                    # ... plus the derived durations older consumers use.
                     "read_time": r.read_time,
                     "compute_time": r.compute_time,
                     "write_time": r.write_time,
@@ -198,6 +211,65 @@ class ExecutionTrace:
         if path is not None:
             Path(path).write_text(text)
         return text
+
+    @classmethod
+    def from_json(cls, source: "str | dict[str, Any]") -> "ExecutionTrace":
+        """Re-load a trace exported with :meth:`to_json`.
+
+        ``source`` is the JSON text (or the already-parsed document).
+        Events, task records, and I/O operations all round-trip; task
+        documents written before raw phase timestamps were exported are
+        reconstructed from the derived durations (phases are contiguous
+        from ``start``, which is how the engine records them).
+        """
+        doc = json.loads(source) if isinstance(source, str) else source
+        trace = cls(doc.get("workflow", ""))
+        for e in doc.get("events", ()):
+            trace.log(e["time"], e["kind"], e.get("task", ""), e.get("detail", ""))
+        for t in doc.get("tasks", ()):
+            start = t["start"]
+            if "read_end" in t:
+                read_start = t.get("read_start", start)
+                read_end = t["read_end"]
+                compute_end = t["compute_end"]
+                write_end = t["write_end"]
+            else:
+                read_start = start
+                read_end = read_start + t.get("read_time", 0.0)
+                compute_end = read_end + t.get("compute_time", 0.0)
+                write_end = compute_end + t.get("write_time", 0.0)
+            trace.add_record(
+                TaskRecord(
+                    name=t["name"],
+                    group=t.get("group", ""),
+                    host=t.get("host", ""),
+                    cores=t.get("cores", 1),
+                    start=start,
+                    read_start=read_start,
+                    read_end=read_end,
+                    compute_end=compute_end,
+                    write_end=write_end,
+                    end=t["end"],
+                )
+            )
+        for op in doc.get("io_operations", ()):
+            trace.log_io(
+                IOOperation(
+                    task=op["task"],
+                    file=op["file"],
+                    service=op["service"],
+                    kind=op["kind"],
+                    size=op["size"],
+                    start=op["start"],
+                    end=op["end"],
+                )
+            )
+        return trace
+
+    @classmethod
+    def from_json_file(cls, path: "str | Path") -> "ExecutionTrace":
+        """Re-load a trace from a file written by :meth:`to_json`."""
+        return cls.from_json(Path(path).read_text())
 
     def __len__(self) -> int:
         return len(self.events)

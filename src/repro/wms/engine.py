@@ -120,6 +120,9 @@ class WorkflowEngine:
         self._task_done: dict[str, Event] = {}
         self._pending_consumers: dict[str, set[str]] = {}
         self._started = False
+        #: Dependency-satisfied tasks that have not yet started (waiting
+        #: on cores/memory) — the engine's ready-queue depth signal.
+        self._ready_depth = 0
 
     # ------------------------------------------------------------------
     # Setup
@@ -223,6 +226,10 @@ class WorkflowEngine:
             cores=task.cores,
         )
         self.trace.log(self.env.now, "task_ready", task.name)
+        self._ready_depth += 1
+        obs = self.env.obs
+        if obs is not None:
+            obs.on_ready_depth(self._ready_depth)
 
         if task.category == TaskCategory.STAGE_IN:
             yield from self._run_stage_in(task, host, record)
@@ -234,14 +241,25 @@ class WorkflowEngine:
         record.end = self.env.now
         self.trace.add_record(record)
         self.trace.log(self.env.now, "task_end", task.name)
+        obs = self.env.obs
+        if obs is not None:
+            obs.on_task_complete(record, task.category.value)
         self._task_done[task.name].succeed(task.name)
+
+    def _mark_start(self, task: Task, record: TaskRecord) -> None:
+        """Stamp a task's actual start (cores granted, ready → running)."""
+        record.start = self.env.now
+        self.trace.log(self.env.now, "task_start", task.name)
+        self._ready_depth -= 1
+        obs = self.env.obs
+        if obs is not None:
+            obs.on_ready_depth(self._ready_depth)
 
     def _run_stage_in(self, task: Task, host: str, record: TaskRecord):
         """Sequential PFS→BB copies for BB-bound inputs."""
         allocation = yield self.compute.acquire_cores(host, 1)
-        record.start = self.env.now
+        self._mark_start(task, record)
         record.read_start = self.env.now
-        self.trace.log(self.env.now, "task_start", task.name)
         try:
             staged = set(self.placement.staged_input_names(self.workflow))
             for f in sorted(task.outputs, key=lambda f: f.name):
@@ -282,9 +300,8 @@ class WorkflowEngine:
         describes).  Files already on the PFS cost nothing.
         """
         allocation = yield self.compute.acquire_cores(host, 1)
-        record.start = self.env.now
+        self._mark_start(task, record)
         record.read_start = self.env.now
-        self.trace.log(self.env.now, "task_start", task.name)
         try:
             for f in sorted(task.inputs, key=lambda f: f.name):
                 if self.pfs.contains(f):
@@ -310,8 +327,7 @@ class WorkflowEngine:
         memory_request = self.compute.acquire_memory(host, task.memory)
         if memory_request is not None:
             yield memory_request
-        record.start = self.env.now
-        self.trace.log(self.env.now, "task_start", task.name)
+        self._mark_start(task, record)
         try:
             # --- read phase (all inputs concurrently) ---------------------
             record.read_start = self.env.now

@@ -1,0 +1,21 @@
+"""Known-bad: bare print() in library code (SIM040)."""
+
+
+def allocate(host, cores):
+    print(f"allocating {cores} cores on {host}")  # expect[SIM040]
+    return cores
+
+
+class Engine:
+    def step(self):
+        print("stepping")  # expect[SIM040]
+
+
+def debug_dump(records):
+    for record in records:
+        print(record)  # expect[SIM040]
+
+
+def run():
+    # Not called main(), so its prints are still library output.
+    print("done")  # expect[SIM040]

@@ -1,0 +1,22 @@
+"""Known-good: output via logging/return values, prints only in main()."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def allocate(host, cores):
+    logger.debug("allocating %d cores on %s", cores, host)
+    return cores
+
+
+def render(records):
+    return "\n".join(str(r) for r in records)
+
+
+def main():
+    # A main() entry point may print: its output is the interface.
+    print(render([]))
+    for line in render([]).splitlines():
+        print(line)
+    return 0

@@ -1,0 +1,180 @@
+"""Exporter tests: Chrome trace shape, CSV layout, manifests, validation."""
+
+import json
+
+import pytest
+
+from repro import des
+from repro.obs import (
+    MANIFEST_SCHEMA,
+    Observer,
+    build_manifest,
+    chrome_trace,
+    config_from_manifest,
+    export_run,
+    platform_digest,
+    validate_chrome_trace,
+    validate_manifest,
+    validate_obs_dir,
+    write_manifest,
+    write_metric_csvs,
+)
+from repro.traces import TaskRecord
+
+
+def observed_sample():
+    """A small hand-driven observer with spans and metrics."""
+    env = des.Environment()
+    obs = Observer().attach(env)
+    obs.on_storage_occupancy("bb", 100.0, 1000.0)
+    env._now = 2.0
+    obs.on_storage_occupancy("bb", 400.0, 1000.0)
+    obs.on_storage_op("bb", "write", 300.0)
+    env._now = 10.0
+    obs.on_task_complete(
+        TaskRecord(
+            name="t", group="g", host="cn0", cores=4,
+            start=0.0, read_start=0.0, read_end=2.0,
+            compute_end=8.0, write_end=10.0, end=10.0,
+        ),
+        "compute",
+    )
+    return obs
+
+
+# ----------------------------------------------------------------------
+# Chrome trace
+# ----------------------------------------------------------------------
+def test_chrome_trace_shape():
+    doc = chrome_trace(observed_sample())
+    events = doc["traceEvents"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    spans = [e for e in events if e["ph"] == "X"]
+    counters = [e for e in events if e["ph"] == "C"]
+    assert {m["args"]["name"] for m in metadata} == {"repro simulation", "cn0"}
+    assert {s["name"] for s in spans} == {"t", "t:read", "t:compute", "t:write"}
+    assert all(s["ts"] >= 0 and s["dur"] >= 0 for s in spans)
+    # Timestamps are microseconds of simulated time.
+    task = next(s for s in spans if s["name"] == "t")
+    assert task["ts"] == 0.0
+    assert task["dur"] == 10.0e6
+    assert counters  # every series renders as a counter track
+    assert doc["otherData"]["counters"]["storage.bb.write_ops"] == 1
+
+
+def test_chrome_trace_is_time_sorted_and_valid():
+    doc = chrome_trace(observed_sample())
+    timestamps = [e["ts"] for e in doc["traceEvents"] if e["ph"] != "M"]
+    assert timestamps == sorted(timestamps)
+    assert validate_chrome_trace(doc) == []
+
+
+def test_validate_chrome_trace_catches_bad_docs():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({"traceEvents": [{"ph": "X", "name": "x"}]}) != []
+    unsorted = {
+        "traceEvents": [
+            {"ph": "C", "name": "a", "ts": 5.0},
+            {"ph": "C", "name": "b", "ts": 1.0},
+        ]
+    }
+    assert any("time-sorted" in e for e in validate_chrome_trace(unsorted))
+    unbalanced = {"traceEvents": [{"ph": "B", "name": "x", "ts": 0.0, "pid": 1, "tid": 1}]}
+    assert any("unclosed" in e for e in validate_chrome_trace(unbalanced))
+    stray_end = {"traceEvents": [{"ph": "E", "name": "x", "ts": 0.0, "pid": 1, "tid": 1}]}
+    assert any("no open B" in e for e in validate_chrome_trace(stray_end))
+
+
+# ----------------------------------------------------------------------
+# CSV export
+# ----------------------------------------------------------------------
+def test_metric_csvs_layout(tmp_path):
+    paths = write_metric_csvs(observed_sample(), tmp_path)
+    names = {p.name for p in paths}
+    assert {"index.csv", "counters.csv", "gauges.csv"} <= names
+    index = dict(
+        line.split(",", 1)
+        for line in (tmp_path / "index.csv").read_text().splitlines()[1:]
+    )
+    assert "storage.bb.occupancy_bytes" in index
+    series = (tmp_path / index["storage.bb.occupancy_bytes"]).read_text().splitlines()
+    assert series[0] == "time,value"
+    assert [tuple(map(float, row.split(","))) for row in series[1:]] == [
+        (0.0, 100.0),
+        (2.0, 400.0),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Manifests
+# ----------------------------------------------------------------------
+def test_manifest_roundtrips_config():
+    from repro.simulator import SimulatorConfig
+    from repro.storage import BBMode
+
+    config = SimulatorConfig(
+        bb_mode=BBMode.PRIVATE,
+        input_fraction=0.5,
+        intermediate_fraction=0.25,
+        output_fraction=1.0,
+        use_amdahl_alpha=True,
+    )
+    doc = build_manifest(config=config)
+    assert validate_manifest(doc) == []
+    assert config_from_manifest(doc) == config
+    # The manifest survives a JSON hop unchanged.
+    assert config_from_manifest(json.loads(json.dumps(doc))) == config
+
+
+def test_manifest_digest_is_content_addressed():
+    from repro.platform.presets import cori_spec
+
+    a = cori_spec(n_compute=2, n_bb_nodes=1)
+    b = cori_spec(n_compute=2, n_bb_nodes=1)
+    c = cori_spec(n_compute=3, n_bb_nodes=1)
+    assert platform_digest(a) == platform_digest(b)
+    assert platform_digest(a) != platform_digest(c)
+
+
+def test_manifest_is_deterministic(tmp_path):
+    doc = build_manifest(observer=observed_sample(), extra={"note": "x"})
+    first = write_manifest(doc, tmp_path / "a.json").read_text()
+    second = write_manifest(doc, tmp_path / "b.json").read_text()
+    assert first == second
+    assert json.loads(first)["schema"] == MANIFEST_SCHEMA
+
+
+def test_validate_manifest_catches_missing_fields():
+    assert validate_manifest([]) != []
+    assert any("schema" in e for e in validate_manifest({"schema": "wrong"}))
+    doc = build_manifest()
+    doc["config"] = {"bb_mode": "striped"}  # missing fractions
+    assert any("input_fraction" in e for e in validate_manifest(doc))
+
+
+# ----------------------------------------------------------------------
+# Whole-directory export
+# ----------------------------------------------------------------------
+def test_export_run_produces_valid_directory(tmp_path):
+    out = export_run(observed_sample(), tmp_path / "telemetry")
+    assert validate_obs_dir(out) == []
+    assert (out / "manifest.json").is_file()
+    assert (out / "trace.json").is_file()
+    assert (out / "metrics" / "index.csv").is_file()
+
+
+def test_validate_obs_dir_reports_missing_pieces(tmp_path):
+    errors = validate_obs_dir(tmp_path)
+    assert "missing manifest.json" in errors
+    assert "missing trace.json" in errors
+    assert "missing metrics/ directory" in errors
+
+
+def test_validate_cli_main(tmp_path, capsys):
+    from repro.obs.validate import main
+
+    out = export_run(observed_sample(), tmp_path / "telemetry")
+    assert main([str(out)]) == 0
+    assert "ok" in capsys.readouterr().out
+    assert main([str(tmp_path / "nothing")]) == 1
+    assert "missing" in capsys.readouterr().err

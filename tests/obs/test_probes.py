@@ -1,0 +1,103 @@
+"""Tests for the metric primitives (counters, gauges, series, registry)."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, MetricRegistry, TimeSeries
+
+
+# ----------------------------------------------------------------------
+# Counter
+# ----------------------------------------------------------------------
+def test_counter_accumulates():
+    c = Counter("n")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+
+
+def test_counter_rejects_negative():
+    c = Counter("n")
+    with pytest.raises(ValueError):
+        c.inc(-1.0)
+
+
+# ----------------------------------------------------------------------
+# Gauge
+# ----------------------------------------------------------------------
+def test_gauge_keeps_last_value():
+    g = Gauge("g")
+    g.set(10.0)
+    g.set(3.0)
+    assert g.value == 3.0
+
+
+# ----------------------------------------------------------------------
+# TimeSeries
+# ----------------------------------------------------------------------
+def test_series_records_steps():
+    s = TimeSeries("s")
+    s.sample(0.0, 1.0)
+    s.sample(2.0, 3.0)
+    assert list(s.items()) == [(0.0, 1.0), (2.0, 3.0)]
+    assert s.last == 3.0
+    assert s.peak == 3.0
+    assert len(s) == 2
+
+
+def test_series_collapses_same_instant():
+    # A DES processes many state changes at one instant; only the value
+    # the instant settles on is observable.
+    s = TimeSeries("s")
+    s.sample(1.0, 5.0)
+    s.sample(1.0, 7.0)
+    s.sample(1.0, 2.0)
+    assert list(s.items()) == [(1.0, 2.0)]
+
+
+def test_series_rejects_time_travel():
+    s = TimeSeries("s")
+    s.sample(2.0, 1.0)
+    with pytest.raises(ValueError):
+        s.sample(1.0, 1.0)
+
+
+def test_empty_series_properties():
+    s = TimeSeries("s")
+    assert s.last is None
+    assert s.peak is None
+    assert len(s) == 0
+
+
+# ----------------------------------------------------------------------
+# MetricRegistry
+# ----------------------------------------------------------------------
+def test_registry_lazy_creation_is_idempotent():
+    r = MetricRegistry()
+    assert r.counter("a.b.c") is r.counter("a.b.c")
+    assert r.gauge("a.b.g") is r.gauge("a.b.g")
+    assert r.timeseries("a.b.s") is r.timeseries("a.b.s")
+    assert len(r) == 3
+    assert r.names() == ["a.b.c", "a.b.g", "a.b.s"]
+
+
+def test_registry_rejects_kind_collision():
+    r = MetricRegistry()
+    r.counter("x")
+    with pytest.raises(ValueError):
+        r.gauge("x")
+    with pytest.raises(ValueError):
+        r.timeseries("x")
+
+
+def test_registry_snapshot_is_plain_data():
+    import json
+
+    r = MetricRegistry()
+    r.counter("c").inc(2)
+    r.gauge("g").set(7.0)
+    r.timeseries("s").sample(0.0, 1.0)
+    snap = r.snapshot()
+    assert snap == json.loads(json.dumps(snap))
+    assert snap["counters"] == {"c": 2.0}
+    assert snap["gauges"] == {"g": 7.0}
+    assert snap["series"] == {"s": {"times": [0.0], "values": [1.0]}}

@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 
 from repro.platform import platform_from_json, platform_to_json
 from repro.platform.spec import DiskSpec, HostSpec, LinkSpec, PlatformSpec, RouteSpec
+from repro.traces import ExecutionTrace, IOOperation, TaskRecord
 from repro.workflow.synthetic import make_random_dag
 from repro.workflow.wfformat import workflow_from_wfformat, workflow_to_wfformat
 
@@ -107,3 +108,69 @@ def test_wfformat_roundtrip_random_dags(n, seed):
         assert other.cores == task.cores
         assert {f.name for f in other.inputs} == {f.name for f in task.inputs}
         assert {f.name for f in other.outputs} == {f.name for f in task.outputs}
+
+
+# ----------------------------------------------------------------------
+# Random execution traces through to_json / from_json
+# ----------------------------------------------------------------------
+_times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="_-."),
+    min_size=1,
+    max_size=12,
+)
+
+
+@st.composite
+def execution_traces(draw):
+    trace = ExecutionTrace(draw(_names))
+    for _ in range(draw(st.integers(min_value=0, max_value=8))):
+        trace.log(draw(_times), draw(_names), draw(_names), draw(_names))
+    names = draw(st.lists(_names, max_size=6, unique=True))
+    for name in names:
+        # Monotone phase boundaries, as the engine records them.
+        a, b, c, d = sorted(draw(st.lists(_times, min_size=4, max_size=4)))
+        trace.add_record(
+            TaskRecord(
+                name=name,
+                group=draw(_names),
+                host=draw(_names),
+                cores=draw(st.integers(min_value=1, max_value=64)),
+                start=a,
+                read_start=a,
+                read_end=b,
+                compute_end=c,
+                write_end=d,
+                end=d,
+            )
+        )
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        begin, end = sorted([draw(_times), draw(_times)])
+        trace.log_io(
+            IOOperation(
+                task=draw(_names),
+                file=draw(_names),
+                service=draw(_names),
+                kind=draw(st.sampled_from(["read", "write", "stage"])),
+                size=draw(st.floats(min_value=0.0, max_value=1e12)),
+                start=begin,
+                end=end,
+            )
+        )
+    return trace
+
+
+@given(execution_traces())
+@settings(max_examples=50, deadline=None)
+def test_trace_json_roundtrip_any_trace(trace):
+    loaded = ExecutionTrace.from_json(trace.to_json())
+    assert loaded.workflow_name == trace.workflow_name
+    assert loaded.events == trace.events
+    assert loaded.io_operations == trace.io_operations
+    assert set(loaded.records) == set(trace.records)
+    assert sorted(loaded.records.values(), key=lambda r: (r.start, r.name)) == sorted(
+        trace.records.values(), key=lambda r: (r.start, r.name)
+    )
+    assert loaded.makespan == trace.makespan
+    # A second hop is exactly stable.
+    assert ExecutionTrace.from_json(loaded.to_json()).to_json() == loaded.to_json()

@@ -8,6 +8,7 @@ from repro import des
 from repro.network import FlowNetwork, Link
 from repro.traces import (
     ExecutionTrace,
+    IOOperation,
     TaskRecord,
     TraceEvent,
     achieved_bandwidths,
@@ -62,6 +63,22 @@ def test_trace_empty_makespan_zero():
     assert ExecutionTrace().makespan == 0.0
 
 
+def test_trace_makespan_falls_back_to_records():
+    # A records-only trace (e.g. re-loaded from a sparse export) must
+    # still report the last task completion, not 0.0.
+    trace = ExecutionTrace("wf")
+    trace.add_record(make_record(name="a", end=12.5))
+    trace.add_record(make_record(name="b", end=7.0))
+    assert trace.makespan == 12.5
+
+
+def test_trace_makespan_prefers_later_of_events_and_records():
+    trace = ExecutionTrace("wf")
+    trace.log(20.0, "cleanup")
+    trace.add_record(make_record(name="a", end=12.5))
+    assert trace.makespan == 20.0
+
+
 def test_trace_record_queries():
     trace = ExecutionTrace("wf")
     trace.add_record(make_record(name="a", group="resample"))
@@ -93,10 +110,65 @@ def test_trace_json_roundtrippable(tmp_path):
     doc = json.loads(path.read_text())
     assert doc == json.loads(text)
     assert doc["workflow"] == "wf"
-    assert doc["makespan"] == 1.0
+    # Record ends at 10.0 and outlives the last event (the fallback).
+    assert doc["makespan"] == 10.0
     assert doc["events"][0]["kind"] == "task_start"
     assert doc["tasks"][0]["name"] == "a"
     assert doc["tasks"][0]["read_time"] == 2.0
+
+
+def test_trace_from_json_roundtrips_everything(tmp_path):
+    trace = ExecutionTrace("wf")
+    trace.log(1.0, "task_start", "a", "detail")
+    trace.log(10.0, "task_end", "a")
+    trace.add_record(make_record(name="a"))
+    trace.log_io(
+        IOOperation(
+            task="a", file="f1", service="bb", kind="read",
+            size=1000.0, start=0.0, end=2.0,
+        )
+    )
+    loaded = ExecutionTrace.from_json(trace.to_json())
+    assert loaded.workflow_name == "wf"
+    assert loaded.events == trace.events
+    assert loaded.records == trace.records
+    assert loaded.io_operations == trace.io_operations
+    assert loaded.makespan == trace.makespan
+
+    path = tmp_path / "trace.json"
+    trace.to_json(path)
+    from_file = ExecutionTrace.from_json_file(path)
+    assert from_file.to_json() == trace.to_json()
+
+
+def test_trace_from_json_accepts_parsed_document():
+    trace = ExecutionTrace("wf")
+    trace.add_record(make_record(name="a"))
+    loaded = ExecutionTrace.from_json(json.loads(trace.to_json()))
+    assert loaded.records == trace.records
+
+
+def test_trace_from_json_legacy_derived_durations():
+    # Pre-raw-timestamp exports carried only the derived durations;
+    # phases are reconstructed as contiguous from start.
+    doc = {
+        "workflow": "old",
+        "tasks": [
+            {
+                "name": "a", "group": "g", "host": "cn0", "cores": 2,
+                "start": 5.0, "end": 15.0,
+                "read_time": 2.0, "compute_time": 6.0, "write_time": 2.0,
+            }
+        ],
+    }
+    record = ExecutionTrace.from_json(doc).task_record("a")
+    assert record.read_start == 5.0
+    assert record.read_end == 7.0
+    assert record.compute_end == 13.0
+    assert record.write_end == 15.0
+    assert record.read_time == 2.0
+    assert record.compute_time == 6.0
+    assert record.write_time == 2.0
 
 
 def test_trace_event_to_dict():
@@ -156,3 +228,25 @@ def test_zero_byte_flows_excluded():
     net.transfer(0, [], latency=1.0, label="empty")
     env.run()
     assert achieved_bandwidths(net) == []
+
+
+def test_zero_duration_flows_excluded():
+    # A flow over an infinitely-fast path completes instantaneously;
+    # its bandwidth is undefined and must not pollute the mean.
+    env = des.Environment()
+    net = FlowNetwork(env)
+    net.transfer(1000, [], label="instant")
+    env.run()
+    assert net.completed[0].achieved_bandwidth is None
+    assert achieved_bandwidths(net) == []
+
+
+def test_prefix_filter_composes_with_skipping():
+    env = des.Environment()
+    net = FlowNetwork(env)
+    l = Link("l", bandwidth=100.0)
+    net.transfer(1000, [l], label="bb:read:f1")
+    net.transfer(0, [l], latency=1.0, label="bb:noop")
+    net.transfer(500, [l], label="pfs:read:f2")
+    env.run()
+    assert len(achieved_bandwidths(net, label_prefix="bb:")) == 1

@@ -1,0 +1,96 @@
+"""Tests for the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.traces import ExecutionTrace, IOOperation, TaskRecord, render_gantt
+
+
+def make_record(**kw):
+    defaults = dict(
+        name="t", group="g", host="cn0", cores=4,
+        start=0.0, read_start=0.0, read_end=2.0,
+        compute_end=8.0, write_end=10.0, end=10.0,
+    )
+    defaults.update(kw)
+    return TaskRecord(**defaults)
+
+
+def make_trace(*records):
+    trace = ExecutionTrace("wf")
+    for record in records:
+        trace.add_record(record)
+    return trace
+
+
+def test_empty_trace():
+    assert render_gantt(ExecutionTrace()) == "(empty trace)"
+
+
+def test_zero_length_trace():
+    trace = make_trace(
+        make_record(end=0.0, read_end=0.0, compute_end=0.0, write_end=0.0)
+    )
+    assert render_gantt(trace) == "(zero-length trace)"
+
+
+def test_width_minimum_enforced():
+    with pytest.raises(ValueError):
+        render_gantt(make_trace(make_record()), width=9)
+
+
+def test_phases_render_in_order():
+    out = render_gantt(make_trace(make_record()), width=20)
+    row = next(line for line in out.splitlines() if line.startswith("t "))
+    bar = row.split("|")[1]
+    assert set(bar) <= {"r", "#", "w", " "}
+    # Phases appear left to right: read, compute, write.
+    assert bar.index("r") < bar.index("#") < bar.index("w")
+
+
+def test_zero_duration_phase_omitted():
+    # No write phase: compute_end == write_end, so no 'w' column.
+    record = make_record(compute_end=10.0, write_end=10.0)
+    out = render_gantt(make_trace(record), width=20)
+    row = next(line for line in out.splitlines() if line.startswith("t "))
+    assert "w" not in row.split("|")[1]
+
+
+def test_truncation_note_after_max_tasks():
+    records = [make_record(name=f"t{i:02d}", start=float(i)) for i in range(5)]
+    out = render_gantt(make_trace(*records), max_tasks=3)
+    assert "... (2 more tasks)" in out
+    assert "t04" not in out
+
+
+def test_rows_ordered_by_start_time():
+    trace = make_trace(
+        make_record(name="late", start=5.0),
+        make_record(name="early", start=1.0),
+    )
+    out = render_gantt(trace)
+    assert out.index("early") < out.index("late")
+
+
+def test_no_io_footer_without_operations():
+    out = render_gantt(make_trace(make_record()))
+    assert "io:" not in out
+    assert out.splitlines()[-1].startswith("legend:")
+
+
+def test_io_totals_footer_formatting():
+    trace = make_trace(make_record(name="a"))
+    trace.log_io(
+        IOOperation(
+            task="a", file="f1", service="bb", kind="read",
+            size=1.5e9, start=0.0, end=2.0,
+        )
+    )
+    trace.log_io(
+        IOOperation(
+            task="a", file="f2", service="pfs", kind="write",
+            size=0.5e9, start=2.0, end=4.0,
+        )
+    )
+    footer = render_gantt(trace).splitlines()[-1]
+    # Grand total, operation count, then per-service totals sorted by name.
+    assert footer == "io: 1.9 GiB in 2 operations (bb: 1.4 GiB, pfs: 476.8 MiB)"
