@@ -1,9 +1,14 @@
 """Experiment harnesses: one module per table/figure of the paper.
 
-Each module exposes ``run(quick=False) -> ExperimentResult``; the CLI
+Each module exposes ``run(quick=False, sweep=None) -> ExperimentResult``
+plus a ``sweep_spec(quick)`` describing its parameter grid; the CLI
 (``python -m repro.experiments <id>``) renders the result as the text
 rows/series the paper reports.  ``quick=True`` trims trial counts and
-sweep densities for CI-speed runs without changing the shapes.
+sweep densities for CI-speed runs without changing the shapes; the
+``sweep`` argument (a :class:`repro.sweep.SweepOptions`) fans the grid
+points over worker processes and/or a content-addressed result cache —
+the default (``None``) runs everything serially in-process, uncached,
+and is bit-identical to the parallel/cached paths.
 
 Experiment index (see DESIGN.md for the full mapping):
 

@@ -6,12 +6,18 @@ import argparse
 import importlib
 import sys
 import time
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.experiments import ALL_EXPERIMENTS
+from repro.sweep import DEFAULT_CACHE_DIR, SweepError, SweepOptions
 
 
-def run_experiment(experiment_id: str, quick: bool = False):
+def run_experiment(
+    experiment_id: str,
+    quick: bool = False,
+    sweep: Optional[SweepOptions] = None,
+):
     """Import and run one experiment module; returns its result."""
     if experiment_id not in ALL_EXPERIMENTS:
         raise ValueError(
@@ -19,7 +25,53 @@ def run_experiment(experiment_id: str, quick: bool = False):
             f"choose from {', '.join(ALL_EXPERIMENTS)}"
         )
     module = importlib.import_module(f"repro.experiments.{experiment_id}")
-    return module.run(quick=quick)
+    return module.run(quick=quick, sweep=sweep)
+
+
+def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    """Worker/retry/cache flags shared with ``repro-sweep``."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes per sweep (1 = run in-process; default 1)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="per-point retries after a failure or timeout (default 0)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-point timeout in seconds (parallel runs only)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=str(DEFAULT_CACHE_DIR),
+        help="content-addressed point cache directory "
+        f"(default {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every point; neither read nor write the cache",
+    )
+
+
+def sweep_options_from_args(
+    args: argparse.Namespace, obs_dir: Optional[Path] = None
+) -> SweepOptions:
+    """Build the :class:`SweepOptions` encoded by the shared flags."""
+    return SweepOptions(
+        workers=args.workers,
+        retries=args.retries,
+        timeout=args.timeout,
+        cache_dir=None if args.no_cache else Path(args.cache_dir),
+        obs_dir=obs_dir,
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -45,9 +97,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--obs-dir",
         help="write a provenance manifest per experiment "
-        "(<id>.manifest.json) into this directory, so every figure run "
-        "carries its simulator version and configuration",
+        "(<id>.manifest.json) plus per-point telemetry directories "
+        "(<id>/<point-id>/) into this directory",
     )
+    add_sweep_arguments(parser)
     args = parser.parse_args(argv)
 
     requested = list(args.experiments)
@@ -58,22 +111,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # Harness-side progress timing (how long the *harness* took, not
         # anything simulated), so the wall clock is the right clock.
         start = time.time()  # lint: ignore[SIM001]
+        obs_dir = Path(args.obs_dir) / experiment_id if args.obs_dir else None
+        sweep = sweep_options_from_args(args, obs_dir=obs_dir)
         try:
-            result = run_experiment(experiment_id, quick=args.quick)
+            result = run_experiment(experiment_id, quick=args.quick, sweep=sweep)
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+        except SweepError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
         print(result.render())
         if args.output_dir:
-            from pathlib import Path
-
             out = Path(args.output_dir)
             out.mkdir(parents=True, exist_ok=True)
             result.to_json(out / f"{experiment_id}.json")
             result.to_csv(out / f"{experiment_id}.csv")
         if args.obs_dir:
-            from pathlib import Path
-
             from repro.obs import build_manifest, write_manifest
 
             manifest = build_manifest(

@@ -4,12 +4,30 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Any, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from repro.model.equations import sequential_compute_time
 from repro.platform.presets import TABLE_I
 from repro.scenarios import run_swarp
+from repro.sweep import SweepOptions
 from repro.workflow.calibration import COMBINE_LAMBDA_IO, RESAMPLE_LAMBDA_IO
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sweep import SweepSpec
+
+
+def sweep_values(
+    spec: "SweepSpec", sweep: Optional[SweepOptions] = None
+) -> dict[str, Any]:
+    """Run a figure's sweep; return point id → value.
+
+    Every figure harness funnels through here, so one engine decides
+    workers, caching, retries, and telemetry for all of them.  With no
+    options this is the serial, uncached path — bit-identical to any
+    parallel run of the same spec.
+    """
+    options = sweep if sweep is not None else SweepOptions()
+    return options.run(spec).values()
 
 
 @dataclass(frozen=True)

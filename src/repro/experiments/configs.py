@@ -29,6 +29,10 @@ STRIPED = BBConfig("striped", "cori", BBMode.STRIPED)
 ON_NODE = BBConfig("on-node", "summit", None)
 ALL_CONFIGS = (PRIVATE, STRIPED, ON_NODE)
 
+#: Label → configuration, for sweep points (which carry plain strings so
+#: they stay JSON-representable and picklable across worker processes).
+CONFIGS_BY_LABEL = {config.label: config for config in ALL_CONFIGS}
+
 #: Sweep points used across figures (paper's experimental grid).
 FRACTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
 CORE_COUNTS = (1, 2, 4, 8, 16, 32)

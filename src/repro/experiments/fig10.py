@@ -18,11 +18,20 @@ Paper findings regenerated here:
 
 from __future__ import annotations
 
+from typing import Any, Optional
+
 from repro.emulation.trials import run_trials
-from repro.experiments.common import ExperimentResult, calibrate_swarp
-from repro.experiments.configs import ALL_CONFIGS, FRACTIONS, N_TRIALS, N_TRIALS_QUICK
+from repro.experiments.common import ExperimentResult, calibrate_swarp, sweep_values
+from repro.experiments.configs import (
+    ALL_CONFIGS,
+    CONFIGS_BY_LABEL,
+    FRACTIONS,
+    N_TRIALS,
+    N_TRIALS_QUICK,
+)
 from repro.model import mean_relative_error
 from repro.scenarios import run_swarp
+from repro.sweep import SweepOptions, SweepSpec, point_id
 
 
 def measured_makespan(config, fraction: float, seed: int) -> float:
@@ -55,8 +64,31 @@ def simulated_makespan(config, fraction: float) -> float:
     return r.makespan
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def compute_point(params: dict[str, Any]) -> list[float]:
+    """One sweep point: [measured mean, simulated] for (config, fraction)."""
+    config = CONFIGS_BY_LABEL[params["config"]]
+    stats = run_trials(
+        lambda seed: measured_makespan(config, params["fraction"], seed),
+        n_trials=params["n_trials"],
+    )
+    return [stats.mean, simulated_makespan(config, params["fraction"])]
+
+
+def sweep_spec(quick: bool = False) -> SweepSpec:
+    return SweepSpec.cartesian(
+        "fig10",
+        "repro.experiments.fig10:compute_point",
+        axes={
+            "config": [c.label for c in ALL_CONFIGS],
+            "fraction": [float(f) for f in FRACTIONS],
+        },
+        constants={"n_trials": N_TRIALS_QUICK if quick else N_TRIALS},
+    )
+
+
+def run(quick: bool = False, sweep: Optional[SweepOptions] = None) -> ExperimentResult:
     n_trials = N_TRIALS_QUICK if quick else N_TRIALS
+    values = sweep_values(sweep_spec(quick), sweep)
     result = ExperimentResult(
         experiment_id="fig10",
         title="Real (emulated) vs. simulated makespan vs. % files staged "
@@ -66,19 +98,22 @@ def run(quick: bool = False) -> ExperimentResult:
     for config in ALL_CONFIGS:
         measured, simulated = [], []
         for fraction in FRACTIONS:
-            stats = run_trials(
-                lambda seed: measured_makespan(config, fraction, seed),
-                n_trials=n_trials,
+            pid = point_id(
+                {
+                    "config": config.label,
+                    "fraction": float(fraction),
+                    "n_trials": n_trials,
+                }
             )
-            sim = simulated_makespan(config, fraction)
-            measured.append(stats.mean)
+            meas, sim = values[pid]
+            measured.append(meas)
             simulated.append(sim)
             result.add_row(
                 config.label,
                 fraction,
-                stats.mean,
+                meas,
                 sim,
-                abs(sim - stats.mean) / stats.mean,
+                abs(sim - meas) / meas,
             )
         result.notes.append(
             f"{config.label}: mean relative error "

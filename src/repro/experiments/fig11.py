@@ -23,16 +23,20 @@ Section IV-B discusses.
 
 from __future__ import annotations
 
+from typing import Any, Optional
+
 from repro.emulation.trials import run_trials
-from repro.experiments.common import ExperimentResult, calibrate_swarp
+from repro.experiments.common import ExperimentResult, calibrate_swarp, sweep_values
 from repro.experiments.configs import (
     ALL_CONFIGS,
+    CONFIGS_BY_LABEL,
     N_TRIALS,
     N_TRIALS_QUICK,
     PIPELINE_COUNTS,
 )
 from repro.model import mean_relative_error, trend_agreement
 from repro.scenarios import run_swarp
+from repro.sweep import SweepOptions, SweepSpec, point_id
 
 
 def measured_makespan(config, n_pipelines: int, seed: int) -> float:
@@ -67,9 +71,35 @@ def simulated_makespan(config, n_pipelines: int) -> float:
     return r.makespan
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def compute_point(params: dict[str, Any]) -> list[float]:
+    """One sweep point: [measured mean, simulated] for (config, pipelines)."""
+    config = CONFIGS_BY_LABEL[params["config"]]
+    stats = run_trials(
+        lambda seed: measured_makespan(config, params["pipelines"], seed),
+        n_trials=params["n_trials"],
+    )
+    return [stats.mean, simulated_makespan(config, params["pipelines"])]
+
+
+def _pipelines(quick: bool):
+    return (1, 8, 32) if quick else PIPELINE_COUNTS
+
+
+def sweep_spec(quick: bool = False) -> SweepSpec:
+    return SweepSpec.cartesian(
+        "fig11",
+        "repro.experiments.fig11:compute_point",
+        axes={
+            "config": [c.label for c in ALL_CONFIGS],
+            "pipelines": list(_pipelines(quick)),
+        },
+        constants={"n_trials": N_TRIALS_QUICK if quick else N_TRIALS},
+    )
+
+
+def run(quick: bool = False, sweep: Optional[SweepOptions] = None) -> ExperimentResult:
     n_trials = N_TRIALS_QUICK if quick else N_TRIALS
-    pipelines = (1, 8, 32) if quick else PIPELINE_COUNTS
+    values = sweep_values(sweep_spec(quick), sweep)
     result = ExperimentResult(
         experiment_id="fig11",
         title="Real (emulated) vs. simulated makespan vs. concurrent "
@@ -78,20 +108,19 @@ def run(quick: bool = False) -> ExperimentResult:
     )
     for config in ALL_CONFIGS:
         measured, simulated = [], []
-        for n in pipelines:
-            stats = run_trials(
-                lambda seed: measured_makespan(config, n, seed),
-                n_trials=n_trials,
+        for n in _pipelines(quick):
+            pid = point_id(
+                {"config": config.label, "pipelines": n, "n_trials": n_trials}
             )
-            sim = simulated_makespan(config, n)
-            measured.append(stats.mean)
+            meas, sim = values[pid]
+            measured.append(meas)
             simulated.append(sim)
             result.add_row(
                 config.label,
                 n,
-                stats.mean,
+                meas,
                 sim,
-                abs(sim - stats.mean) / stats.mean,
+                abs(sim - meas) / meas,
             )
         result.notes.append(
             f"{config.label}: mean error "

@@ -11,43 +11,91 @@ Paper findings regenerated here:
 * Summit outperforms Cori (bigger BB bandwidth);
 * Cori plateaus once ~80% of the input is staged (its single BB node's
   bandwidth saturates); Summit's plateau arrives only near 100%.
+
+This module is also the sweep engine's telemetry showcase: when the
+sweep is given an ``--obs-dir``, every point attaches an
+:class:`repro.obs.Observer` to its simulation and exports the full
+telemetry bundle (manifest + Perfetto trace + metric CSVs) into its
+per-point directory.
 """
 
 from __future__ import annotations
 
+from typing import Any, Optional
+
 import numpy as np
 
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, sweep_values
 from repro.scenarios import run_genomes
+from repro.sweep import SweepOptions, SweepSpec, point_id
 
 FRACTIONS = tuple(np.round(np.linspace(0.0, 1.0, 11), 2))
 
 
-def makespan(system: str, fraction: float, n_chromosomes: int) -> float:
+def makespan(system: str, fraction: float, n_chromosomes: int, observer=None) -> float:
     return run_genomes(
         system=system,
         input_fraction=fraction,
         n_chromosomes=n_chromosomes,
         n_compute=8,
         emulated=False,
+        observer=observer,
     ).makespan
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    fractions = FRACTIONS[::2] if quick else FRACTIONS
+def compute_point(params: dict[str, Any], obs_dir=None) -> float:
+    """One sweep point: simulated makespan for (system, fraction)."""
+    observer = None
+    if obs_dir is not None:
+        from repro.obs import Observer, export_run
+
+        observer = Observer()
+    value = makespan(
+        params["system"], params["fraction"], params["n_chromosomes"], observer
+    )
+    if observer is not None:
+        export_run(observer, obs_dir)
+    return value
+
+
+def _fractions(quick: bool):
+    return FRACTIONS[::2] if quick else FRACTIONS
+
+
+def sweep_spec(quick: bool = False) -> SweepSpec:
+    return SweepSpec.cartesian(
+        "fig13",
+        "repro.experiments.fig13:compute_point",
+        axes={
+            "system": ["cori", "summit"],
+            "fraction": [float(f) for f in _fractions(quick)],
+        },
+        constants={"n_chromosomes": 6 if quick else 22},
+        pass_obs_dir=True,
+    )
+
+
+def run(quick: bool = False, sweep: Optional[SweepOptions] = None) -> ExperimentResult:
     n_chromosomes = 6 if quick else 22
+    values = sweep_values(sweep_spec(quick), sweep)
     result = ExperimentResult(
         experiment_id="fig13",
         title="1000Genomes simulated makespan vs. % input files in BB "
         f"({n_chromosomes} chromosomes)",
         columns=("fraction", "cori_s", "summit_s"),
     )
-    for fraction in fractions:
-        result.add_row(
-            float(fraction),
-            makespan("cori", float(fraction), n_chromosomes),
-            makespan("summit", float(fraction), n_chromosomes),
-        )
+    for fraction in _fractions(quick):
+        row = []
+        for system in ("cori", "summit"):
+            pid = point_id(
+                {
+                    "system": system,
+                    "fraction": float(fraction),
+                    "n_chromosomes": n_chromosomes,
+                }
+            )
+            row.append(values[pid])
+        result.add_row(float(fraction), row[0], row[1])
     result.notes.append(
         "expect: both fall with fraction; summit < cori; cori plateau ~80%"
     )

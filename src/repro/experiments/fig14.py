@@ -12,18 +12,25 @@ We reproduce the comparison structure faithfully: our reference points
 are produced by the *emulator* on a 2-chromosome instance (standing in
 for the prior measured study), while the simulated curve uses the full
 22-chromosome instance, mirroring the paper's mismatch.
+
+Sweep-wise this is the one heterogeneous experiment: the point list
+mixes simulated-makespan points (``kind="sim"``) and emulated reference
+points (``kind="ref"``), and the speedup ratios are formed from the raw
+makespans when the rows are assembled.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
+from typing import Any, Optional
 
 from repro.emulation.calibration import CORI_EFFECTS
 from repro.emulation.trials import run_trials
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, sweep_values
 from repro.model import mean_relative_error
 from repro.platform.units import MB
 from repro.scenarios import run_genomes
+from repro.sweep import SweepOptions, SweepSpec, point_id
 
 FRACTIONS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
 REFERENCE_FRACTIONS = (0.4, 0.8, 1.0)  # the prior study measured a few points
@@ -36,24 +43,19 @@ REFERENCE_FRACTIONS = (0.4, 0.8, 1.0)  # the prior study measured a few points
 REFERENCE_ERA_EFFECTS = replace(CORI_EFFECTS, pfs_disk_bandwidth=50 * MB)
 
 
-def simulated_speedups(system: str, fractions, n_chromosomes: int) -> dict[float, float]:
-    baseline = run_genomes(
-        system=system, input_fraction=0.0, n_chromosomes=n_chromosomes, n_compute=8
+def simulated_makespan(system: str, fraction: float, n_chromosomes: int) -> float:
+    return run_genomes(
+        system=system,
+        input_fraction=fraction,
+        n_chromosomes=n_chromosomes,
+        n_compute=8,
     ).makespan
-    return {
-        f: baseline
-        / run_genomes(
-            system=system, input_fraction=f, n_chromosomes=n_chromosomes, n_compute=8
-        ).makespan
-        for f in fractions
-    }
 
 
-def reference_speedups(quick: bool = False) -> dict[float, float]:
+def reference_makespan(fraction: float, n_trials: int) -> float:
     """Emulated 2-chromosome Cori reference (the prior-work stand-in)."""
-    n_trials = 3 if quick else 5
 
-    def emulated_makespan(fraction: float, seed: int) -> float:
+    def emulated(seed: int) -> float:
         return run_genomes(
             system="cori",
             input_fraction=fraction,
@@ -64,28 +66,79 @@ def reference_speedups(quick: bool = False) -> dict[float, float]:
             effects=REFERENCE_ERA_EFFECTS,
         ).makespan
 
-    baseline = run_trials(
-        lambda seed: emulated_makespan(0.0, seed), n_trials=n_trials
-    ).mean
-    return {
-        f: baseline
-        / run_trials(lambda seed: emulated_makespan(f, seed), n_trials=n_trials).mean
-        for f in REFERENCE_FRACTIONS
-    }
+    return run_trials(emulated, n_trials=n_trials).mean
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def compute_point(params: dict[str, Any]) -> float:
+    """One sweep point: a raw makespan, simulated or emulated-reference."""
+    if params["kind"] == "sim":
+        return simulated_makespan(
+            params["system"], params["fraction"], params["n_chromosomes"]
+        )
+    return reference_makespan(params["fraction"], params["n_trials"])
+
+
+def _fractions(quick: bool):
+    return (0.0, 0.5, 1.0) if quick else FRACTIONS
+
+
+def sweep_spec(quick: bool = False) -> SweepSpec:
     n_chromosomes = 6 if quick else 22
-    fractions = (0.0, 0.5, 1.0) if quick else FRACTIONS
+    ref_trials = 3 if quick else 5
+    points: list[dict[str, Any]] = [
+        {
+            "kind": "sim",
+            "system": system,
+            "fraction": float(f),
+            "n_chromosomes": n_chromosomes,
+        }
+        for system in ("cori", "summit")
+        for f in _fractions(quick)
+    ]
+    points += [
+        {"kind": "ref", "fraction": float(f), "n_trials": ref_trials}
+        for f in (0.0,) + REFERENCE_FRACTIONS
+    ]
+    return SweepSpec(
+        sweep_id="fig14",
+        func="repro.experiments.fig14:compute_point",
+        points=tuple(points),
+    )
+
+
+def run(quick: bool = False, sweep: Optional[SweepOptions] = None) -> ExperimentResult:
+    n_chromosomes = 6 if quick else 22
+    ref_trials = 3 if quick else 5
+    fractions = _fractions(quick)
+    values = sweep_values(sweep_spec(quick), sweep)
+
+    def sim(system: str, f: float) -> float:
+        return values[
+            point_id(
+                {
+                    "kind": "sim",
+                    "system": system,
+                    "fraction": float(f),
+                    "n_chromosomes": n_chromosomes,
+                }
+            )
+        ]
+
+    def ref(f: float) -> float:
+        return values[
+            point_id({"kind": "ref", "fraction": float(f), "n_trials": ref_trials})
+        ]
+
+    cori = {f: sim("cori", 0.0) / sim("cori", f) for f in fractions}
+    summit = {f: sim("summit", 0.0) / sim("summit", f) for f in fractions}
+    reference = {f: ref(0.0) / ref(f) for f in REFERENCE_FRACTIONS}
+
     result = ExperimentResult(
         experiment_id="fig14",
         title="1000Genomes speedup from staging input into BBs "
         "(+ prior-work reference points)",
         columns=("fraction", "cori_speedup", "summit_speedup", "reference"),
     )
-    cori = simulated_speedups("cori", fractions, n_chromosomes)
-    summit = simulated_speedups("summit", fractions, n_chromosomes)
-    reference = reference_speedups(quick=quick)
     for f in fractions:
         result.add_row(f, cori[f], summit[f], reference.get(f, float("nan")))
 

@@ -12,10 +12,19 @@ Paper findings this harness regenerates:
 
 from __future__ import annotations
 
+from typing import Any, Optional
+
 from repro.emulation.trials import run_trials
-from repro.experiments.common import ExperimentResult
-from repro.experiments.configs import ALL_CONFIGS, FRACTIONS, N_TRIALS, N_TRIALS_QUICK
+from repro.experiments.common import ExperimentResult, sweep_values
+from repro.experiments.configs import (
+    ALL_CONFIGS,
+    CONFIGS_BY_LABEL,
+    FRACTIONS,
+    N_TRIALS,
+    N_TRIALS_QUICK,
+)
 from repro.scenarios import run_swarp
+from repro.sweep import SweepOptions, SweepSpec, point_id
 
 
 def stage_in_time(config, fraction: float, seed: int) -> float:
@@ -32,8 +41,31 @@ def stage_in_time(config, fraction: float, seed: int) -> float:
     return result.trace.task_record("stage_in").duration
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def compute_point(params: dict[str, Any]) -> list[float]:
+    """One sweep point: stage-in trial statistics for (config, fraction)."""
+    config = CONFIGS_BY_LABEL[params["config"]]
+    stats = run_trials(
+        lambda seed: stage_in_time(config, params["fraction"], seed),
+        n_trials=params["n_trials"],
+    )
+    return [stats.mean, stats.std, stats.min, stats.max]
+
+
+def sweep_spec(quick: bool = False) -> SweepSpec:
+    return SweepSpec.cartesian(
+        "fig4",
+        "repro.experiments.fig4:compute_point",
+        axes={
+            "fraction": [float(f) for f in FRACTIONS],
+            "config": [c.label for c in ALL_CONFIGS],
+        },
+        constants={"n_trials": N_TRIALS_QUICK if quick else N_TRIALS},
+    )
+
+
+def run(quick: bool = False, sweep: Optional[SweepOptions] = None) -> ExperimentResult:
     n_trials = N_TRIALS_QUICK if quick else N_TRIALS
+    values = sweep_values(sweep_spec(quick), sweep)
     result = ExperimentResult(
         experiment_id="fig4",
         title="Stage-In execution time vs. % of input files staged into BBs "
@@ -42,13 +74,15 @@ def run(quick: bool = False) -> ExperimentResult:
     )
     for fraction in FRACTIONS:
         for config in ALL_CONFIGS:
-            stats = run_trials(
-                lambda seed: stage_in_time(config, fraction, seed),
-                n_trials=n_trials,
+            pid = point_id(
+                {
+                    "fraction": float(fraction),
+                    "config": config.label,
+                    "n_trials": n_trials,
+                }
             )
-            result.add_row(
-                fraction, config.label, stats.mean, stats.std, stats.min, stats.max
-            )
+            mean, std, min_s, max_s = values[pid]
+            result.add_row(fraction, config.label, mean, std, min_s, max_s)
     result.notes.append(
         "expect: linear growth; on-node ≪ private ≪ striped; striped bump at 75%"
     )

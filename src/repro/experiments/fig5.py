@@ -18,10 +18,18 @@ Paper findings regenerated here:
 
 from __future__ import annotations
 
-from repro.emulation.trials import run_trials
-from repro.experiments.common import ExperimentResult
-from repro.experiments.configs import ALL_CONFIGS, FRACTIONS, N_TRIALS, N_TRIALS_QUICK
+from typing import Any, Optional
+
+from repro.experiments.common import ExperimentResult, sweep_values
+from repro.experiments.configs import (
+    ALL_CONFIGS,
+    CONFIGS_BY_LABEL,
+    FRACTIONS,
+    N_TRIALS,
+    N_TRIALS_QUICK,
+)
 from repro.scenarios import run_swarp
+from repro.sweep import SweepOptions, SweepSpec, point_id
 
 
 def task_times(config, fraction, intermediates_in_bb, seed) -> tuple[float, float]:
@@ -41,9 +49,40 @@ def task_times(config, fraction, intermediates_in_bb, seed) -> tuple[float, floa
     )
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def compute_point(params: dict[str, Any]) -> list[float]:
+    """One sweep point: mean resample/combine times over the trial seeds."""
+    config = CONFIGS_BY_LABEL[params["config"]]
+    n_trials = params["n_trials"]
+    samples = [
+        task_times(config, params["fraction"], params["intermediates_in_bb"], seed)
+        for seed in range(n_trials)
+    ]
+    return [
+        sum(s[0] for s in samples) / n_trials,
+        sum(s[1] for s in samples) / n_trials,
+    ]
+
+
+def _fractions(quick: bool):
+    return FRACTIONS[::2] if quick else FRACTIONS
+
+
+def sweep_spec(quick: bool = False) -> SweepSpec:
+    return SweepSpec.cartesian(
+        "fig5",
+        "repro.experiments.fig5:compute_point",
+        axes={
+            "config": [c.label for c in ALL_CONFIGS],
+            "intermediates_in_bb": [True, False],
+            "fraction": [float(f) for f in _fractions(quick)],
+        },
+        constants={"n_trials": N_TRIALS_QUICK if quick else N_TRIALS},
+    )
+
+
+def run(quick: bool = False, sweep: Optional[SweepOptions] = None) -> ExperimentResult:
     n_trials = N_TRIALS_QUICK if quick else N_TRIALS
-    fractions = FRACTIONS[::2] if quick else FRACTIONS
+    values = sweep_values(sweep_spec(quick), sweep)
     result = ExperimentResult(
         experiment_id="fig5",
         title="Resample/Combine execution times (1 pipeline, 32 cores/task) "
@@ -58,17 +97,22 @@ def run(quick: bool = False) -> ExperimentResult:
     )
     for config in ALL_CONFIGS:
         for intermediates_in_bb in (True, False):
-            for fraction in fractions:
-                samples = [
-                    task_times(config, fraction, intermediates_in_bb, seed)
-                    for seed in range(n_trials)
-                ]
+            for fraction in _fractions(quick):
+                pid = point_id(
+                    {
+                        "config": config.label,
+                        "intermediates_in_bb": intermediates_in_bb,
+                        "fraction": float(fraction),
+                        "n_trials": n_trials,
+                    }
+                )
+                resample_s, combine_s = values[pid]
                 result.add_row(
                     config.label,
                     "bb" if intermediates_in_bb else "pfs",
                     fraction,
-                    sum(s[0] for s in samples) / n_trials,
-                    sum(s[1] for s in samples) / n_trials,
+                    resample_s,
+                    combine_s,
                 )
     result.notes.append(
         "expect: private resample falls with fraction; BB intermediates beat "

@@ -13,14 +13,62 @@ Paper findings regenerated here (1 pipeline, all input files in the BB):
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult
-from repro.experiments.configs import ALL_CONFIGS, CORE_COUNTS, N_TRIALS, N_TRIALS_QUICK
+from typing import Any, Optional
+
+from repro.experiments.common import ExperimentResult, sweep_values
+from repro.experiments.configs import (
+    ALL_CONFIGS,
+    CONFIGS_BY_LABEL,
+    CORE_COUNTS,
+    N_TRIALS,
+    N_TRIALS_QUICK,
+)
 from repro.scenarios import run_swarp
+from repro.sweep import SweepOptions, SweepSpec, point_id
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def compute_point(params: dict[str, Any]) -> list[float]:
+    """One sweep point: mean resample/combine times for (config, cores)."""
+    config = CONFIGS_BY_LABEL[params["config"]]
+    n_trials = params["n_trials"]
+    samples = []
+    for seed in range(n_trials):
+        r = run_swarp(
+            input_fraction=1.0,
+            intermediates_in_bb=True,
+            n_pipelines=1,
+            cores_per_task=params["cores"],
+            include_stage_in=False,
+            emulated=True,
+            seed=seed,
+            **config.scenario_kwargs(),
+        )
+        samples.append((r.mean_duration("resample"), r.mean_duration("combine")))
+    return [
+        sum(s[0] for s in samples) / n_trials,
+        sum(s[1] for s in samples) / n_trials,
+    ]
+
+
+def _core_counts(quick: bool):
+    return (1, 8, 32) if quick else CORE_COUNTS
+
+
+def sweep_spec(quick: bool = False) -> SweepSpec:
+    return SweepSpec.cartesian(
+        "fig6",
+        "repro.experiments.fig6:compute_point",
+        axes={
+            "config": [c.label for c in ALL_CONFIGS],
+            "cores": list(_core_counts(quick)),
+        },
+        constants={"n_trials": N_TRIALS_QUICK if quick else N_TRIALS},
+    )
+
+
+def run(quick: bool = False, sweep: Optional[SweepOptions] = None) -> ExperimentResult:
     n_trials = N_TRIALS_QUICK if quick else N_TRIALS
-    cores_list = (1, 8, 32) if quick else CORE_COUNTS
+    values = sweep_values(sweep_spec(quick), sweep)
     result = ExperimentResult(
         experiment_id="fig6",
         title="SWarp task times vs. cores per task "
@@ -28,28 +76,12 @@ def run(quick: bool = False) -> ExperimentResult:
         columns=("config", "cores", "resample_s", "combine_s"),
     )
     for config in ALL_CONFIGS:
-        for cores in cores_list:
-            samples = []
-            for seed in range(n_trials):
-                r = run_swarp(
-                    input_fraction=1.0,
-                    intermediates_in_bb=True,
-                    n_pipelines=1,
-                    cores_per_task=cores,
-                    include_stage_in=False,
-                    emulated=True,
-                    seed=seed,
-                    **config.scenario_kwargs(),
-                )
-                samples.append(
-                    (r.mean_duration("resample"), r.mean_duration("combine"))
-                )
-            result.add_row(
-                config.label,
-                cores,
-                sum(s[0] for s in samples) / n_trials,
-                sum(s[1] for s in samples) / n_trials,
+        for cores in _core_counts(quick):
+            pid = point_id(
+                {"config": config.label, "cores": cores, "n_trials": n_trials}
             )
+            resample_s, combine_s = values[pid]
+            result.add_row(config.label, cores, resample_s, combine_s)
     result.notes.append(
         "expect: resample plateau ~8 cores (shared) / ~16 (on-node); "
         "combine flat"

@@ -12,19 +12,70 @@ Paper findings regenerated here (1 core per pipeline, all files in BB):
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult
+from typing import Any, Optional
+
+from repro.experiments.common import ExperimentResult, sweep_values
 from repro.experiments.configs import (
     ALL_CONFIGS,
+    CONFIGS_BY_LABEL,
     N_TRIALS,
     N_TRIALS_QUICK,
     PIPELINE_COUNTS,
 )
 from repro.scenarios import run_swarp
+from repro.sweep import SweepOptions, SweepSpec, point_id
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def compute_point(params: dict[str, Any]) -> list[float]:
+    """One sweep point: mean task times for (config, pipelines)."""
+    config = CONFIGS_BY_LABEL[params["config"]]
+    n_trials = params["n_trials"]
+    samples = []
+    for seed in range(n_trials):
+        r = run_swarp(
+            input_fraction=1.0,
+            intermediates_in_bb=True,
+            outputs_in_bb=True,
+            n_pipelines=params["pipelines"],
+            cores_per_task=1,
+            include_stage_in=True,
+            emulated=True,
+            seed=seed,
+            **config.scenario_kwargs(),
+        )
+        samples.append(
+            (
+                r.trace.task_record("stage_in").duration,
+                r.mean_duration("resample"),
+                r.mean_duration("combine"),
+            )
+        )
+    return [
+        sum(s[0] for s in samples) / n_trials,
+        sum(s[1] for s in samples) / n_trials,
+        sum(s[2] for s in samples) / n_trials,
+    ]
+
+
+def _pipelines(quick: bool):
+    return (1, 8, 32) if quick else PIPELINE_COUNTS
+
+
+def sweep_spec(quick: bool = False) -> SweepSpec:
+    return SweepSpec.cartesian(
+        "fig7",
+        "repro.experiments.fig7:compute_point",
+        axes={
+            "config": [c.label for c in ALL_CONFIGS],
+            "pipelines": list(_pipelines(quick)),
+        },
+        constants={"n_trials": N_TRIALS_QUICK if quick else N_TRIALS},
+    )
+
+
+def run(quick: bool = False, sweep: Optional[SweepOptions] = None) -> ExperimentResult:
     n_trials = N_TRIALS_QUICK if quick else N_TRIALS
-    pipelines = (1, 8, 32) if quick else PIPELINE_COUNTS
+    values = sweep_values(sweep_spec(quick), sweep)
     result = ExperimentResult(
         experiment_id="fig7",
         title="SWarp task times vs. concurrent pipelines "
@@ -32,34 +83,12 @@ def run(quick: bool = False) -> ExperimentResult:
         columns=("config", "pipelines", "stage_in_s", "resample_s", "combine_s"),
     )
     for config in ALL_CONFIGS:
-        for n in pipelines:
-            samples = []
-            for seed in range(n_trials):
-                r = run_swarp(
-                    input_fraction=1.0,
-                    intermediates_in_bb=True,
-                    outputs_in_bb=True,
-                    n_pipelines=n,
-                    cores_per_task=1,
-                    include_stage_in=True,
-                    emulated=True,
-                    seed=seed,
-                    **config.scenario_kwargs(),
-                )
-                samples.append(
-                    (
-                        r.trace.task_record("stage_in").duration,
-                        r.mean_duration("resample"),
-                        r.mean_duration("combine"),
-                    )
-                )
-            result.add_row(
-                config.label,
-                n,
-                sum(s[0] for s in samples) / n_trials,
-                sum(s[1] for s in samples) / n_trials,
-                sum(s[2] for s in samples) / n_trials,
+        for n in _pipelines(quick):
+            pid = point_id(
+                {"config": config.label, "pipelines": n, "n_trials": n_trials}
             )
+            stage_in_s, resample_s, combine_s = values[pid]
+            result.add_row(config.label, n, stage_in_s, resample_s, combine_s)
     result.notes.append(
         "expect: Cori tasks slow ~3x by 32 pipelines; Summit resample "
         "nearly flat, combine degrades more"

@@ -11,10 +11,18 @@ Paper findings regenerated here (all files in BB, 1 core per pipeline):
 
 from __future__ import annotations
 
+from typing import Any, Optional
+
 from repro.emulation.trials import run_trials
-from repro.experiments.common import ExperimentResult
-from repro.experiments.configs import ALL_CONFIGS, N_TRIALS, N_TRIALS_QUICK
+from repro.experiments.common import ExperimentResult, sweep_values
+from repro.experiments.configs import (
+    ALL_CONFIGS,
+    CONFIGS_BY_LABEL,
+    N_TRIALS,
+    N_TRIALS_QUICK,
+)
 from repro.scenarios import run_swarp
+from repro.sweep import SweepOptions, SweepSpec, point_id
 
 PIPELINES = (1, 4, 16, 32)
 
@@ -34,9 +42,35 @@ def resample_time(config, n_pipelines: int, seed: int) -> float:
     return r.mean_duration("resample")
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def compute_point(params: dict[str, Any]) -> list[float]:
+    """One sweep point: resample variability stats for (config, pipelines)."""
+    config = CONFIGS_BY_LABEL[params["config"]]
+    stats = run_trials(
+        lambda seed: resample_time(config, params["pipelines"], seed),
+        n_trials=params["n_trials"],
+    )
+    return [stats.mean, stats.std, stats.cv, stats.spread]
+
+
+def _pipelines(quick: bool):
+    return (1, 32) if quick else PIPELINES
+
+
+def sweep_spec(quick: bool = False) -> SweepSpec:
+    return SweepSpec.cartesian(
+        "fig8",
+        "repro.experiments.fig8:compute_point",
+        axes={
+            "config": [c.label for c in ALL_CONFIGS],
+            "pipelines": list(_pipelines(quick)),
+        },
+        constants={"n_trials": N_TRIALS_QUICK if quick else N_TRIALS},
+    )
+
+
+def run(quick: bool = False, sweep: Optional[SweepOptions] = None) -> ExperimentResult:
     n_trials = N_TRIALS_QUICK if quick else N_TRIALS
-    pipelines = (1, 32) if quick else PIPELINES
+    values = sweep_values(sweep_spec(quick), sweep)
     result = ExperimentResult(
         experiment_id="fig8",
         title="Resample variability across repeated runs vs. pipelines "
@@ -44,13 +78,12 @@ def run(quick: bool = False) -> ExperimentResult:
         columns=("config", "pipelines", "mean_s", "std_s", "cv", "spread"),
     )
     for config in ALL_CONFIGS:
-        for n in pipelines:
-            stats = run_trials(
-                lambda seed: resample_time(config, n, seed), n_trials=n_trials
+        for n in _pipelines(quick):
+            pid = point_id(
+                {"config": config.label, "pipelines": n, "n_trials": n_trials}
             )
-            result.add_row(
-                config.label, n, stats.mean, stats.std, stats.cv, stats.spread
-            )
+            mean, std, cv, spread = values[pid]
+            result.add_row(config.label, n, mean, std, cv, spread)
     result.notes.append(
         "expect: on-node lowest mean and spread; striped spread ~15%"
     )

@@ -13,12 +13,24 @@ of the real runs would yield).
 
 from __future__ import annotations
 
+from typing import Any, Optional
+
 import numpy as np
 
-from repro.experiments.common import ExperimentResult
-from repro.experiments.configs import ALL_CONFIGS, N_TRIALS, N_TRIALS_QUICK
+from repro.experiments.common import ExperimentResult, sweep_values
+from repro.experiments.configs import (
+    ALL_CONFIGS,
+    CONFIGS_BY_LABEL,
+    N_TRIALS,
+    N_TRIALS_QUICK,
+)
 from repro.platform.units import MB
 from repro.scenarios import run_swarp
+from repro.sweep import SweepOptions, SweepSpec, point_id
+
+#: The relevant peak each configuration could theoretically reach
+#: (Table I: the compute node's path into its BB tier), MB/s.
+PEAKS = {"private": 800.0, "striped": 800.0, "on-node": 3300.0}
 
 
 def task_bandwidths(config, seed: int) -> list[float]:
@@ -43,28 +55,42 @@ def task_bandwidths(config, seed: int) -> list[float]:
     return out
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def compute_point(params: dict[str, Any]) -> list[float]:
+    """One sweep point: achieved-bandwidth statistics for one config."""
+    config = CONFIGS_BY_LABEL[params["config"]]
+    samples: list[float] = []
+    for seed in range(params["n_trials"]):
+        samples.extend(task_bandwidths(config, seed))
+    arr = np.asarray(samples) / MB
+    return [
+        float(arr.mean()),
+        float(np.percentile(arr, 10)),
+        float(np.percentile(arr, 90)),
+        float(arr.mean() / PEAKS[config.label]),
+    ]
+
+
+def sweep_spec(quick: bool = False) -> SweepSpec:
+    return SweepSpec.cartesian(
+        "fig9",
+        "repro.experiments.fig9:compute_point",
+        axes={"config": [c.label for c in ALL_CONFIGS]},
+        constants={"n_trials": N_TRIALS_QUICK if quick else N_TRIALS},
+    )
+
+
+def run(quick: bool = False, sweep: Optional[SweepOptions] = None) -> ExperimentResult:
     n_trials = N_TRIALS_QUICK if quick else N_TRIALS
+    values = sweep_values(sweep_spec(quick), sweep)
     result = ExperimentResult(
         experiment_id="fig9",
         title="Average achieved I/O bandwidth per BB configuration (MB/s)",
         columns=("config", "mean_MBps", "p10_MBps", "p90_MBps", "peak_fraction"),
     )
-    # The relevant peak each configuration could theoretically reach
-    # (Table I: the compute node's path into its BB tier).
-    peaks = {"private": 800.0, "striped": 800.0, "on-node": 3300.0}
     for config in ALL_CONFIGS:
-        samples: list[float] = []
-        for seed in range(n_trials):
-            samples.extend(task_bandwidths(config, seed))
-        arr = np.asarray(samples) / MB
-        result.add_row(
-            config.label,
-            float(arr.mean()),
-            float(np.percentile(arr, 10)),
-            float(np.percentile(arr, 90)),
-            float(arr.mean() / peaks[config.label]),
-        )
+        pid = point_id({"config": config.label, "n_trials": n_trials})
+        mean, p10, p90, peak_fraction = values[pid]
+        result.add_row(config.label, mean, p10, p90, peak_fraction)
     result.notes.append(
         "expect: on-node ≫ private > striped; all well below Table I peaks"
     )

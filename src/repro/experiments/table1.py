@@ -2,13 +2,20 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.experiments.common import ExperimentResult
 from repro.platform.presets import TABLE_I
 from repro.platform.units import format_bandwidth
+from repro.sweep import SweepOptions
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Render the calibrated platform parameters (Table I, verbatim)."""
+def run(quick: bool = False, sweep: Optional[SweepOptions] = None) -> ExperimentResult:
+    """Render the calibrated platform parameters (Table I, verbatim).
+
+    Pure table lookup — there is nothing to sweep, so ``sweep`` is
+    accepted only for signature uniformity with the figure modules.
+    """
     result = ExperimentResult(
         experiment_id="table1",
         title="Input parameters used in simulation (paper Table I)",

@@ -18,6 +18,7 @@ Rule families (see ``docs/LINT.md`` for the full catalogue):
 * ``SIM02x`` — DES process hygiene (generators, blocking calls, ``now``)
 * ``SIM03x`` — API hygiene (mutable defaults)
 * ``SIM04x`` — observability (bare ``print()`` in library code)
+* ``SIM05x`` — parallelism (worker processes outside ``repro.sweep``)
 """
 
 from __future__ import annotations
@@ -80,6 +81,7 @@ def all_rules() -> dict[str, Type[Rule]]:
         des_hygiene,
         determinism,
         observability,
+        parallelism,
         units,
     )
 

@@ -15,7 +15,13 @@ from __future__ import annotations
 
 from typing import Hashable, Mapping, Sequence
 
-_EPS = 1e-12
+#: Relative tolerance for deciding that a flow sits at its cap or that a
+#: link is saturated.  The tolerance MUST be relative (scaled by the cap
+#: or capacity it is compared against): an absolute epsilon freezes every
+#: flow whose cap is within epsilon of another's, which mis-allocates
+#: whenever caps themselves are epsilon-sized (e.g. the tiny finish
+#: thresholds the flow network produces for nearly-drained transfers).
+_REL_TOL = 1e-9
 
 
 def max_min_fair_rates(
@@ -100,21 +106,28 @@ def max_min_fair_rates(
             if users > 0:
                 remaining[link] -= increment * users
 
-        # Freeze flows on saturated links or at their cap.
+        # Freeze flows on saturated links or at their cap.  Both tests are
+        # cap/capacity-relative so that epsilon-sized caps (1e-12-ish) are
+        # resolved exactly instead of being frozen together.
         frozen = set()
         for i in active:
-            if rates[i] >= flow_caps[i] - _EPS:
+            if rates[i] >= flow_caps[i] * (1.0 - _REL_TOL):
                 frozen.add(i)
                 continue
             for link in flow_sets[i]:
-                if remaining[link] <= _EPS * capacities[link] + _EPS:
+                if remaining[link] <= _REL_TOL * capacities[link]:
                     frozen.add(i)
                     break
         if not frozen:
-            # Numerical stall: freeze everything touching the tightest link.
+            # Numerical stall: freeze everything touching the tightest
+            # link.  "Tightest" must be judged by *relative* headroom —
+            # ranking by absolute remaining capacity picks whichever link
+            # is smallest in raw units, which for flows sharing links of
+            # very different capacities is usually not the link actually
+            # binding them.
             tightest = min(
                 (link for link, users in link_users.items() if users > 0),
-                key=lambda link: remaining[link],
+                key=lambda link: remaining[link] / capacities[link],
                 default=None,
             )
             if tightest is None:

@@ -48,9 +48,15 @@ class Flow:
 
     @property
     def achieved_bandwidth(self) -> Optional[float]:
-        """Mean end-to-end bandwidth, available once the flow completed."""
+        """Mean end-to-end bandwidth, available once the flow completed.
+
+        ``None`` while in flight, and also for zero-byte flows: a
+        metadata-only transfer has no meaningful bandwidth, and
+        ``0 / latency == 0.0`` would otherwise drag every bandwidth
+        average toward zero.
+        """
         elapsed = self.elapsed
-        if elapsed is None or elapsed <= 0:
+        if elapsed is None or elapsed <= 0 or self.size <= 0:
             return None
         return self.size / elapsed
 
@@ -145,10 +151,16 @@ class FlowNetwork:
         self._advance_progress()
         flow.started_at = min(flow.started_at, self.env.now)
         if flow.remaining <= 0:
-            # Zero-byte payload: finish immediately.
+            # Zero-byte payload: finish immediately (the done event still
+            # fires through the queue, at the current timestamp).
             self._finish(flow)
             self._reschedule()
             return
+        # Flows drained since the last wake-up must leave before rates
+        # are recomputed — a lingering near-empty flow would claim a full
+        # max-min share and depress everyone else's rate until the next
+        # completion wake.
+        self._sweep_drained()
         self._flows[flow.fid] = flow
         obs = self.env.obs
         if obs is not None:
@@ -221,10 +233,12 @@ class FlowNetwork:
         time_quantum = max(1e-12, abs(self.env.now) * 1e-12)
         return max(_EPS * flow.size + _EPS, flow.rate * time_quantum)
 
-    def _on_wake(self, generation: int) -> None:
-        if generation != self._generation:
-            return  # stale wake-up; a newer recomputation superseded it
-        self._advance_progress()
+    def _sweep_drained(self) -> bool:
+        """Finish every flow whose residue is below its threshold.
+
+        Progress must already be advanced to ``env.now``.  Returns
+        whether anything finished (callers then owe a recomputation).
+        """
         finished = [
             f
             for f in self._flows.values()
@@ -233,7 +247,13 @@ class FlowNetwork:
         for flow in finished:
             del self._flows[flow.fid]
             self._finish(flow)
-        if finished:
+        return bool(finished)
+
+    def _on_wake(self, generation: int) -> None:
+        if generation != self._generation:
+            return  # stale wake-up; a newer recomputation superseded it
+        self._advance_progress()
+        if self._sweep_drained():
             self._recompute_rates()
         self._reschedule()
 

@@ -1,0 +1,6 @@
+"""``python -m repro.sweep`` — deterministic parallel sweep runner."""
+
+from repro.sweep.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

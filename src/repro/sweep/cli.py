@@ -1,0 +1,146 @@
+"""Command-line interface: ``repro-sweep`` / ``python -m repro.sweep``.
+
+Runs figure sweeps through the deterministic sweep engine::
+
+    repro-sweep fig13 --workers 4            # parallel, cached
+    repro-sweep fig13 --workers 4            # re-run: pure cache read
+    repro-sweep all --quick --no-cache
+    repro-sweep fig13 --list-points          # show the spec, run nothing
+
+Caching is on by default (``results/.cache/``); ``--no-cache`` disables
+it and ``--cache-dir`` relocates it.  ``--obs-dir`` namespaces
+per-point telemetry into ``<obs-dir>/<experiment>/<point-id>/`` and
+fails fast on collision.  ``--stats-json`` exports the campaign's
+telemetry counters (points completed/cached/failed, wall time).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.sweep.cache import DEFAULT_CACHE_DIR
+from repro.sweep.runner import SweepError, SweepOptions
+from repro.sweep.telemetry import SweepTelemetry
+
+
+def sweepable_experiments() -> list[str]:
+    """Experiment ids that define a sweep spec (all but table1)."""
+    out = []
+    for experiment_id in ALL_EXPERIMENTS:
+        module = importlib.import_module(f"repro.experiments.{experiment_id}")
+        if hasattr(module, "sweep_spec"):
+            out.append(experiment_id)
+    return out
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep",
+        description="Run the paper's figure sweeps through the "
+        "deterministic parallel sweep engine (repro.sweep).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="sweep ids (fig4 … fig14) or 'all'",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced trial counts and sweep densities")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (1 = in-process serial path)")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="resubmissions per failing/timing-out point")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-point wall-clock budget in seconds "
+                        "(needs --workers > 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache")
+    parser.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR),
+                        help=f"cache location (default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--obs-dir",
+                        help="namespace per-point telemetry into "
+                        "<obs-dir>/<experiment>/<point-id>/ (collision fails fast)")
+    parser.add_argument("--output-dir",
+                        help="write <id>.json and <id>.csv into this directory")
+    parser.add_argument("--stats-json",
+                        help="write campaign telemetry (cache hits, wall time) "
+                        "to this JSON file")
+    parser.add_argument("--list-points", action="store_true",
+                        help="print each spec's point ids and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    available = sweepable_experiments()
+    requested = list(args.experiments)
+    if requested == ["all"]:
+        requested = available
+    unknown = [e for e in requested if e not in available]
+    if unknown:
+        print(
+            f"error: not sweepable: {', '.join(unknown)} "
+            f"(choose from {', '.join(available)})",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.list_points:
+        for experiment_id in requested:
+            module = importlib.import_module(f"repro.experiments.{experiment_id}")
+            spec = module.sweep_spec(quick=args.quick)
+            print(f"{spec.sweep_id} ({len(spec)} points, version {spec.version}):")
+            for pid in spec.point_ids:
+                print(f"  {pid}")
+        return 0
+
+    stats: dict[str, dict] = {}
+    for experiment_id in requested:
+        module = importlib.import_module(f"repro.experiments.{experiment_id}")
+        telemetry = SweepTelemetry(experiment_id)
+        options = SweepOptions(
+            workers=args.workers,
+            retries=args.retries,
+            timeout=args.timeout,
+            cache_dir=None if args.no_cache else Path(args.cache_dir),
+            obs_dir=Path(args.obs_dir) / experiment_id if args.obs_dir else None,
+            telemetry=telemetry,
+        )
+        try:
+            result = module.run(quick=args.quick, sweep=options)
+        except SweepError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(result.render())
+        snap = telemetry.snapshot()
+        stats[experiment_id] = snap
+        counters = snap["counters"]
+        print(
+            f"\n[{experiment_id}: {int(snap['gauges']['sweep.points_total'])} points — "
+            f"{int(counters['sweep.points_completed'])} ran, "
+            f"{int(counters['sweep.points_cached'])} cached, "
+            f"{int(counters['sweep.points_failed'])} failed — "
+            f"{snap['gauges']['sweep.wall_time_s']:.1f}s wall]\n"
+        )
+        if args.output_dir:
+            out = Path(args.output_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            result.to_json(out / f"{experiment_id}.json")
+            result.to_csv(out / f"{experiment_id}.csv")
+
+    if args.stats_json:
+        path = Path(args.stats_json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(stats, indent=2, sort_keys=True) + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,442 @@
+"""The sweep runner: deterministic fan-out with caching and retries.
+
+Design rules (the contract ``docs/SWEEP.md`` documents):
+
+* **Determinism** — results are always assembled in point-id order,
+  never completion order, and every point value is canonicalized
+  through a JSON round trip before it is stored or returned.  A
+  4-worker run is therefore byte-identical to a 1-worker run.
+* **Caching** — with a :class:`~repro.sweep.cache.SweepCache` attached,
+  each point is looked up by its content address before anything is
+  executed; a re-run with unchanged configuration is a pure cache read.
+* **Isolation** — parallel points run in worker *processes* (the
+  simulator is CPU-bound and per-process state such as calibration
+  memoization must not leak between points).  This module is the one
+  place in the codebase allowed to spawn them (lint rule SIM050).
+* **Bounded retries** — a point that raises or exceeds its timeout is
+  resubmitted up to ``retries`` times with bounded exponential backoff;
+  a point that exhausts its retries marks the sweep as failed.
+
+The runner is a harness, not a simulation: it may legitimately read the
+host clock (pragma-suppressed SIM001) because the quantities it times —
+campaign wall time, per-point timeouts — are wall-clock quantities.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+from repro.sweep.cache import SweepCache, point_key, point_key_doc
+from repro.sweep.spec import SweepSpec, resolve_func, sanitize_point_id
+from repro.sweep.telemetry import SweepTelemetry
+
+#: How long one coordinator poll waits for worker completions (s).
+_POLL_INTERVAL = 0.1
+
+#: Exponential-backoff schedule bounds for retries (s).
+_BACKOFF_BASE = 0.1
+_BACKOFF_CAP = 5.0
+
+
+class SweepError(RuntimeError):
+    """A sweep failed: telemetry collision or points out of retries."""
+
+
+@dataclass(frozen=True)
+class SweepOptions:
+    """How to run a sweep (CLI flags in object form).
+
+    ``cache_dir=None`` (the default) disables caching, which keeps
+    library/test runs hermetic; the CLIs default it to
+    ``results/.cache`` instead.
+    """
+
+    workers: int = 1
+    retries: int = 0
+    timeout: Optional[float] = None
+    cache_dir: Optional[Path] = None
+    obs_dir: Optional[Path] = None
+    telemetry: Optional[SweepTelemetry] = None
+
+    def make_cache(self) -> Optional[SweepCache]:
+        if self.cache_dir is None:
+            return None
+        return SweepCache(self.cache_dir)
+
+    def run(self, spec: SweepSpec, *, strict: bool = True) -> "SweepOutcome":
+        """Run ``spec`` with these options (the figure modules' path)."""
+        return run_sweep(
+            spec,
+            workers=self.workers,
+            retries=self.retries,
+            timeout=self.timeout,
+            cache=self.make_cache(),
+            obs_dir=self.obs_dir,
+            telemetry=self.telemetry,
+            strict=strict,
+        )
+
+
+@dataclass
+class PointOutcome:
+    """What happened to one sweep point."""
+
+    point_id: str
+    params: Mapping[str, Any]
+    value: Any
+    status: str  # "completed" | "cached" | "failed"
+    attempts: int = 1
+    error: Optional[str] = None
+    cache_key: Optional[str] = None
+
+
+@dataclass
+class SweepOutcome:
+    """All point outcomes of one campaign, ordered by point id."""
+
+    sweep_id: str
+    points: list[PointOutcome] = field(default_factory=list)
+    telemetry: Optional[SweepTelemetry] = None
+    wall_time_s: float = 0.0
+
+    def values(self) -> dict[str, Any]:
+        """Point id → value, in deterministic (point-id) order."""
+        return {p.point_id: p.value for p in self.points}
+
+    def value(self, pid: str) -> Any:
+        for p in self.points:
+            if p.point_id == pid:
+                return p.value
+        raise KeyError(f"no point {pid!r} in sweep {self.sweep_id!r}")
+
+    def count(self, status: str) -> int:
+        return sum(1 for p in self.points if p.status == status)
+
+    @property
+    def failed(self) -> list[PointOutcome]:
+        return [p for p in self.points if p.status == "failed"]
+
+
+def _canonical(value: Any) -> Any:
+    """Canonicalize a point value through a JSON round trip.
+
+    Guarantees cached and freshly-computed values are indistinguishable
+    (tuples become lists exactly once, floats keep shortest-repr), which
+    is what makes serial and parallel runs byte-identical.
+    """
+    try:
+        return json.loads(json.dumps(value, allow_nan=False))
+    except (TypeError, ValueError) as error:
+        raise SweepError(
+            f"point value is not JSON-representable: {error}"
+        ) from None
+
+
+def _execute_point(
+    func_ref: str, params: dict[str, Any], obs_dir: Optional[str]
+) -> Any:
+    """Run one point (worker-process entry; importable, hence picklable)."""
+    func = resolve_func(func_ref)
+    if obs_dir is not None:
+        return func(dict(params), obs_dir=Path(obs_dir))
+    return func(dict(params))
+
+
+def _backoff_delay(attempt: int) -> float:
+    """Deterministic bounded exponential backoff before retry ``attempt``."""
+    return min(_BACKOFF_BASE * (2 ** max(0, attempt - 1)), _BACKOFF_CAP)
+
+
+class _ObsLayout:
+    """Per-point telemetry directories under one ``--obs-dir``.
+
+    Each point gets ``<obs-dir>/<sanitized-point-id>/``; an existing
+    directory is a hard error (fail fast instead of silently clobbering
+    a concurrent or previous run's traces).
+    """
+
+    def __init__(self, base: Path) -> None:
+        self.base = Path(base)
+
+    def claim(self, pid: str) -> Path:
+        directory = self.base / sanitize_point_id(pid)
+        if directory.exists():
+            raise SweepError(
+                f"telemetry collision: {directory} already exists; "
+                "every sweep run needs a fresh --obs-dir (or per-run subdir)"
+            )
+        directory.mkdir(parents=True)
+        return directory
+
+    def write_manifest(self, directory: Path, doc: dict[str, Any]) -> None:
+        path = directory / "point.manifest.json"
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    workers: int = 1,
+    retries: int = 0,
+    timeout: Optional[float] = None,
+    cache: Optional[SweepCache] = None,
+    obs_dir: "str | Path | None" = None,
+    telemetry: Optional[SweepTelemetry] = None,
+    strict: bool = True,
+) -> SweepOutcome:
+    """Run every point of ``spec``; return outcomes ordered by point id.
+
+    Parameters
+    ----------
+    workers:
+        ``1`` runs points in-process, sequentially, in point-id order
+        (the serial path); ``>1`` fans points out over that many worker
+        processes.  Output is bit-identical either way.
+    retries:
+        How many times a failing/timing-out point is resubmitted.
+    timeout:
+        Per-point wall-clock budget in seconds.  Enforced between
+        processes, so it requires ``workers > 1``; the in-process serial
+        path cannot preempt a running point.
+    cache:
+        Optional :class:`SweepCache`; hits skip execution entirely.
+    obs_dir:
+        Base directory for per-point telemetry; each point gets its own
+        ``<obs-dir>/<point-id>/`` (collision → :class:`SweepError`).
+    strict:
+        Raise :class:`SweepError` if any point is still failed after
+        retries (default); ``False`` leaves failures in the outcome.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout}")
+
+    telemetry = telemetry or SweepTelemetry(spec.sweep_id)
+    started = time.monotonic()  # lint: ignore[SIM001] — harness wall time
+    ordered = spec.points_by_id()
+    telemetry.total.set(float(len(ordered)))
+
+    layout = _ObsLayout(Path(obs_dir)) if obs_dir is not None else None
+    point_dirs: dict[str, Path] = {}
+    if layout is not None:
+        for pid in ordered:
+            point_dirs[pid] = layout.claim(pid)
+
+    outcomes: dict[str, PointOutcome] = {}
+    to_run: dict[str, dict[str, Any]] = {}
+    keys: dict[str, str] = {}
+
+    for pid, params in ordered.items():
+        params = dict(params)
+        if cache is not None:
+            key = keys[pid] = point_key(spec, params)
+            hit = cache.lookup(key)
+            if not SweepCache.is_miss(hit):
+                outcomes[pid] = PointOutcome(
+                    point_id=pid,
+                    params=params,
+                    value=hit,
+                    status="cached",
+                    attempts=0,
+                    cache_key=key,
+                )
+                telemetry.cached.inc()
+                continue
+        to_run[pid] = params
+
+    if to_run:
+        if workers == 1:
+            _run_serial(spec, to_run, outcomes, retries, telemetry, point_dirs)
+        else:
+            _run_parallel(
+                spec, to_run, outcomes, workers, retries, timeout,
+                telemetry, point_dirs,
+            )
+        for pid, outcome in outcomes.items():
+            if outcome.status == "completed" and cache is not None:
+                key = keys.get(pid) or point_key(spec, dict(ordered[pid]))
+                outcome.cache_key = key
+                cache.store(key, outcome.value, point_key_doc(spec, dict(ordered[pid])))
+
+    result = SweepOutcome(
+        sweep_id=spec.sweep_id,
+        points=[outcomes[pid] for pid in ordered],
+        telemetry=telemetry,
+    )
+    result.wall_time_s = time.monotonic() - started  # lint: ignore[SIM001]
+    telemetry.wall_time.set(result.wall_time_s)
+
+    if layout is not None:
+        for pid, outcome in outcomes.items():
+            layout.write_manifest(
+                point_dirs[pid],
+                {
+                    "manifest": point_key_doc(spec, dict(ordered[pid])),
+                    "point_id": pid,
+                    "status": outcome.status,
+                    "attempts": outcome.attempts,
+                    "error": outcome.error,
+                    "cache_key": outcome.cache_key,
+                },
+            )
+
+    if strict and result.failed:
+        details = "; ".join(
+            f"{p.point_id}: {p.error}" for p in result.failed[:5]
+        )
+        raise SweepError(
+            f"sweep {spec.sweep_id!r}: {len(result.failed)} point(s) failed "
+            f"after {retries} retries — {details}"
+        )
+    return result
+
+
+def _obs_arg(spec: SweepSpec, point_dirs: dict[str, Path], pid: str) -> Optional[str]:
+    if spec.pass_obs_dir and pid in point_dirs:
+        return str(point_dirs[pid])
+    return None
+
+
+def _run_serial(
+    spec: SweepSpec,
+    to_run: dict[str, dict[str, Any]],
+    outcomes: dict[str, PointOutcome],
+    retries: int,
+    telemetry: SweepTelemetry,
+    point_dirs: dict[str, Path],
+) -> None:
+    """In-process execution, sequential, in point-id order."""
+    for pid, params in to_run.items():
+        attempts = 0
+        error: Optional[str] = None
+        value: Any = None
+        status = "failed"
+        while attempts <= retries:
+            attempts += 1
+            if attempts > 1:
+                telemetry.retried.inc()
+                time.sleep(_backoff_delay(attempts - 1))
+            try:
+                value = _canonical(
+                    _execute_point(spec.func, params, _obs_arg(spec, point_dirs, pid))
+                )
+                status = "completed"
+                error = None
+                break
+            except Exception as exc:  # noqa: BLE001 - reported per point
+                error = f"{type(exc).__name__}: {exc}"
+        if status == "completed":
+            telemetry.completed.inc()
+        else:
+            telemetry.failed.inc()
+        outcomes[pid] = PointOutcome(
+            point_id=pid, params=params, value=value,
+            status=status, attempts=attempts, error=error,
+        )
+
+
+def _run_parallel(
+    spec: SweepSpec,
+    to_run: dict[str, dict[str, Any]],
+    outcomes: dict[str, PointOutcome],
+    workers: int,
+    retries: int,
+    timeout: Optional[float],
+    telemetry: SweepTelemetry,
+    point_dirs: dict[str, Path],
+) -> None:
+    """Process-pool execution with per-point timeout and retries."""
+    attempts = {pid: 0 for pid in to_run}
+    errors: dict[str, str] = {}
+    resubmit_at: dict[str, float] = {}
+
+    with ProcessPoolExecutor(max_workers=min(workers, len(to_run))) as pool:
+
+        def submit(pid: str):
+            attempts[pid] += 1
+            future = pool.submit(
+                _execute_point,
+                spec.func,
+                to_run[pid],
+                _obs_arg(spec, point_dirs, pid),
+            )
+            deadline = (
+                time.monotonic() + timeout  # lint: ignore[SIM001] — harness timeout
+                if timeout is not None
+                else None
+            )
+            return future, deadline
+
+        # Submit in point-id order (determinism of *submission* is not
+        # required for correctness — results are reordered — but it makes
+        # worker logs reproducible).
+        pending = {}
+        for pid in to_run:
+            future, deadline = submit(pid)
+            pending[future] = (pid, deadline)
+
+        while pending or resubmit_at:
+            now = time.monotonic()  # lint: ignore[SIM001] — harness clock
+            for pid in [p for p, t in resubmit_at.items() if t <= now]:
+                del resubmit_at[pid]
+                telemetry.retried.inc()
+                future, deadline = submit(pid)
+                pending[future] = (pid, deadline)
+            if not pending:
+                time.sleep(_POLL_INTERVAL)
+                continue
+
+            done, _ = wait(
+                pending, timeout=_POLL_INTERVAL, return_when=FIRST_COMPLETED
+            )
+            now = time.monotonic()  # lint: ignore[SIM001] — harness clock
+
+            settled = list(done)
+            # Expired futures: the worker may be wedged; abandon the
+            # future (it is discarded on completion) and retry/fail.
+            expired = [
+                f
+                for f, (pid, deadline) in pending.items()
+                if f not in done and deadline is not None and deadline <= now
+            ]
+
+            for future in settled + expired:
+                pid, _deadline = pending.pop(future)
+                if future in done:
+                    exc = future.exception()
+                    if exc is None:
+                        outcomes[pid] = PointOutcome(
+                            point_id=pid,
+                            params=to_run[pid],
+                            value=_canonical(future.result()),
+                            status="completed",
+                            attempts=attempts[pid],
+                        )
+                        telemetry.completed.inc()
+                        continue
+                    errors[pid] = f"{type(exc).__name__}: {exc}"
+                else:
+                    future.cancel()
+                    errors[pid] = (
+                        f"TimeoutError: point exceeded {timeout}s budget"
+                    )
+                if attempts[pid] <= retries:
+                    resubmit_at[pid] = now + _backoff_delay(attempts[pid])
+                else:
+                    outcomes[pid] = PointOutcome(
+                        point_id=pid,
+                        params=to_run[pid],
+                        value=None,
+                        status="failed",
+                        attempts=attempts[pid],
+                        error=errors[pid],
+                    )
+                    telemetry.failed.inc()

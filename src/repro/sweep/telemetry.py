@@ -1,0 +1,63 @@
+"""Sweep-campaign telemetry, published through :mod:`repro.obs` probes.
+
+The sweep runner is a *harness*, not a simulation — there is no DES
+environment to attach an :class:`~repro.obs.observer.Observer` to — so
+it publishes directly into a :class:`~repro.obs.probes.MetricRegistry`:
+
+* ``sweep.points_total`` (gauge) — points in the spec;
+* ``sweep.points_completed`` (counter) — points actually executed;
+* ``sweep.points_cached`` (counter) — points answered from the cache;
+* ``sweep.points_failed`` (counter) — points that exhausted retries;
+* ``sweep.points_retried`` (counter) — re-submissions after a failure
+  or timeout;
+* ``sweep.wall_time_s`` (gauge) — harness wall time for the campaign.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.probes import MetricRegistry
+
+#: Telemetry export format identifier.
+STATS_SCHEMA = "repro.sweep.stats/1"
+
+
+class SweepTelemetry:
+    """Counters and gauges for one sweep campaign."""
+
+    def __init__(self, sweep_id: str) -> None:
+        self.sweep_id = sweep_id
+        self.registry = MetricRegistry()
+        self.completed = self.registry.counter("sweep.points_completed")
+        self.cached = self.registry.counter("sweep.points_cached")
+        self.failed = self.registry.counter("sweep.points_failed")
+        self.retried = self.registry.counter("sweep.points_retried")
+        self.total = self.registry.gauge("sweep.points_total")
+        self.wall_time = self.registry.gauge("sweep.wall_time_s")
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of points answered from the cache (0 when empty)."""
+        total = self.total.value
+        return self.cached.value / total if total else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready view of the campaign's counters and gauges."""
+        snap = self.registry.snapshot()
+        return {
+            "schema": STATS_SCHEMA,
+            "sweep_id": self.sweep_id,
+            "counters": snap["counters"],
+            "gauges": snap["gauges"],
+            "cache_hit_ratio": self.cache_hit_ratio,
+        }
+
+    def write(self, path: "str | Path") -> Path:
+        """Write the snapshot as JSON (creating parent directories)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n")
+        return path

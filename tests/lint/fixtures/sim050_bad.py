@@ -1,0 +1,15 @@
+"""Known-bad: ad-hoc worker processes outside repro.sweep (SIM050)."""
+
+import multiprocessing  # expect[SIM050]
+from concurrent.futures import ProcessPoolExecutor
+
+
+def fan_out(points, compute):
+    with ProcessPoolExecutor(max_workers=4) as pool:  # expect[SIM050]
+        return list(pool.map(compute, points))
+
+
+def fork_workers(target):
+    worker = multiprocessing.Process(target=target)  # expect[SIM050]
+    worker.start()
+    return worker

@@ -1,0 +1,21 @@
+"""Known-good: fan-out through the sweep engine; threads stay legal."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.sweep import SweepSpec, run_sweep
+
+
+def fan_out(points):
+    spec = SweepSpec(
+        sweep_id="demo",
+        func="demo.points:compute",
+        points=tuple(points),
+    )
+    return run_sweep(spec, workers=4)
+
+
+def overlap_io(fetch, urls):
+    # Thread pools don't fork the interpreter; they are not SIM050's
+    # concern (no pickling, no per-process RNG/caches to diverge).
+    with ThreadPoolExecutor() as pool:
+        return list(pool.map(fetch, urls))

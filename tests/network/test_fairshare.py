@@ -171,3 +171,53 @@ def test_max_min_property(scenario):
 def test_equal_split_for_identical_flows(n, cap):
     rates = max_min_fair_rates([["l"]] * n, {"l": cap})
     assert all(r == pytest.approx(cap / n) for r in rates)
+
+
+# ----------------------------------------------------------------------
+# Regression: epsilon-scale caps and capacities (absolute-tolerance bug)
+# ----------------------------------------------------------------------
+def test_epsilon_scale_caps_resolved_exactly():
+    # Old absolute freeze test (rate >= cap - 1e-12) froze the second
+    # flow at 1e-12 because its 2e-12 cap was "within epsilon".
+    rates = max_min_fair_rates(
+        [["l"], ["l"]], {"l": 1.0}, flow_caps=[1e-12, 2e-12]
+    )
+    assert rates[0] == pytest.approx(1e-12, rel=1e-6)
+    assert rates[1] == pytest.approx(2e-12, rel=1e-6)
+
+
+def test_epsilon_scale_link_capacity_redistributed():
+    # Old link-saturation test (remaining <= eps*cap + eps) declared a
+    # 2e-12 link saturated immediately, freezing the uncapped flow at
+    # the capped flow's rate instead of handing it the leftover.
+    rates = max_min_fair_rates(
+        [["l"], ["l"]], {"l": 2e-12}, flow_caps=[0.5e-12, float("inf")]
+    )
+    assert rates[0] == pytest.approx(0.5e-12, rel=1e-6)
+    assert rates[1] == pytest.approx(1.5e-12, rel=1e-6)
+
+
+def test_nano_scale_cap_ladder():
+    caps = [1e-12, 5e-12, 1e-11, 1e-10, 1e-9]
+    rates = max_min_fair_rates([["l"]] * 5, {"l": 1.0}, flow_caps=caps)
+    for rate, cap in zip(rates, caps):
+        assert rate == pytest.approx(cap, rel=1e-6)
+
+
+def test_tiny_capacity_equal_split():
+    rates = max_min_fair_rates([["l"], ["l"]], {"l": 1e-9})
+    assert rates[0] == pytest.approx(0.5e-9, rel=1e-6)
+    assert rates[1] == pytest.approx(0.5e-9, rel=1e-6)
+
+
+def test_mixed_magnitude_links():
+    # One flow crosses both a picoscale and a megascale link; the other
+    # two see only one of them.  The tiny link must bottleneck flow 1
+    # without dragging flow 2's megascale share down.
+    rates = max_min_fair_rates(
+        [["tiny"], ["tiny", "big"], ["big"]],
+        {"tiny": 2e-12, "big": 2e6},
+    )
+    assert rates[0] == pytest.approx(1e-12, rel=1e-6)
+    assert rates[1] == pytest.approx(1e-12, rel=1e-6)
+    assert rates[2] == pytest.approx(2e6 - 1e-12, rel=1e-6)

@@ -1,0 +1,127 @@
+"""Property-based tests for max-min fair allocation.
+
+Three invariants define max-min fairness, and hypothesis checks them on
+randomly generated topologies:
+
+* **feasibility** — no link carries more than its capacity and no flow
+  exceeds its cap;
+* **work conservation** — a flow is only held below its cap if one of
+  its links is saturated;
+* **max-min optimality** — every flow below its cap has a saturated
+  link on which it is (one of) the largest flows, i.e. its rate cannot
+  be raised without lowering an equal-or-smaller flow.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.fairshare import allocation_is_feasible, max_min_fair_rates
+
+_REL = 1e-6
+
+LINK_POOL = ("l0", "l1", "l2", "l3")
+
+
+@st.composite
+def fairshare_problems(draw):
+    n_links = draw(st.integers(min_value=1, max_value=len(LINK_POOL)))
+    links = LINK_POOL[:n_links]
+    # Capacities deliberately span the old absolute-epsilon regime
+    # (1e-12) up to big-link scale: the freeze tolerances must behave
+    # identically across fifteen orders of magnitude.
+    capacities = {
+        link: draw(
+            st.floats(
+                min_value=1e-12, max_value=1e6, allow_nan=False, allow_infinity=False
+            )
+        )
+        for link in links
+    }
+    n_flows = draw(st.integers(min_value=1, max_value=6))
+    flow_links = [
+        draw(
+            st.lists(
+                st.sampled_from(links), min_size=1, max_size=n_links, unique=True
+            )
+        )
+        for _ in range(n_flows)
+    ]
+    flow_caps = [
+        draw(
+            st.one_of(
+                st.just(float("inf")),
+                st.floats(
+                    min_value=1e-15,
+                    max_value=1e6,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+            )
+        )
+        for _ in range(n_flows)
+    ]
+    return flow_links, capacities, flow_caps
+
+
+def _loads(flow_links, rates, capacities):
+    load = {link: 0.0 for link in capacities}
+    for links, rate in zip(flow_links, rates):
+        for link in set(links):
+            load[link] += rate
+    return load
+
+
+def _saturated(load, capacities, link):
+    return load[link] >= capacities[link] * (1 - _REL)
+
+
+@settings(max_examples=200, deadline=None)
+@given(fairshare_problems())
+def test_allocation_is_feasible(problem):
+    flow_links, capacities, flow_caps = problem
+    rates = max_min_fair_rates(flow_links, capacities, flow_caps)
+    assert allocation_is_feasible(flow_links, capacities, rates)
+    for rate, cap in zip(rates, flow_caps):
+        assert rate <= cap * (1 + _REL)
+        assert rate >= 0.0
+
+
+@settings(max_examples=200, deadline=None)
+@given(fairshare_problems())
+def test_allocation_is_work_conserving(problem):
+    flow_links, capacities, flow_caps = problem
+    rates = max_min_fair_rates(flow_links, capacities, flow_caps)
+    load = _loads(flow_links, rates, capacities)
+    for links, rate, cap in zip(flow_links, rates, flow_caps):
+        if rate >= cap * (1 - _REL):
+            continue  # held by its own cap, not by the network
+        assert any(_saturated(load, capacities, link) for link in links), (
+            f"flow at rate {rate} below cap {cap} has no saturated link"
+        )
+
+
+@settings(max_examples=200, deadline=None)
+@given(fairshare_problems())
+def test_allocation_is_max_min_optimal(problem):
+    flow_links, capacities, flow_caps = problem
+    rates = max_min_fair_rates(flow_links, capacities, flow_caps)
+    load = _loads(flow_links, rates, capacities)
+    users = {link: [] for link in capacities}
+    for i, links in enumerate(flow_links):
+        for link in set(links):
+            users[link].append(i)
+    for i, (links, rate, cap) in enumerate(zip(flow_links, rates, flow_caps)):
+        if rate >= cap * (1 - _REL):
+            continue
+        # Bottleneck condition: some saturated link of i where i's rate
+        # is maximal among the link's users (within tolerance).
+        assert any(
+            _saturated(load, capacities, link)
+            and all(
+                rate >= rates[j] * (1 - _REL) or rates[j] <= rate + _REL
+                for j in users[link]
+            )
+            for link in links
+        ), f"flow {i} (rate {rate}) is not bottlenecked anywhere"

@@ -200,3 +200,91 @@ def test_simultaneous_equal_flows_finish_together(n, size):
     times = set(round(t, 6) for t in done.values())
     assert len(times) == 1
     assert times.pop() == pytest.approx(n * size / 100.0)
+
+
+# ----------------------------------------------------------------------
+# Regression: zero-byte flows and drained-flow sweeps
+# ----------------------------------------------------------------------
+def test_zero_size_transfer_with_links_completes_at_now():
+    env = des.Environment()
+    net = FlowNetwork(env)
+    l = Link("l", bandwidth=100.0)
+    seen = {}
+
+    def proc(env):
+        flow = yield net.transfer(0, [l], label="meta")
+        seen["at"] = env.now
+        seen["flow"] = flow
+
+    env.process(proc(env))
+    env.run()
+    assert seen["at"] == 0.0
+    assert seen["flow"].achieved_bandwidth is None
+    assert seen["flow"] in net.completed
+    assert net.active_flows == []
+
+
+def test_zero_size_transfer_does_not_skew_shares():
+    l = Link("l", bandwidth=100.0)
+    done = run_transfers([(0, 1000, [l], {}), (1, 0, [l], {})])
+    # The metadata-only transfer completes instantly and never competes
+    # for bandwidth, so the bulk flow still takes exactly 10 s.
+    assert done["t1"] == pytest.approx(1.0)
+    assert done["t0"] == pytest.approx(10.0)
+
+
+def test_zero_size_achieved_bandwidth_none_even_with_latency():
+    env = des.Environment()
+    net = FlowNetwork(env)
+    l = Link("l", bandwidth=100.0, latency=0.5)
+    seen = {}
+
+    def proc(env):
+        flow = yield net.transfer(0, [l])
+        seen["at"] = env.now
+        seen["flow"] = flow
+
+    env.process(proc(env))
+    env.run()
+    assert seen["at"] == pytest.approx(0.5)
+    # elapsed > 0 but zero bytes moved: bandwidth is undefined, not 0.0
+    # (a 0.0 would poison averaged bandwidth accounting).
+    assert seen["flow"].achieved_bandwidth is None
+
+
+def test_zero_size_loopback_achieved_bandwidth_none():
+    env = des.Environment()
+    net = FlowNetwork(env)
+    seen = {}
+
+    def proc(env):
+        flow = yield net.transfer(0, [], latency=0.25, max_rate=100.0)
+        seen["flow"] = flow
+
+    env.process(proc(env))
+    env.run()
+    assert seen["flow"].achieved_bandwidth is None
+
+
+def test_drained_flow_swept_before_new_admission():
+    env = des.Environment()
+    net = FlowNetwork(env)
+    l = Link("l", bandwidth=1.0)
+    seen = {}
+
+    def starter(env):
+        net.transfer(1.0, [l], label="old")
+        # Jump to one float-ulp before the old flow's completion: its
+        # residue is below the finish threshold but its wake-up has not
+        # fired yet.
+        yield env.timeout(1.0 - 1e-13)
+        net.transfer(1.0, [l], label="new")
+        seen["active"] = [f.label for f in net.active_flows]
+        seen["rates"] = {f.label: f.rate for f in net.active_flows}
+
+    env.process(starter(env))
+    env.run()
+    # The drained flow must be finished during admission, not left to
+    # claim half the link until the next wake-up.
+    assert seen["active"] == ["new"]
+    assert seen["rates"]["new"] == pytest.approx(1.0)

@@ -1,0 +1,53 @@
+"""Importable point functions for sweep tests.
+
+Worker processes resolve point functions by dotted reference, so the
+functions under test must live in an importable module — closures and
+test-local lambdas cannot cross the process boundary.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+
+def square(params):
+    return params["x"] * params["x"]
+
+
+def tupled(params):
+    """Returns tuples/nested structure to exercise canonicalization."""
+    return {"pair": (params["x"], params["x"] + 1), "one": (1,)}
+
+
+def boom(params):
+    raise RuntimeError(f"boom on {params['x']}")
+
+
+def flaky(params):
+    """Fails until its file-based attempt counter reaches ``succeed_on``.
+
+    The counter lives on disk so the behavior is identical whether
+    attempts land in one process (serial) or several (parallel).
+    """
+    path = Path(params["counter_path"])
+    attempt = int(path.read_text()) + 1 if path.exists() else 1
+    path.write_text(str(attempt))
+    if attempt < params["succeed_on"]:
+        raise RuntimeError(f"attempt {attempt} fails")
+    return attempt
+
+
+def slow(params):
+    time.sleep(params["sleep_s"])
+    return params["sleep_s"]
+
+
+def unjsonable(params):
+    return {"bad": {1, 2}}
+
+
+def writes_obs(params, obs_dir=None):
+    if obs_dir is not None:
+        Path(obs_dir, "marker.txt").write_text(str(params["x"]))
+    return params["x"]
