@@ -82,6 +82,15 @@ class SweepCache:
         except (OSError, json.JSONDecodeError):
             self.misses += 1
             return _MISS
+        # A corrupt or foreign-schema entry is a miss, not a crash:
+        # the point simply recomputes and overwrites it.
+        if (
+            not isinstance(doc, dict)
+            or doc.get("schema") != CACHE_SCHEMA
+            or "value" not in doc
+        ):
+            self.misses += 1
+            return _MISS
         self.hits += 1
         return doc["value"]
 

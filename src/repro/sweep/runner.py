@@ -9,13 +9,17 @@ Design rules (the contract ``docs/SWEEP.md`` documents):
 * **Caching** — with a :class:`~repro.sweep.cache.SweepCache` attached,
   each point is looked up by its content address before anything is
   executed; a re-run with unchanged configuration is a pure cache read.
-* **Isolation** — parallel points run in worker *processes* (the
-  simulator is CPU-bound and per-process state such as calibration
-  memoization must not leak between points).  This module is the one
-  place in the codebase allowed to spawn them (lint rule SIM050).
-* **Bounded retries** — a point that raises or exceeds its timeout is
-  resubmitted up to ``retries`` times with bounded exponential backoff;
-  a point that exhausts its retries marks the sweep as failed.
+* **Isolation** — each parallel point attempt runs in its own worker
+  *process* (the simulator is CPU-bound and per-process state such as
+  calibration memoization must not leak between points).  This module
+  is the one place in the codebase allowed to spawn them (SIM050).
+* **Bounded retries and timeouts** — a point that raises or exceeds
+  its timeout is resubmitted up to ``retries`` times with bounded
+  exponential backoff; a point that exhausts its retries marks the
+  sweep as failed.  The timeout clock starts when the point's worker
+  process starts executing (never while it waits for a worker slot),
+  and a timed-out worker is terminated — it cannot keep running
+  concurrently with its own retry or wedge the sweep's shutdown.
 
 The runner is a harness, not a simulation: it may legitimately read the
 host clock (pragma-suppressed SIM001) because the quantities it times —
@@ -25,8 +29,10 @@ campaign wall time, per-point timeouts — are wall-clock quantities.
 from __future__ import annotations
 
 import json
+import multiprocessing
+import multiprocessing.connection
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping, Optional
@@ -41,6 +47,9 @@ _POLL_INTERVAL = 0.1
 #: Exponential-backoff schedule bounds for retries (s).
 _BACKOFF_BASE = 0.1
 _BACKOFF_CAP = 5.0
+
+#: How long a terminated (SIGTERM) worker gets to exit before SIGKILL (s).
+_TERM_GRACE = 2.0
 
 
 class SweepError(RuntimeError):
@@ -200,9 +209,12 @@ def run_sweep(
     retries:
         How many times a failing/timing-out point is resubmitted.
     timeout:
-        Per-point wall-clock budget in seconds.  Enforced between
-        processes, so it requires ``workers > 1``; the in-process serial
-        path cannot preempt a running point.
+        Per-point wall-clock budget in seconds, measured from the
+        moment the point's worker process starts (time spent waiting
+        for a worker slot never counts).  A worker that exceeds it is
+        terminated before the point is retried/failed.  Enforced
+        between processes, so it requires ``workers > 1``; the
+        in-process serial path cannot preempt a running point.
     cache:
         Optional :class:`SweepCache`; hits skip execution entirely.
     obs_dir:
@@ -343,6 +355,53 @@ def _run_serial(
         )
 
 
+def _point_worker(
+    conn, func_ref: str, params: dict[str, Any], obs_dir: Optional[str]
+) -> None:
+    """Worker-process entry: run one point, send one ``(tag, payload)``.
+
+    The value is canonicalized *in the worker*, so a non-JSON point
+    value comes back as an ordinary per-point error and goes through
+    the same retry/strict/lenient bookkeeping as any other exception
+    (matching the serial path) instead of aborting the whole sweep.
+    """
+    try:
+        value = _canonical(_execute_point(func_ref, params, obs_dir))
+    except BaseException as exc:  # noqa: BLE001 - reported per point
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    else:
+        conn.send(("ok", value))
+    finally:
+        conn.close()
+
+
+@dataclass
+class _RunningPoint:
+    """One in-flight point attempt: its process, pipe, and deadline."""
+
+    pid: str
+    proc: multiprocessing.Process
+    conn: "multiprocessing.connection.Connection"
+    deadline: Optional[float]  # None = no timeout
+
+
+def _reap(proc: multiprocessing.Process) -> Optional[int]:
+    """Make sure ``proc`` is gone: join, escalating SIGTERM → SIGKILL.
+
+    Returns the process exit code (negative = killed by that signal).
+    """
+    proc.join(_TERM_GRACE)
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(_TERM_GRACE)
+    if proc.is_alive():
+        proc.kill()
+        proc.join()
+    code = proc.exitcode
+    proc.close()
+    return code
+
+
 def _run_parallel(
     spec: SweepSpec,
     to_run: dict[str, dict[str, Any]],
@@ -353,90 +412,142 @@ def _run_parallel(
     telemetry: SweepTelemetry,
     point_dirs: dict[str, Path],
 ) -> None:
-    """Process-pool execution with per-point timeout and retries."""
+    """Worker-process execution with per-point timeout and retries.
+
+    Each point attempt gets its own worker process and at most
+    ``workers`` run at once; the rest wait in a queue.  The timeout
+    deadline is set when an attempt's process *starts* — a queued point
+    can never expire before it has run — and an expired worker is
+    terminated, so a wedged point costs exactly ``timeout`` (plus
+    retries), never blocks shutdown, and cannot keep writing telemetry
+    concurrently with its own retry.
+    """
+    mp = multiprocessing.get_context()
     attempts = {pid: 0 for pid in to_run}
     errors: dict[str, str] = {}
     resubmit_at: dict[str, float] = {}
+    # Launch in point-id order (determinism of *launch* order is not
+    # required for correctness — results are reordered — but it makes
+    # worker logs reproducible).
+    queued = deque(to_run)
+    running: list[_RunningPoint] = []
 
-    with ProcessPoolExecutor(max_workers=min(workers, len(to_run))) as pool:
-
-        def submit(pid: str):
-            attempts[pid] += 1
-            future = pool.submit(
-                _execute_point,
+    def launch(pid: str) -> None:
+        attempts[pid] += 1
+        recv_conn, send_conn = mp.Pipe(duplex=False)
+        proc = mp.Process(
+            target=_point_worker,
+            args=(
+                send_conn,
                 spec.func,
                 to_run[pid],
                 _obs_arg(spec, point_dirs, pid),
-            )
-            deadline = (
-                time.monotonic() + timeout  # lint: ignore[SIM001] — harness timeout
-                if timeout is not None
-                else None
-            )
-            return future, deadline
+            ),
+        )
+        proc.start()
+        send_conn.close()  # worker holds the only send end now
+        deadline = (
+            time.monotonic() + timeout  # lint: ignore[SIM001] — harness timeout
+            if timeout is not None
+            else None
+        )
+        running.append(_RunningPoint(pid, proc, recv_conn, deadline))
 
-        # Submit in point-id order (determinism of *submission* is not
-        # required for correctness — results are reordered — but it makes
-        # worker logs reproducible).
-        pending = {}
-        for pid in to_run:
-            future, deadline = submit(pid)
-            pending[future] = (pid, deadline)
+    def settle(pid: str, tag: str, payload: Any, now: float) -> None:
+        if tag == "ok":
+            outcomes[pid] = PointOutcome(
+                point_id=pid,
+                params=to_run[pid],
+                value=payload,
+                status="completed",
+                attempts=attempts[pid],
+            )
+            telemetry.completed.inc()
+            return
+        errors[pid] = payload
+        if attempts[pid] <= retries:
+            resubmit_at[pid] = now + _backoff_delay(attempts[pid])
+        else:
+            outcomes[pid] = PointOutcome(
+                point_id=pid,
+                params=to_run[pid],
+                value=None,
+                status="failed",
+                attempts=attempts[pid],
+                error=errors[pid],
+            )
+            telemetry.failed.inc()
 
-        while pending or resubmit_at:
+    try:
+        while queued or running or resubmit_at:
             now = time.monotonic()  # lint: ignore[SIM001] — harness clock
             for pid in [p for p, t in resubmit_at.items() if t <= now]:
                 del resubmit_at[pid]
                 telemetry.retried.inc()
-                future, deadline = submit(pid)
-                pending[future] = (pid, deadline)
-            if not pending:
+                queued.append(pid)
+            while queued and len(running) < workers:
+                launch(queued.popleft())
+            if not running:
                 time.sleep(_POLL_INTERVAL)
                 continue
 
-            done, _ = wait(
-                pending, timeout=_POLL_INTERVAL, return_when=FIRST_COMPLETED
-            )
+            # Sleep until a worker reports/exits or the poll interval
+            # elapses (wakes us for deadlines and due retries).
+            waitables = [r.conn for r in running] + [
+                r.proc.sentinel for r in running
+            ]
+            multiprocessing.connection.wait(waitables, timeout=_POLL_INTERVAL)
             now = time.monotonic()  # lint: ignore[SIM001] — harness clock
 
-            settled = list(done)
-            # Expired futures: the worker may be wedged; abandon the
-            # future (it is discarded on completion) and retry/fail.
-            expired = [
-                f
-                for f, (pid, deadline) in pending.items()
-                if f not in done and deadline is not None and deadline <= now
-            ]
-
-            for future in settled + expired:
-                pid, _deadline = pending.pop(future)
-                if future in done:
-                    exc = future.exception()
-                    if exc is None:
-                        outcomes[pid] = PointOutcome(
-                            point_id=pid,
-                            params=to_run[pid],
-                            value=_canonical(future.result()),
-                            status="completed",
-                            attempts=attempts[pid],
+            still_running: list[_RunningPoint] = []
+            for r in running:
+                # Liveness is read *before* the pipe: a worker's result
+                # send happens-before its exit, so when ``alive`` reads
+                # False any delivered result is already buffered and
+                # ``poll()`` sees it (a bare EOF means the worker really
+                # died without reporting — segfault, os._exit, OOM kill).
+                alive = r.proc.is_alive()
+                if r.conn.poll():
+                    try:
+                        tag, payload = r.conn.recv()
+                    except (EOFError, OSError):
+                        tag = None  # pipe closed with no result: a crash
+                    r.conn.close()
+                    code = _reap(r.proc)
+                    if tag is None:
+                        tag, payload = (
+                            "error",
+                            f"WorkerCrash: worker exited with code {code} "
+                            "before producing a result",
                         )
-                        telemetry.completed.inc()
-                        continue
-                    errors[pid] = f"{type(exc).__name__}: {exc}"
-                else:
-                    future.cancel()
-                    errors[pid] = (
-                        f"TimeoutError: point exceeded {timeout}s budget"
+                    settle(r.pid, tag, payload, now)
+                elif not alive:
+                    r.conn.close()
+                    code = _reap(r.proc)
+                    settle(
+                        r.pid,
+                        "error",
+                        f"WorkerCrash: worker exited with code {code} "
+                        "before producing a result",
+                        now,
                     )
-                if attempts[pid] <= retries:
-                    resubmit_at[pid] = now + _backoff_delay(attempts[pid])
-                else:
-                    outcomes[pid] = PointOutcome(
-                        point_id=pid,
-                        params=to_run[pid],
-                        value=None,
-                        status="failed",
-                        attempts=attempts[pid],
-                        error=errors[pid],
+                elif r.deadline is not None and r.deadline <= now:
+                    r.proc.terminate()
+                    r.conn.close()
+                    _reap(r.proc)
+                    settle(
+                        r.pid,
+                        "error",
+                        f"TimeoutError: point exceeded {timeout}s budget",
+                        now,
                     )
-                    telemetry.failed.inc()
+                else:
+                    still_running.append(r)
+            running = still_running
+    finally:
+        # Unexpected exit (KeyboardInterrupt, telemetry bug): leave no
+        # orphaned workers behind.
+        for r in running:
+            r.proc.terminate()
+            r.conn.close()
+            _reap(r.proc)

@@ -7,6 +7,7 @@ test-local lambdas cannot cross the process boundary.
 
 from __future__ import annotations
 
+import os
 import time
 from pathlib import Path
 
@@ -45,6 +46,11 @@ def slow(params):
 
 def unjsonable(params):
     return {"bad": {1, 2}}
+
+
+def dies(params):
+    """Exits without reporting a result (simulates a segfault/OOM kill)."""
+    os._exit(3)
 
 
 def writes_obs(params, obs_dir=None):

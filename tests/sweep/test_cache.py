@@ -69,3 +69,26 @@ def test_corrupt_entry_is_a_miss(tmp_path):
     cache.store(key, 1, point_key_doc(spec, {"x": 1}))
     (tmp_path / key[:2] / f"{key}.json").write_text("{not json")
     assert SweepCache.is_miss(cache.lookup(key))
+
+
+def test_valid_json_wrong_shape_is_a_miss(tmp_path):
+    """Well-formed JSON that is not a cache entry must read as a miss.
+
+    Regression: lookup used to index ``doc["value"]`` unguarded, so a
+    truncated/foreign file holding e.g. a list raised and killed the
+    whole sweep instead of recomputing one point.
+    """
+    cache = SweepCache(tmp_path)
+    spec = _spec()
+    key = point_key(spec, {"x": 1})
+    path = cache.store(key, 1, point_key_doc(spec, {"x": 1}))
+    wrong_shapes = (
+        "[1, 2, 3]",
+        '"a string"',
+        "null",
+        '{"schema": "other/1", "value": 1}',
+        '{"key": "but-no-value"}',
+    )
+    for wrong in wrong_shapes:
+        path.write_text(wrong)
+        assert SweepCache.is_miss(cache.lookup(key)), wrong

@@ -172,6 +172,70 @@ def test_parallel_timeout_fails_point():
     point = outcome.points[0]
     assert point.status == "failed"
     assert "TimeoutError" in point.error
+    # Regression: the expired worker must be *terminated*, not merely
+    # abandoned — an abandoned worker used to block pool shutdown for
+    # the full 30s sleep.
+    assert outcome.wall_time_s < 10.0
+
+
+def test_parallel_timeout_retries_then_fails():
+    spec = SweepSpec(
+        sweep_id="demo",
+        func="tests.sweep.points:slow",
+        points=({"sleep_s": 30.0},),
+    )
+    outcome = run_sweep(spec, workers=2, timeout=0.5, retries=1, strict=False)
+    point = outcome.points[0]
+    assert point.status == "failed"
+    assert point.attempts == 2
+    assert "TimeoutError" in point.error
+    # Two terminated attempts plus backoff, never a 30s wait.
+    assert outcome.wall_time_s < 10.0
+
+
+def test_queued_points_do_not_inherit_timeout():
+    """Regression: the timeout clock starts at *execution*, not submission.
+
+    Eight 0.3s points on 2 workers keep the last points queued well past
+    the 1s per-point budget; the old runner stamped every deadline at
+    submission time and spuriously timed them out without ever running
+    them.  Each point individually is far under budget, so all must
+    complete.
+    """
+    spec = SweepSpec(
+        sweep_id="demo",
+        func="tests.sweep.points:slow",
+        points=tuple({"x": i, "sleep_s": 0.3} for i in range(8)),
+    )
+    outcome = run_sweep(spec, workers=2, timeout=1.0)
+    assert outcome.count("completed") == 8
+    assert all(p.attempts == 1 for p in outcome.points)
+
+
+def test_parallel_non_json_value_is_per_point_failure():
+    """Regression: a non-JSON point value used to escape the parallel
+    path's bookkeeping and abort the sweep mid-flight; it must be an
+    ordinary per-point failure exactly like on the serial path."""
+    outcome = run_sweep(
+        _spec([1, 2], func="tests.sweep.points:unjsonable"),
+        workers=2,
+        strict=False,
+    )
+    assert outcome.count("failed") == 2
+    assert all("JSON" in p.error for p in outcome.failed)
+    with pytest.raises(SweepError, match="JSON"):
+        run_sweep(_spec([1], func="tests.sweep.points:unjsonable"), workers=2)
+
+
+def test_parallel_worker_crash_is_per_point_failure():
+    spec = SweepSpec(
+        sweep_id="demo",
+        func="tests.sweep.points:dies",
+        points=({"x": 1}, {"x": 2}),
+    )
+    outcome = run_sweep(spec, workers=2, strict=False)
+    assert outcome.count("failed") == 2
+    assert all("WorkerCrash" in p.error for p in outcome.failed)
 
 
 def test_parallel_failure_strict_raises():
