@@ -21,15 +21,31 @@ Layering (bottom up):
 * :mod:`repro.experiments` — regeneration of every table and figure;
 * :mod:`repro.analysis` — speedups, plateaus, crossovers, summaries.
 
-The quickest entry points::
+The quickest entry point is the top-level facade::
 
-    from repro.scenarios import run_swarp, run_genomes
-    from repro.simulator import Simulator
+    import repro
+
+    result = repro.simulate("platform.json", "workflow.json")
+    print(result.makespan)
+
+with :func:`repro.scenarios.run_swarp` / ``run_genomes`` for the paper's
+prebuilt scenarios and :class:`repro.Simulator` for finer control.
 """
 
 __version__ = "1.0.0"
 
+#: Public names re-exported lazily (keeps ``import repro`` light: the
+#: facade pulls in numpy-heavy layers only when first touched).
+_API = {
+    "simulate": ("repro.api", "simulate"),
+    "Result": ("repro.api", "Result"),
+    "Simulator": ("repro.simulator", "Simulator"),
+    "SimulatorConfig": ("repro.simulator", "SimulatorConfig"),
+    "BBMode": ("repro.storage", "BBMode"),
+}
+
 __all__ = [
+    *sorted(_API),
     "analysis",
     "compute",
     "des",
@@ -45,3 +61,17 @@ __all__ = [
     "wms",
     "workflow",
 ]
+
+
+def __getattr__(name: str):
+    try:
+        module, attr = _API[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module), attr)
+    globals()[name] = value  # cache: subsequent lookups skip __getattr__
+    return value

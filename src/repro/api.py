@@ -1,0 +1,115 @@
+"""The one-call public API: :func:`simulate` a workflow on a platform.
+
+Everything the library can do is reachable through its layered modules,
+but the common case — "here is a platform, here is a workflow, run it"
+— should not require knowing which of them to assemble.  This module is
+that front door::
+
+    import repro
+
+    result = repro.simulate("platform.json", "workflow.json")
+    print(result.makespan)
+
+``platform`` and ``workflow`` accept either in-memory objects
+(:class:`~repro.platform.PlatformSpec`, :class:`~repro.workflow.Workflow`)
+or paths to JSON descriptions (platform JSON / WfCommons trace), exactly
+like :class:`~repro.simulator.Simulator` — which does the actual work.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+from repro.obs import Observer
+from repro.platform import PlatformSpec
+from repro.simulator import Simulator, SimulatorConfig
+from repro.traces.events import ExecutionTrace
+from repro.workflow.model import Workflow
+
+
+class Result:
+    """Outcome of one :func:`simulate` call.
+
+    Thin, read-only view over the run's artifacts: the execution
+    ``trace`` (per-task records), the ``makespan``, and — when the run
+    was observed — the collected ``telemetry``.
+    """
+
+    def __init__(
+        self,
+        trace: ExecutionTrace,
+        config: SimulatorConfig,
+        observer: Optional[Observer],
+        _simulator: Simulator,
+    ) -> None:
+        self.trace = trace
+        self.config = config
+        self.observer = observer
+        self._simulator = _simulator
+
+    @property
+    def makespan(self) -> float:
+        """End-to-end simulated execution time in seconds."""
+        return self.trace.makespan
+
+    @property
+    def telemetry(self):
+        """The run's :class:`~repro.obs.probes.MetricRegistry`.
+
+        ``None`` unless the run was given an observer.
+        """
+        if self.observer is None:
+            return None
+        return self.observer.registry
+
+    def export_telemetry(self, directory: "str | Path") -> Path:
+        """Write manifest + Perfetto trace + metric CSVs to ``directory``.
+
+        Requires the run to have been observed.
+        """
+        return self._simulator.export_telemetry(directory, trace=self.trace)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        observed = "observed" if self.observer is not None else "unobserved"
+        return (
+            f"<Result {self.trace.workflow_name!r}: "
+            f"{len(self.trace.records)} tasks, "
+            f"makespan {self.makespan:.3f}s, {observed}>"
+        )
+
+
+def simulate(
+    platform: "PlatformSpec | str | Path",
+    workflow: "Workflow | str | Path",
+    *,
+    config: "SimulatorConfig | Mapping[str, object] | None" = None,
+    observer: "Observer | bool | None" = None,
+) -> Result:
+    """Simulate ``workflow`` on ``platform`` and return a :class:`Result`.
+
+    Parameters
+    ----------
+    platform:
+        A :class:`~repro.platform.PlatformSpec` or a path to a platform
+        JSON description.
+    workflow:
+        A :class:`~repro.workflow.Workflow` or a path to a WfCommons
+        JSON trace.
+    config:
+        A :class:`~repro.simulator.SimulatorConfig`, or a mapping of its
+        field names (``bb_mode``, ``input_fraction``,
+        ``network_allocator``, ...) for quick literal configs.
+    observer:
+        An :class:`~repro.obs.Observer` to collect telemetry into;
+        ``True`` creates one collecting every metric group.
+    """
+    if config is not None and not isinstance(config, SimulatorConfig):
+        config = SimulatorConfig(**dict(config))
+    if observer is True:
+        observer = Observer()
+    elif observer is False:
+        observer = None
+    simulator = Simulator(platform, workflow, config=config, observer=observer)
+    trace = simulator.run()
+    return Result(trace, simulator.config, observer, simulator)

@@ -1,0 +1,41 @@
+"""repro.bench: the performance benchmark harness (``repro-bench``).
+
+Measures the two things the incremental fair-share work optimizes:
+
+* **micro** — raw solver throughput on synthetic, component-rich flow
+  graphs (10 / 100 / 1000 concurrent flows), replaying one admit/drain
+  event sequence through the global progressive-filling oracle and
+  through :class:`repro.perf.IncrementalMaxMin`, asserting they agree
+  and reporting the speedup;
+* **macro** — end-to-end simulation wall time on the paper's workloads
+  (a Figure 13 point and the full 1000Genomes run), A/B-ing the
+  ``max-min`` and ``incremental`` allocators with identical makespans.
+
+Results are written as ``BENCH_<date>.json`` (schema ``repro.bench/1``)
+with ``{wall_s, events, solver_calls, links_touched}`` per entry plus a
+``calibration_s`` machine-speed factor, so a committed baseline can gate
+CI: ``repro-bench --smoke --check-against <baseline>`` fails on a >25 %
+calibrated macro wall-time regression.  See ``docs/PERF.md``.
+"""
+
+from repro.bench.micro import MicroResult, micro_benchmarks, run_micro
+from repro.bench.macro import MacroResult, macro_benchmarks, run_macro
+from repro.bench.report import (
+    BENCH_SCHEMA,
+    calibrate,
+    check_against,
+    write_report,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "MacroResult",
+    "MicroResult",
+    "calibrate",
+    "check_against",
+    "macro_benchmarks",
+    "micro_benchmarks",
+    "run_macro",
+    "run_micro",
+    "write_report",
+]

@@ -1,0 +1,107 @@
+"""Macro benchmarks: end-to-end simulation wall time on paper workloads.
+
+Two scenarios, each run with the default ``max-min`` allocator and again
+with ``incremental``:
+
+* ``fig13-point`` — one Figure 13 sweep point (1000Genomes on Cori,
+  half the inputs staged into the burst buffer, reduced chromosome
+  count) — the unit of work every sweep repeats dozens of times;
+* ``genomes-full`` — the full 22-chromosome 1000Genomes case study.
+
+The paired runs must produce identical makespans (the incremental path
+is an optimization, not a model change); each reports wall time plus
+the observer's kernel/solver counters so regressions can be attributed
+(did we do more events, more solves, or just slower solves?).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.obs import Observer
+from repro.scenarios import run_genomes
+
+
+@dataclass
+class MacroResult:
+    """One macro benchmark run (one scenario × one allocator)."""
+
+    name: str
+    allocator: str
+    wall_s: float
+    makespan: float
+    events: int                      # DES kernel events processed
+    solver_calls: int
+    links_touched: int
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": "macro",
+            "allocator": self.allocator,
+            "wall_s": self.wall_s,
+            "makespan": self.makespan,
+            "events": self.events,
+            "solver_calls": self.solver_calls,
+            "links_touched": self.links_touched,
+        }
+
+
+#: Macro scenario table: name -> run_genomes keyword arguments.
+_SCENARIOS_FULL = {
+    "fig13-point": dict(
+        system="cori", input_fraction=0.5, n_chromosomes=6, n_compute=4
+    ),
+    "genomes-full": dict(
+        system="cori", input_fraction=0.6, n_chromosomes=22, n_compute=8
+    ),
+}
+
+_SCENARIOS_SMOKE = {
+    "fig13-point": dict(
+        system="cori", input_fraction=0.5, n_chromosomes=2, n_compute=2
+    ),
+}
+
+
+def run_macro(name: str, allocator: str, **kwargs) -> MacroResult:
+    """Run one scenario under ``allocator`` with full instrumentation."""
+    observer = Observer(metrics=["network", "des"])
+    start = time.perf_counter()  # lint: ignore[SIM001] — harness wall time
+    result = run_genomes(
+        observer=observer, network_allocator=allocator, **kwargs
+    )
+    wall = time.perf_counter() - start  # lint: ignore[SIM001]
+    registry = observer.registry
+    return MacroResult(
+        name=name,
+        allocator=allocator,
+        wall_s=wall,
+        makespan=result.makespan,
+        events=int(registry.counter("des.events_processed").value),
+        solver_calls=int(registry.counter("network.solver_calls").value),
+        links_touched=int(registry.counter("network.links_touched").value),
+    )
+
+
+def macro_benchmarks(smoke: bool = False) -> list[MacroResult]:
+    """Run every macro scenario under both allocators (A/B pairs).
+
+    Raises if an A/B pair disagrees on makespan — wall time is only
+    comparable between semantically identical runs.
+    """
+    scenarios = _SCENARIOS_SMOKE if smoke else _SCENARIOS_FULL
+    results: list[MacroResult] = []
+    for name, kwargs in scenarios.items():
+        pair = [
+            run_macro(name, allocator, **kwargs)
+            for allocator in ("max-min", "incremental")
+        ]
+        if pair[0].makespan != pair[1].makespan:
+            raise AssertionError(
+                f"{name}: incremental makespan {pair[1].makespan!r} != "
+                f"max-min makespan {pair[0].makespan!r}"
+            )
+        results.extend(pair)
+    return results

@@ -1,0 +1,117 @@
+"""BENCH report files: writing, calibration, and regression gating.
+
+A report is one JSON document (schema ``repro.bench/1``)::
+
+    {
+      "schema": "repro.bench/1",
+      "created": "2026-08-06T12:00:00+00:00",
+      "mode": "full" | "smoke",
+      "calibration_s": 0.41,
+      "entries": [ {<micro/macro result>}, ... ]
+    }
+
+``calibration_s`` is the wall time of a fixed, deterministic solver
+workload measured on the same machine as the benchmarks.  Regression
+checks compare *calibrated* wall times (``wall_s / calibration_s``), so
+a committed baseline from one machine still gates CI runners of a
+different speed; only genuine slowdowns relative to the machine's own
+solver throughput fail the build.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.bench.micro import make_workload, run_micro
+
+BENCH_SCHEMA = "repro.bench/1"
+
+#: Fixed workload whose wall time defines one "machine unit".
+_CALIBRATION_WINDOW = 64
+_CALIBRATION_SEED = 1234
+
+
+def calibrate() -> float:
+    """Measure this machine's speed factor (seconds per calibration run)."""
+    workload = make_workload(
+        _CALIBRATION_WINDOW, seed=_CALIBRATION_SEED, name="calibration"
+    )
+    result = run_micro(workload, repeats=3)
+    # The oracle replay dominates and is pure solver arithmetic — a good
+    # proxy for how fast this machine runs the simulator's inner loops.
+    return result.oracle_wall_s
+
+
+def write_report(
+    entries: list[dict],
+    calibration_s: float,
+    mode: str,
+    path: "str | Path | None" = None,
+    directory: "str | Path" = "benchmarks",
+) -> Path:
+    """Write a BENCH report; default name ``BENCH_<date>.json``."""
+    if path is None:
+        date = datetime.date.today().isoformat()  # lint: ignore[SIM001] — report file name
+        path = Path(directory) / f"BENCH_{date}.json"
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    now = datetime.datetime.now(datetime.timezone.utc)  # lint: ignore[SIM001] — report provenance stamp
+    report = {
+        "schema": BENCH_SCHEMA,
+        "created": now.isoformat(timespec="seconds"),
+        "mode": mode,
+        "calibration_s": calibration_s,
+        "entries": entries,
+    }
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def load_report(path: "str | Path") -> dict:
+    report = json.loads(Path(path).read_text())
+    if report.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: not a {BENCH_SCHEMA} report "
+            f"(schema={report.get('schema')!r})"
+        )
+    return report
+
+
+def check_against(
+    current: dict, baseline: dict, tolerance: float = 0.25
+) -> list[str]:
+    """Compare two reports' macro wall times; return regression messages.
+
+    An entry regresses when its calibrated wall time exceeds the
+    baseline's by more than ``tolerance`` (relative).  Entries are
+    matched by ``(name, allocator)``; entries missing from the baseline
+    are informational only (new benchmarks can't regress).
+    """
+    failures: list[str] = []
+    base_cal = baseline["calibration_s"]
+    cur_cal = current["calibration_s"]
+    if base_cal <= 0 or cur_cal <= 0:
+        raise ValueError("calibration_s must be positive in both reports")
+    baseline_by_key = {
+        (e["name"], e.get("allocator")): e
+        for e in baseline["entries"]
+        if e["kind"] == "macro"
+    }
+    for entry in current["entries"]:
+        if entry["kind"] != "macro":
+            continue
+        base = baseline_by_key.get((entry["name"], entry.get("allocator")))
+        if base is None:
+            continue
+        current_units = entry["wall_s"] / cur_cal
+        base_units = base["wall_s"] / base_cal
+        if current_units > base_units * (1.0 + tolerance):
+            failures.append(
+                f"{entry['name']} [{entry.get('allocator')}]: "
+                f"{current_units:.2f} machine units vs baseline "
+                f"{base_units:.2f} (>{tolerance:.0%} regression)"
+            )
+    return failures

@@ -19,6 +19,8 @@ Rule families (see ``docs/LINT.md`` for the full catalogue):
 * ``SIM03x`` — API hygiene (mutable defaults)
 * ``SIM04x`` — observability (bare ``print()`` in library code)
 * ``SIM05x`` — parallelism (worker processes outside ``repro.sweep``)
+* ``SIM06x`` — performance API (direct fair-share solver calls outside
+  ``repro.network``/``repro.perf``)
 """
 
 from __future__ import annotations
@@ -82,6 +84,7 @@ def all_rules() -> dict[str, Type[Rule]]:
         determinism,
         observability,
         parallelism,
+        perf,
         units,
     )
 

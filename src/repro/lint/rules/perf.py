@@ -1,0 +1,84 @@
+"""Performance-API rules (SIM06x).
+
+The fair-share solver has exactly two sanctioned call sites: the flow
+network (which owns rate recomputation) and the incremental engine in
+``repro.perf`` (which wraps the solver per component).  Anything else
+calling :func:`~repro.network.fairshare.max_min_fair_rates` directly is
+a layering leak — it hard-codes one sharing discipline, bypasses the
+allocator registry (so configs/CLIs can't A/B it), and silently skips
+the incremental fast path and its solver-call telemetry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.rules import Rule, register
+
+#: The guarded solver entry point (resolved import suffixes).
+_SOLVER = "max_min_fair_rates"
+_SOLVER_PATHS = frozenset(
+    {
+        _SOLVER,
+        f"repro.network.{_SOLVER}",
+        f"repro.network.fairshare.{_SOLVER}",
+    }
+)
+
+
+@register
+class NoDirectFairShareCalls(Rule):
+    """SIM060: direct ``max_min_fair_rates`` use outside the network/perf
+    layers."""
+
+    id = "SIM060"
+    summary = "direct fair-share solver call outside repro.network/repro.perf"
+    rationale = (
+        "Calling max_min_fair_rates directly hard-codes one bandwidth-"
+        "sharing discipline: the run can no longer be switched to "
+        "equal-split or the incremental solver from a SimulatorConfig, "
+        "a sweep point, or --network-allocator, and the call is "
+        "invisible to the network.solver_calls telemetry.  Rates belong "
+        "to FlowNetwork; solver choice belongs to the allocator "
+        "registry."
+    )
+    severity = Severity.ERROR
+    fix_hint = (
+        "resolve a named allocator via repro.network.resolve_allocator "
+        "(or pass allocator=... to FlowNetwork/Platform) instead of "
+        "calling the solver directly"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # The flow network and the incremental engine are the two
+        # sanctioned owners of direct solver calls.
+        return ctx.outside_package_dir("network/", "perf/")
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module and not node.level and (
+                    node.module in ("repro.network", "repro.network.fairshare")
+                ):
+                    for alias in node.names:
+                        if alias.name == _SOLVER:
+                            yield self.diagnostic(
+                                ctx,
+                                node,
+                                f"import of {_SOLVER} outside "
+                                "repro.network/repro.perf",
+                            )
+            elif isinstance(node, ast.Call):
+                name = ctx.imports.resolve(node.func)
+                if name in _SOLVER_PATHS or (
+                    name is not None and name.endswith(f".{_SOLVER}")
+                ):
+                    yield self.diagnostic(
+                        ctx,
+                        node,
+                        f"direct {_SOLVER}() call outside "
+                        "repro.network/repro.perf",
+                    )

@@ -10,16 +10,33 @@ shared resource.
 """
 
 from repro.network.link import Link
-from repro.network.fairshare import equal_split_rates, max_min_fair_rates
+from repro.network.fairshare import (
+    allocation_is_feasible,
+    equal_split_rates,
+    max_min_fair_rates,
+)
+from repro.network.allocators import (
+    DEFAULT_ALLOCATOR,
+    RateAllocator,
+    allocator_names,
+    register_allocator,
+    resolve_allocator,
+)
 from repro.network.flownet import Flow, FlowNetwork
 from repro.network.routing import Route, RoutingTable
 
 __all__ = [
+    "DEFAULT_ALLOCATOR",
     "Flow",
     "FlowNetwork",
     "Link",
+    "RateAllocator",
     "Route",
     "RoutingTable",
+    "allocation_is_feasible",
+    "allocator_names",
     "equal_split_rates",
     "max_min_fair_rates",
+    "register_allocator",
+    "resolve_allocator",
 ]

@@ -1,0 +1,110 @@
+"""The rate-allocator registry: named bandwidth-sharing disciplines.
+
+:class:`~repro.network.FlowNetwork` used to take a bare function for its
+``allocator`` knob, which made the choice impossible to express in a
+``SimulatorConfig``, a sweep point, or a CLI flag.  This module gives the
+knob a name: an allocator is any callable satisfying the
+:class:`RateAllocator` protocol, registered under a short string id that
+configs and CLIs can carry.
+
+Built-in allocators:
+
+``max-min``
+    :func:`~repro.network.fairshare.max_min_fair_rates` — progressive
+    filling, the paper's model and the default.
+``equal-split``
+    :func:`~repro.network.fairshare.equal_split_rates` — the ablation
+    baseline (feasible, not work-conserving).
+``incremental``
+    :func:`repro.perf.incremental_max_min_rates` — max-min solved per
+    connected component of the flow/link graph; selecting it by name
+    additionally switches :class:`~repro.network.FlowNetwork` onto its
+    stateful incremental hot path (dirty-component recomputation, batch
+    rescheduling, completion heap).  Registered lazily on first lookup
+    so ``repro.network`` does not import ``repro.perf`` at import time.
+
+Direct calls to ``max_min_fair_rates`` outside ``repro.network`` /
+``repro.perf`` are rejected by lint rule SIM060 — resolve through this
+registry instead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Mapping, Optional, Protocol, Sequence
+
+from repro.network.fairshare import equal_split_rates, max_min_fair_rates
+
+
+class RateAllocator(Protocol):
+    """A bandwidth-sharing discipline.
+
+    Given each flow's traversed links, per-link capacities, and optional
+    per-flow rate caps, return one rate per flow (input order).  The
+    returned allocation must be feasible (see
+    :func:`~repro.network.fairshare.allocation_is_feasible`).
+    """
+
+    def __call__(
+        self,
+        flow_links: Sequence[Sequence[Hashable]],
+        capacities: Mapping[Hashable, float],
+        flow_caps: "Sequence[float] | None" = None,
+    ) -> list[float]: ...
+
+
+#: Registry of named allocators. Mutate through :func:`register_allocator`.
+_ALLOCATORS: dict[str, RateAllocator] = {}
+
+#: The default allocator name (the paper's sharing model).
+DEFAULT_ALLOCATOR = "max-min"
+
+
+def register_allocator(name: str, allocator: RateAllocator) -> RateAllocator:
+    """Register ``allocator`` under ``name`` (idempotent re-registration
+    of the same callable is allowed; rebinding a name is an error)."""
+    existing = _ALLOCATORS.get(name)
+    if existing is not None and existing is not allocator:
+        raise ValueError(f"allocator name {name!r} is already registered")
+    _ALLOCATORS[name] = allocator
+    return allocator
+
+
+def allocator_names() -> list[str]:
+    """All registered allocator names (triggers lazy registration)."""
+    _ensure_builtin()
+    return sorted(_ALLOCATORS)
+
+
+def resolve_allocator(
+    spec: "str | RateAllocator | None",
+) -> RateAllocator:
+    """Resolve a registry name, callable, or ``None`` to an allocator.
+
+    ``None`` resolves to the default (``max-min``); callables pass
+    through unchanged (the historical ``FlowNetwork(allocator=fn)``
+    contract).
+    """
+    if spec is None:
+        spec = DEFAULT_ALLOCATOR
+    if callable(spec):
+        return spec
+    _ensure_builtin()
+    try:
+        return _ALLOCATORS[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown allocator {spec!r} (choose from "
+            f"{', '.join(sorted(_ALLOCATORS))})"
+        ) from None
+
+
+def _ensure_builtin() -> None:
+    """Register built-ins, importing ``repro.perf`` for the incremental
+    solver only when first needed (avoids an import cycle: perf depends
+    on the oracle in this package)."""
+    if "incremental" not in _ALLOCATORS:
+        import repro.perf  # noqa: F401 - registers "incremental"
+
+
+register_allocator("max-min", max_min_fair_rates)
+register_allocator("equal-split", equal_split_rates)

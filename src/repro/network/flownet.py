@@ -4,25 +4,52 @@ A :class:`FlowNetwork` is attached to a DES environment.  Callers start
 transfers with :meth:`FlowNetwork.transfer`, which returns a DES event
 that fires when the last byte arrives.  Internally the network maintains
 the set of active flows; whenever a flow starts or completes, per-flow
-rates are recomputed with max-min fairness and the next completion is
-rescheduled.
+rates are recomputed with the configured allocator and the next
+completion is rescheduled.
 
 The model is work-conserving and exact for piecewise-constant rate
 processes: between recomputation points every flow progresses linearly at
 its assigned rate.
+
+Two execution paths share the public API:
+
+* the **oracle path** (default, ``allocator="max-min"``): every event
+  re-solves all active flows with the global progressive-filling solver.
+  This path is kept byte-for-byte stable — it is the reference that the
+  paper's figures were validated against.
+* the **incremental path** (``allocator="incremental"``): rates are
+  maintained by :class:`repro.perf.IncrementalMaxMin`, which re-solves
+  only the connected component(s) touched by an admit/drain.  Same-
+  timestamp admits are batched into one end-of-instant solve (a
+  ``DEFERRED``-priority flush event), and the next-completion scan is a
+  lazy-deletion heap keyed by absolute finish time, so untouched flows
+  are never revisited.
 """
 
 from __future__ import annotations
 
 import itertools
+import sys
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Optional
 
 from repro.des import Environment, Event, EventPriority
-from repro.network.fairshare import max_min_fair_rates
+from repro.network.allocators import resolve_allocator
 from repro.network.link import Link
 
 _EPS = 1e-9
+
+
+def _is_incremental(allocator) -> bool:
+    """Whether ``allocator`` is the registry's incremental solver.
+
+    Checked against the loaded module rather than by import so that
+    ``repro.network`` never pulls in ``repro.perf`` eagerly; if the perf
+    package was never imported, the caller cannot be holding its solver.
+    """
+    module = sys.modules.get("repro.perf.incremental")
+    return module is not None and allocator is module.incremental_max_min_rates
 
 
 @dataclass
@@ -39,6 +66,9 @@ class Flow:
     completed_at: Optional[float] = None
     done_event: Optional[Event] = None
     label: str = ""
+    #: Bumped on every rate assignment; stale completion-heap entries
+    #: (incremental path) are recognized by a version mismatch.
+    version: int = 0
 
     @property
     def elapsed(self) -> Optional[float]:
@@ -64,14 +94,20 @@ class Flow:
 class FlowNetwork:
     """Manages concurrent flows over a shared set of links.
 
-    ``allocator`` selects the bandwidth-sharing discipline; the default
-    is max-min fairness (SimGrid's fluid model).  The equal-split
-    alternative exists for the sharing-model ablation.
+    ``allocator`` selects the bandwidth-sharing discipline: a registry
+    name (``"max-min"``, ``"equal-split"``, ``"incremental"`` — see
+    :mod:`repro.network.allocators`) or any callable satisfying the
+    :class:`~repro.network.allocators.RateAllocator` protocol.  The
+    default is max-min fairness (SimGrid's fluid model).
     """
 
-    def __init__(self, env: Environment, allocator=max_min_fair_rates) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        allocator="max-min",
+    ) -> None:
         self.env = env
-        self._allocator = allocator
+        self._allocator = resolve_allocator(allocator)
         self._flows: dict[int, Flow] = {}
         self._fid = itertools.count(1)
         self._last_update = env.now
@@ -79,6 +115,17 @@ class FlowNetwork:
         self._generation = 0
         #: Completed-flow log (bounded use: bandwidth accounting in traces).
         self.completed: list[Flow] = []
+        #: Incremental engine, engaged only for the registry's
+        #: incremental allocator; ``None`` selects the oracle path.
+        self._inc = None
+        if _is_incremental(self._allocator):
+            from repro.perf import IncrementalMaxMin
+
+            self._inc = IncrementalMaxMin(self._link_capacity)
+            self._links_by_name: dict[str, Link] = {}
+            #: Lazy-deletion completion heap: (finish_time, version, fid).
+            self._heap: list[tuple[float, int, int]] = []
+            self._flush_pending = False
 
     # ------------------------------------------------------------------
     # Public API
@@ -165,8 +212,16 @@ class FlowNetwork:
         obs = self.env.obs
         if obs is not None:
             obs.on_flow_admitted(len(self._flows))
-        self._recompute_rates()
-        self._reschedule()
+        if self._inc is None:
+            self._recompute_rates()
+            self._reschedule()
+            return
+        for link in flow.links:
+            self._links_by_name.setdefault(link.name, link)
+        self._inc.admit(
+            flow.fid, [link.name for link in flow.links], flow.max_rate
+        )
+        self._schedule_flush()
 
     def _advance_progress(self) -> None:
         """Move every active flow forward to the current instant."""
@@ -198,6 +253,9 @@ class FlowNetwork:
         )
         for f, rate in zip(flows, rates):
             f.rate = rate
+        obs = self.env.obs
+        if obs is not None:
+            obs.on_rate_solve(len(flows), len(capacities))
 
     def _next_completion_delay(self) -> Optional[float]:
         best: Optional[float] = None
@@ -211,7 +269,11 @@ class FlowNetwork:
     def _reschedule(self) -> None:
         """(Re)arm the wake-up for the next flow completion."""
         self._generation += 1
-        delay = self._next_completion_delay()
+        if self._inc is None:
+            delay = self._next_completion_delay()
+        else:
+            finish = self._peek_next_finish()
+            delay = None if finish is None else finish - self.env.now
         if delay is None:
             return
         generation = self._generation
@@ -233,6 +295,12 @@ class FlowNetwork:
         time_quantum = max(1e-12, abs(self.env.now) * 1e-12)
         return max(_EPS * flow.size + _EPS, flow.rate * time_quantum)
 
+    def _remove_flow(self, flow: Flow) -> None:
+        """Drop ``flow`` from the active set (and the incremental engine)."""
+        del self._flows[flow.fid]
+        if self._inc is not None and flow.fid in self._inc:
+            self._inc.drain(flow.fid)
+
     def _sweep_drained(self) -> bool:
         """Finish every flow whose residue is below its threshold.
 
@@ -245,7 +313,7 @@ class FlowNetwork:
             if f.remaining <= self._finish_threshold(f)
         ]
         for flow in finished:
-            del self._flows[flow.fid]
+            self._remove_flow(flow)
             self._finish(flow)
         return bool(finished)
 
@@ -253,8 +321,25 @@ class FlowNetwork:
         if generation != self._generation:
             return  # stale wake-up; a newer recomputation superseded it
         self._advance_progress()
-        if self._sweep_drained():
-            self._recompute_rates()
+        if self._inc is None:
+            if self._sweep_drained():
+                self._recompute_rates()
+            self._reschedule()
+            return
+        if not self._sweep_drained():
+            # The wake's finish estimate can undershoot a flow's byte
+            # threshold by float residue (rate * (T - t0) vs remaining
+            # rounding).  Finishing the due flow(s) outright is exact to
+            # ulp-level and avoids re-arming a zero-delay wake forever.
+            while True:
+                finish = self._peek_next_finish()
+                if finish is None or finish > self.env.now:
+                    break
+                flow = self._flows[self._heap[0][2]]
+                self._remove_flow(flow)
+                self._finish(flow)
+        if self._inc.dirty:
+            self._solve_and_apply()
         self._reschedule()
 
     def _finish(self, flow: Flow) -> None:
@@ -269,3 +354,67 @@ class FlowNetwork:
             obs.on_flow_finished(flow, len(self._flows))
         assert flow.done_event is not None
         flow.done_event.succeed(flow)
+
+    # ------------------------------------------------------------------
+    # Incremental path
+    # ------------------------------------------------------------------
+    def _link_capacity(self, name: str, n_users: int) -> float:
+        return self._links_by_name[name].effective_bandwidth(n_users)
+
+    def _schedule_flush(self) -> None:
+        """Arm one end-of-instant solve covering every same-timestamp
+        admit/drain (the batch that replaces N per-admit solves)."""
+        if self._flush_pending:
+            return
+        self._flush_pending = True
+        flush = Event(self.env)
+        flush._ok = True
+        flush._value = None
+        flush.callbacks.append(self._flush)
+        self.env.schedule(flush, priority=EventPriority.DEFERRED, delay=0.0)
+
+    def _flush(self, _event: Event) -> None:
+        self._flush_pending = False
+        self._advance_progress()
+        if self._inc.dirty:
+            self._solve_and_apply()
+        self._reschedule()
+
+    def _solve_and_apply(self) -> None:
+        stats = self._inc.stats
+        calls = stats.solver_calls
+        links = stats.links_touched
+        solved = stats.flows_solved
+        changed = self._inc.solve()
+        now = self.env.now
+        for fid, rate in changed.items():
+            flow = self._flows.get(fid)
+            if flow is None:  # pragma: no cover - defensive
+                continue
+            flow.rate = rate
+            flow.version += 1
+            if rate > 0:
+                heappush(
+                    self._heap,
+                    (now + flow.remaining / rate, flow.version, fid),
+                )
+        obs = self.env.obs
+        if obs is not None:
+            obs.on_rate_solve(
+                stats.flows_solved - solved,
+                stats.links_touched - links,
+                solver_calls=stats.solver_calls - calls,
+            )
+
+    def _peek_next_finish(self) -> Optional[float]:
+        """Earliest valid completion time, lazily discarding stale heap
+        entries (finished flows, superseded rate versions)."""
+        heap = self._heap
+        while heap:
+            finish, version, fid = heap[0]
+            flow = self._flows.get(fid)
+            if flow is None or flow.version != version or flow.rate <= 0:
+                heappop(heap)
+                continue
+            return finish
+        return None

@@ -150,6 +150,19 @@ class Observer:
                 f"network.{service}.achieved_bandwidth"
             ).sample(self.now, bandwidth)
 
+    def on_rate_solve(
+        self, flows_solved: int, links_touched: int, solver_calls: int = 1
+    ) -> None:
+        """The rate allocator ran: ``flows_solved`` flow rates were
+        recomputed over ``links_touched`` links, in ``solver_calls``
+        oracle invocations (one per recomputed component on the
+        incremental path; always 1 for the global solver)."""
+        if not self._network:
+            return
+        self.registry.counter("network.solver_calls").inc(solver_calls)
+        self.registry.counter("network.links_touched").inc(links_touched)
+        self.registry.counter("network.flows_solved").inc(flows_solved)
+
     # ------------------------------------------------------------------
     # Compute hooks
     # ------------------------------------------------------------------

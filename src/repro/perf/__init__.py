@@ -1,0 +1,43 @@
+"""Performance engine: the incremental max-min fair-share solver.
+
+The global progressive-filling solver
+(:func:`repro.network.fairshare.max_min_fair_rates`) re-solves *every*
+active flow and link on every admit/drain — fine for ten flows, ruinous
+for the 903-task 1000Genomes sweeps.  This package exploits the fact
+that max-min fairness decomposes exactly over connected components of
+the bipartite flow/link graph: an admit or drain can only change rates
+inside the component(s) it touches, so everything else keeps its cached
+allocation bit-for-bit.
+
+* :class:`IncrementalMaxMin` — the stateful engine: per-link flow sets,
+  a dirty-set of links touched since the last solve, component closure
+  by BFS, and a per-component call into the unchanged global oracle.
+* :func:`incremental_max_min_rates` — the stateless
+  :class:`~repro.network.allocators.RateAllocator` view of the same
+  algorithm, registered as ``"incremental"``; selecting it by name turns
+  on :class:`~repro.network.FlowNetwork`'s incremental hot path.
+
+Semantics: rates are *bit-identical* to running the oracle on each
+connected component, and identical to the whole-graph oracle whenever
+the graph is one component (always, up to float associativity in the
+ulps when several independent components exist — see
+``docs/PERF.md``).  The differential suite in ``tests/perf/`` enforces
+both properties on randomized graphs.
+"""
+
+from repro.network.allocators import register_allocator
+from repro.perf.incremental import (
+    IncrementalMaxMin,
+    SolverStats,
+    incremental_max_min_rates,
+    static_capacity,
+)
+
+register_allocator("incremental", incremental_max_min_rates)
+
+__all__ = [
+    "IncrementalMaxMin",
+    "SolverStats",
+    "incremental_max_min_rates",
+    "static_capacity",
+]

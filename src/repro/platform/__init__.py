@@ -11,7 +11,16 @@ the calibrated Cori (shared burst buffer) and Summit (on-node burst
 buffer) platforms.
 """
 
-from repro.platform.spec import DiskSpec, HostSpec, LinkSpec, PlatformSpec, RouteSpec
+from repro.platform.spec import (
+    DiskSpec,
+    HostRole,
+    HostSpec,
+    LinkSpec,
+    PlatformSpec,
+    RouteSpec,
+    infer_host_roles,
+    infer_role,
+)
 from repro.platform.runtime import Platform
 from repro.platform.serialization import platform_from_json, platform_to_json
 from repro.platform import presets
@@ -19,11 +28,14 @@ from repro.platform import units
 
 __all__ = [
     "DiskSpec",
+    "HostRole",
     "HostSpec",
     "LinkSpec",
     "Platform",
     "PlatformSpec",
     "RouteSpec",
+    "infer_host_roles",
+    "infer_role",
     "platform_from_json",
     "platform_to_json",
     "presets",

@@ -9,7 +9,14 @@ cross-node traffic) are flagged in :data:`NON_TABLE_I_CONSTANTS`.
 
 from __future__ import annotations
 
-from repro.platform.spec import DiskSpec, HostSpec, LinkSpec, PlatformSpec, RouteSpec
+from repro.platform.spec import (
+    DiskSpec,
+    HostRole,
+    HostSpec,
+    LinkSpec,
+    PlatformSpec,
+    RouteSpec,
+)
 from repro.platform.units import GB, GFLOPS, MB, TB, US
 
 #: Table I, quoted. Bandwidths in bytes/s, speeds in flop/s.
@@ -90,6 +97,7 @@ def cori_spec(
             name=name,
             cores=cores_per_node,
             core_speed=params["core_speed"],
+            role=HostRole.COMPUTE,
         )
         for name in compute_node_names(n_compute)
     ]
@@ -98,6 +106,7 @@ def cori_spec(
             name=name,
             cores=1,
             core_speed=params["core_speed"],
+            role=HostRole.SHARED_BB,
             disks=(
                 DiskSpec(
                     name=BB_DISK,
@@ -114,6 +123,7 @@ def cori_spec(
             name=PFS_HOST,
             cores=1,
             core_speed=params["core_speed"],
+            role=HostRole.PFS,
             disks=(
                 DiskSpec(
                     name=PFS_DISK,
@@ -169,7 +179,12 @@ def summit_spec(
     params = TABLE_I["summit"]
     cns = compute_node_names(n_compute)
     hosts = [
-        HostSpec(name=cn, cores=cores_per_node, core_speed=params["core_speed"])
+        HostSpec(
+            name=cn,
+            cores=cores_per_node,
+            core_speed=params["core_speed"],
+            role=HostRole.COMPUTE,
+        )
         for cn in cns
     ]
     hosts += [
@@ -177,6 +192,8 @@ def summit_spec(
             name=local_bb_host(cn),
             cores=1,
             core_speed=params["core_speed"],
+            role=HostRole.LOCAL_BB,
+            attached_to=cn,
             disks=(
                 DiskSpec(
                     name=BB_DISK,
@@ -193,6 +210,7 @@ def summit_spec(
             name=PFS_HOST,
             cores=1,
             core_speed=params["core_speed"],
+            role=HostRole.PFS,
             disks=(
                 DiskSpec(
                     name=PFS_DISK,

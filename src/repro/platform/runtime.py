@@ -11,20 +11,31 @@ The runtime platform owns:
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.des import Environment, Event
-from repro.network import FlowNetwork, Link, Route, RoutingTable
+from repro.network import FlowNetwork, Link, RateAllocator, Route, RoutingTable
 from repro.platform.spec import DiskSpec, HostSpec, PlatformSpec
 
 
 class Platform:
-    """A platform bound to a simulation environment."""
+    """A platform bound to a simulation environment.
 
-    def __init__(self, env: Environment, spec: PlatformSpec) -> None:
+    ``allocator`` selects the network's bandwidth-sharing discipline — a
+    registry name or callable, passed through to
+    :class:`~repro.network.FlowNetwork` (``None`` keeps the default
+    max-min model).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: PlatformSpec,
+        allocator: "str | RateAllocator | None" = None,
+    ) -> None:
         self.env = env
         self.spec = spec
-        self.network = FlowNetwork(env)
+        self.network = FlowNetwork(env, allocator=allocator)
 
         #: Link name → live Link object.
         self.links: dict[str, Link] = {

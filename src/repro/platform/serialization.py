@@ -23,7 +23,14 @@ import json
 from pathlib import Path
 from typing import Any
 
-from repro.platform.spec import DiskSpec, HostSpec, LinkSpec, PlatformSpec, RouteSpec
+from repro.platform.spec import (
+    DiskSpec,
+    HostRole,
+    HostSpec,
+    LinkSpec,
+    PlatformSpec,
+    RouteSpec,
+)
 
 _INF = float("inf")
 
@@ -43,6 +50,12 @@ def platform_to_json(spec: PlatformSpec, path: "str | Path | None" = None) -> st
                 "name": h.name,
                 "cores": h.cores,
                 "core_speed": h.core_speed,
+                **({"role": h.role.value} if h.role is not None else {}),
+                **(
+                    {"attached_to": h.attached_to}
+                    if h.attached_to is not None
+                    else {}
+                ),
                 **({"ram": h.ram} if h.ram != _INF else {}),
                 "disks": [
                     {
@@ -104,6 +117,7 @@ def platform_from_json(source: "str | Path") -> PlatformSpec:
             )
             for d in h.get("disks", [])
         )
+        role = h.get("role")
         hosts.append(
             HostSpec(
                 name=h["name"],
@@ -111,6 +125,8 @@ def platform_from_json(source: "str | Path") -> PlatformSpec:
                 core_speed=float(h["core_speed"]),
                 ram=_num(h.get("ram"), _INF),
                 disks=disks,
+                role=HostRole(role) if role is not None else None,
+                attached_to=h.get("attached_to"),
             )
         )
 

@@ -2,8 +2,39 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import enum
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional
+
+
+class HostRole(str, enum.Enum):
+    """What a host *is* in the storage/compute topology.
+
+    Historically the simulator inferred roles from name prefixes
+    (``cn*`` compute, ``bb*`` shared burst buffer, ``*-bb`` node-local
+    burst buffer, ``pfs`` the parallel file system).  Roles make that
+    contract explicit so platforms are free to name hosts anything;
+    :func:`infer_host_roles` upgrades legacy, name-convention specs.
+    """
+
+    COMPUTE = "compute"
+    SHARED_BB = "shared_bb"
+    LOCAL_BB = "local_bb"
+    PFS = "pfs"
+
+
+def infer_role(name: str) -> Optional[HostRole]:
+    """Role implied by the legacy name conventions, or ``None``."""
+    if name == "pfs":
+        return HostRole.PFS
+    if name.endswith("-bb"):
+        return HostRole.LOCAL_BB
+    if name.startswith("bb"):
+        return HostRole.SHARED_BB
+    if name.startswith("cn"):
+        return HostRole.COMPUTE
+    return None
 
 
 @dataclass(frozen=True)
@@ -33,13 +64,22 @@ class DiskSpec:
 
 @dataclass(frozen=True)
 class HostSpec:
-    """A machine: cores, per-core speed, RAM, and locally attached disks."""
+    """A machine: cores, per-core speed, RAM, and locally attached disks.
+
+    ``role`` declares the host's function in the storage topology (see
+    :class:`HostRole`); ``None`` means "unspecified" and the simulator
+    falls back to the legacy name-prefix inference with a
+    ``DeprecationWarning``.  ``attached_to`` names the compute host a
+    ``local_bb`` host serves (its NVMe sits on that node's PCIe bus).
+    """
 
     name: str
     cores: int
     core_speed: float          # flop/s per core
     ram: float = float("inf")  # bytes
     disks: tuple[DiskSpec, ...] = ()
+    role: Optional[HostRole] = None
+    attached_to: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -50,6 +90,13 @@ class HostSpec:
             raise ValueError(f"host {self.name!r}: core_speed must be positive")
         if self.ram <= 0:
             raise ValueError(f"host {self.name!r}: ram must be positive")
+        if self.role is not None and not isinstance(self.role, HostRole):
+            object.__setattr__(self, "role", HostRole(self.role))
+        if self.attached_to is not None and self.role is not HostRole.LOCAL_BB:
+            raise ValueError(
+                f"host {self.name!r}: attached_to is only meaningful for "
+                f"local_bb hosts (role is {self.role})"
+            )
         object.__setattr__(self, "disks", tuple(self.disks))
         seen = set()
         for disk in self.disks:
@@ -134,6 +181,12 @@ class PlatformSpec:
 
         hosts = set(host_names)
         links = set(link_names)
+        for h in self.hosts:
+            if h.attached_to is not None and h.attached_to not in hosts:
+                raise ValueError(
+                    f"host {h.name!r} is attached to unknown host "
+                    f"{h.attached_to!r}"
+                )
         for route in self.routes:
             if route.src not in hosts or route.dst not in hosts:
                 raise ValueError(
@@ -162,6 +215,61 @@ class PlatformSpec:
         """All hosts whose name starts with ``prefix`` (e.g. ``"cn"``)."""
         return [h for h in self.hosts if h.name.startswith(prefix)]
 
+    def hosts_with_role(self, role: "HostRole | str") -> list[HostSpec]:
+        """All hosts declaring ``role`` (explicit roles only)."""
+        role = HostRole(role)
+        return [h for h in self.hosts if h.role is role]
+
+    @property
+    def has_roles(self) -> bool:
+        """True when every host declares an explicit :class:`HostRole`."""
+        return all(h.role is not None for h in self.hosts)
+
     @property
     def total_cores(self) -> int:
         return sum(h.cores for h in self.hosts)
+
+
+def infer_host_roles(spec: PlatformSpec, warn: bool = True) -> PlatformSpec:
+    """Fill missing host roles from the legacy name conventions.
+
+    Returns a new spec in which every host carries an explicit
+    :class:`HostRole` (hosts that already declare one are untouched;
+    a ``local_bb`` host additionally gets ``attached_to`` derived from
+    its ``<cn>-bb`` name).  Emits a ``DeprecationWarning`` when any
+    role had to be inferred — platform descriptions should declare
+    roles explicitly.
+
+    Raises
+    ------
+    ValueError
+        If a host's role can be neither read nor inferred.
+    """
+    if spec.has_roles:
+        return spec
+    inferred: list[str] = []
+    hosts = []
+    for h in spec.hosts:
+        if h.role is not None:
+            hosts.append(h)
+            continue
+        role = infer_role(h.name)
+        if role is None:
+            raise ValueError(
+                f"host {h.name!r} has no role and none can be inferred from "
+                "its name; declare role=compute|shared_bb|local_bb|pfs"
+            )
+        attached = h.attached_to
+        if role is HostRole.LOCAL_BB and attached is None:
+            attached = h.name[: -len("-bb")]
+        hosts.append(replace(h, role=role, attached_to=attached))
+        inferred.append(h.name)
+    if warn and inferred:
+        warnings.warn(
+            "platform relies on host-name conventions to assign storage "
+            f"roles (inferred for: {', '.join(inferred)}); declare an "
+            "explicit 'role' on each host instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return replace(spec, hosts=tuple(hosts))

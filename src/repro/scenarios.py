@@ -179,6 +179,7 @@ def run_swarp(
     combine_flops: Optional[float] = None,
     effects: Optional[EmulationEffects] = None,
     observer: Optional[Observer] = None,
+    network_allocator: Optional[str] = None,
 ) -> ScenarioResult:
     """Run one SWarp configuration on a single compute node.
 
@@ -187,6 +188,8 @@ def run_swarp(
     BB-vs-PFS panels), cores per task (Figure 6), and concurrent
     pipelines (Figures 7/8/11).  ``bb_mode`` selects Cori's private or
     striped allocation; on Summit it is ignored (on-node BB).
+    ``network_allocator`` names the bandwidth-sharing discipline
+    (``None`` keeps the default max-min model).
     """
     if system not in SYSTEMS:
         raise ValueError(f"system must be one of {SYSTEMS}, got {system!r}")
@@ -227,7 +230,7 @@ def run_swarp(
             bandwidth_scale=uplink_scale,
         )
         spec = _override_pfs_disk(spec, effects.pfs_disk_bandwidth)
-    platform = Platform(env, spec)
+    platform = Platform(env, spec, allocator=network_allocator)
 
     # --- storage services ----------------------------------------------
     if effects:
@@ -363,6 +366,7 @@ def run_genomes(
     n_bb_nodes: int = 1,
     effects: Optional[EmulationEffects] = None,
     observer: Optional[Observer] = None,
+    network_allocator: Optional[str] = None,
 ) -> ScenarioResult:
     """Run the 1000Genomes case study (Section IV-C).
 
@@ -410,7 +414,7 @@ def run_genomes(
             bandwidth_scale=uplink_scale,
         )
         spec = _override_pfs_disk(spec, effects.pfs_disk_bandwidth)
-    platform = Platform(env, spec)
+    platform = Platform(env, spec, allocator=network_allocator)
 
     if effects:
         pfs_tier = _noisy_tier(effects.pfs, rng)

@@ -9,12 +9,15 @@ time-stamped event trace."
 description (a :class:`~repro.platform.PlatformSpec` or a JSON file)
 and a workflow (a :class:`~repro.workflow.Workflow` or a WfCommons JSON
 trace), pick a burst-buffer configuration, and run.  The CLI wrapper is
-``repro-simulate``.
+``repro-simulate``.  Most callers want the one-call
+:func:`repro.simulate` facade instead of instantiating this class.
 
-Storage roles are discovered from host names, matching the preset
-conventions: ``pfs`` is the parallel file system, ``bb*`` hosts are
-shared burst-buffer nodes, ``<cn>-bb`` hosts are node-local buffers,
-and ``cn*`` hosts compute.
+Storage roles come from each host's explicit
+:class:`~repro.platform.HostRole` (``compute``, ``shared_bb``,
+``local_bb``, ``pfs``).  Legacy descriptions that rely on the historical
+name conventions (``cn*``, ``bb*``, ``*-bb``, ``pfs``) still work:
+roles are inferred with a ``DeprecationWarning`` via
+:func:`~repro.platform.infer_host_roles`.
 """
 
 from __future__ import annotations
@@ -26,8 +29,15 @@ from typing import Optional, Sequence
 
 from repro import des
 from repro.compute import ComputeService
+from repro.network import DEFAULT_ALLOCATOR, allocator_names
 from repro.obs import Observer
-from repro.platform import Platform, PlatformSpec, platform_from_json
+from repro.platform import (
+    HostRole,
+    Platform,
+    PlatformSpec,
+    infer_host_roles,
+    platform_from_json,
+)
 from repro.storage import (
     BBMode,
     OnNodeBurstBuffer,
@@ -51,6 +61,16 @@ class SimulatorConfig:
     output_fraction: float = 0.0
     #: Honor per-task Amdahl alphas instead of Eq. (4)'s perfect speedup.
     use_amdahl_alpha: bool = False
+    #: Named bandwidth-sharing discipline for the flow network (see
+    #: :func:`repro.network.allocator_names`).  ``"incremental"`` keeps
+    #: max-min semantics but solves per dirty component — the fast path
+    #: for large flow counts.
+    network_allocator: str = DEFAULT_ALLOCATOR
+
+    def __post_init__(self) -> None:
+        # Accept the string forms ("private"/"striped") so configs built
+        # from mappings or JSON need not import the enum.
+        self.bb_mode = BBMode(self.bb_mode)
 
 
 class Simulator:
@@ -67,6 +87,9 @@ class Simulator:
             platform = platform_from_json(platform)
         if not isinstance(workflow, Workflow):
             workflow = workflow_from_wfformat(workflow)
+        # Legacy descriptions carry no roles; infer them from the name
+        # conventions (DeprecationWarning) so discovery below is uniform.
+        platform = infer_host_roles(platform)
         self.spec = platform
         self.workflow = workflow
         self.config = config or SimulatorConfig()
@@ -75,31 +98,32 @@ class Simulator:
         self.observer = observer
 
         self._compute_hosts = [
-            h.name
-            for h in platform.hosts
-            if h.name.startswith("cn") and not h.name.endswith("-bb")
+            h.name for h in platform.hosts_with_role(HostRole.COMPUTE)
         ]
         if not self._compute_hosts:
-            raise ValueError(
-                "platform has no compute hosts (names must start with 'cn')"
-            )
+            raise ValueError("platform has no compute hosts (role=compute)")
         self._shared_bb_hosts = [
-            h.name for h in platform.hosts if h.name.startswith("bb")
+            h.name for h in platform.hosts_with_role(HostRole.SHARED_BB)
         ]
-        self._local_bb_hosts = {
-            h.name[: -len("-bb")]: h.name
-            for h in platform.hosts
-            if h.name.endswith("-bb")
-        }
-        if not any(h.name == "pfs" for h in platform.hosts):
-            raise ValueError("platform has no 'pfs' host")
+        self._local_bb_hosts: dict[str, str] = {}
+        for h in platform.hosts_with_role(HostRole.LOCAL_BB):
+            if h.attached_to is None:
+                raise ValueError(
+                    f"local_bb host {h.name!r} declares no attached_to "
+                    "compute host"
+                )
+            self._local_bb_hosts[h.attached_to] = h.name
+        if not platform.hosts_with_role(HostRole.PFS):
+            raise ValueError("platform has no PFS host (role=pfs)")
 
     def run(self) -> ExecutionTrace:
         """Simulate the workflow execution; returns the event trace."""
         env = des.Environment()
         if self.observer is not None:
             self.observer.attach(env)
-        platform = Platform(env, self.spec)
+        platform = Platform(
+            env, self.spec, allocator=self.config.network_allocator
+        )
         pfs = ParallelFileSystem(platform)
         compute = ComputeService(
             platform,
@@ -187,6 +211,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--input-fraction", type=float, default=1.0)
     parser.add_argument("--intermediate-fraction", type=float, default=1.0)
     parser.add_argument("--output-fraction", type=float, default=0.0)
+    parser.add_argument(
+        "--network-allocator",
+        choices=allocator_names(),
+        default=DEFAULT_ALLOCATOR,
+        help="bandwidth-sharing discipline for the flow network "
+        "(incremental = fast per-component max-min)",
+    )
     parser.add_argument("-o", "--output", help="write the trace JSON here")
     parser.add_argument(
         "--gantt", action="store_true", help="print an ASCII Gantt chart"
@@ -220,6 +251,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             input_fraction=args.input_fraction,
             intermediate_fraction=args.intermediate_fraction,
             output_fraction=args.output_fraction,
+            network_allocator=args.network_allocator,
         ),
         observer=observer,
     )

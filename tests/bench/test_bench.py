@@ -1,0 +1,144 @@
+"""Tests for the repro.bench harness (workloads, agreement, gating)."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    check_against,
+    run_micro,
+    write_report,
+)
+from repro.bench.micro import MicroResult, _check_agreement, make_workload
+from repro.bench.report import load_report
+
+
+# ----------------------------------------------------------------------
+# Workload generation
+# ----------------------------------------------------------------------
+def test_workload_is_deterministic():
+    a = make_workload(16, seed=3)
+    b = make_workload(16, seed=3)
+    assert a == b
+    assert make_workload(16, seed=4).events != a.events
+
+
+def test_workload_keeps_window_bounded():
+    workload = make_workload(10, n_events=60)
+    live = 0
+    peak = 0
+    for event in workload.events:
+        live += 1 if event[0] == "admit" else -1
+        peak = max(peak, live)
+    assert peak == 11  # one over the window, drained immediately
+
+
+def test_workload_rejects_degenerate_window():
+    with pytest.raises(ValueError, match="window"):
+        make_workload(1)
+
+
+# ----------------------------------------------------------------------
+# run_micro: differential measurement
+# ----------------------------------------------------------------------
+def test_run_micro_agrees_and_measures():
+    result = run_micro(make_workload(12, n_events=40), repeats=1)
+    assert result.flows == 12
+    assert result.events == len(make_workload(12, n_events=40).events)
+    assert result.oracle_wall_s > 0
+    assert result.incremental_wall_s > 0
+    assert result.solver_calls > 0
+    assert result.links_touched > 0
+    assert result.speedup == result.oracle_wall_s / result.incremental_wall_s
+
+
+def test_check_agreement_flags_divergence():
+    with pytest.raises(AssertionError, match="flow 1 rate"):
+        _check_agreement({1: 10.0}, {1: 11.0}, "demo")
+
+
+# ----------------------------------------------------------------------
+# Report round-trip and regression gating
+# ----------------------------------------------------------------------
+def _macro_entry(name, allocator, wall_s):
+    return {
+        "name": name,
+        "kind": "macro",
+        "allocator": allocator,
+        "wall_s": wall_s,
+        "makespan": 1.0,
+        "events": 10,
+        "solver_calls": 5,
+        "links_touched": 20,
+    }
+
+
+def _report(calibration_s, wall_s):
+    return {
+        "schema": BENCH_SCHEMA,
+        "created": "2026-08-06T00:00:00+00:00",
+        "mode": "smoke",
+        "calibration_s": calibration_s,
+        "entries": [_macro_entry("fig13-point", "incremental", wall_s)],
+    }
+
+
+def test_write_and_load_report(tmp_path):
+    path = write_report(
+        [_macro_entry("fig13-point", "max-min", 1.0)],
+        calibration_s=0.5,
+        mode="smoke",
+        path=tmp_path / "BENCH_test.json",
+    )
+    report = load_report(path)
+    assert report["schema"] == BENCH_SCHEMA
+    assert report["calibration_s"] == 0.5
+    assert len(report["entries"]) == 1
+
+
+def test_load_report_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema": "nope"}))
+    with pytest.raises(ValueError, match="not a repro.bench/1 report"):
+        load_report(path)
+
+
+def test_check_against_passes_within_tolerance():
+    baseline = _report(calibration_s=1.0, wall_s=10.0)
+    current = _report(calibration_s=1.0, wall_s=12.0)  # +20% < 25%
+    assert check_against(current, baseline, tolerance=0.25) == []
+
+
+def test_check_against_fails_on_regression():
+    baseline = _report(calibration_s=1.0, wall_s=10.0)
+    current = _report(calibration_s=1.0, wall_s=13.0)  # +30% > 25%
+    failures = check_against(current, baseline, tolerance=0.25)
+    assert len(failures) == 1
+    assert "fig13-point" in failures[0]
+
+
+def test_check_against_normalizes_by_calibration():
+    """A slower machine (2x calibration, 2x wall) is not a regression."""
+    baseline = _report(calibration_s=1.0, wall_s=10.0)
+    current = _report(calibration_s=2.0, wall_s=20.0)
+    assert check_against(current, baseline, tolerance=0.25) == []
+
+
+def test_check_against_ignores_unknown_entries():
+    baseline = _report(calibration_s=1.0, wall_s=10.0)
+    current = _report(calibration_s=1.0, wall_s=99.0)
+    current["entries"][0]["name"] = "brand-new-bench"
+    assert check_against(current, baseline) == []
+
+
+def test_macro_smoke_pair_agrees():
+    """The smoke macro scenario must give identical makespans across
+    allocators (this is the assertion CI's bench step relies on)."""
+    from repro.bench import macro_benchmarks
+
+    results = macro_benchmarks(smoke=True)
+    assert len(results) == 2
+    assert results[0].makespan == results[1].makespan
+    assert {r.allocator for r in results} == {"max-min", "incremental"}
+    assert all(r.solver_calls > 0 and r.events > 0 for r in results)

@@ -1,0 +1,13 @@
+"""Known-bad: direct fair-share solver use outside network/perf (SIM060)."""
+
+from repro.network import fairshare
+from repro.network.fairshare import max_min_fair_rates  # expect[SIM060]
+
+
+def schedule_transfers(flow_links, capacities):
+    # Hard-codes the sharing discipline: no config/CLI can A/B it.
+    return max_min_fair_rates(flow_links, capacities)  # expect[SIM060]
+
+
+def rates_via_module(flow_links, capacities):
+    return fairshare.max_min_fair_rates(flow_links, capacities)  # expect[SIM060]

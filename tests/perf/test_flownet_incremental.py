@@ -1,0 +1,129 @@
+"""FlowNetwork-level differential tests: incremental path vs default.
+
+The incremental allocator is an optimization of the event loop, not a
+model change — a simulation run with ``allocator="incremental"`` must
+produce the same flow completion times as the default path (to float
+associativity: per-component solves accumulate progressive-filling
+increments in a different order than the global solve).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro import des
+from repro.network import FlowNetwork, Link
+from repro.obs import Observer
+
+_REL = 1e-9
+
+
+def _run_random_sim(allocator: str, seed: int, n_flows: int = 60):
+    """Admit randomized flows over a clustered topology; return
+    completion times by label."""
+    rng = random.Random(seed)
+    env = des.Environment()
+    net = FlowNetwork(env, allocator=allocator)
+    clusters = [
+        (Link(f"c{i}:up", bandwidth=100.0 + i), Link(f"c{i}:down", bandwidth=70.0 + i))
+        for i in range(4)
+    ]
+    core = Link("core", bandwidth=500.0)
+
+    def workload():
+        for n in range(n_flows):
+            up, down = clusters[rng.randrange(len(clusters))]
+            links = [up, down] + ([core] if rng.random() < 0.2 else [])
+            size = rng.uniform(1.0, 5000.0)
+            cap = rng.choice([float("inf"), 40.0, 15.0])
+            net.transfer(size, links, max_rate=cap, label=f"f{n}")
+            if rng.random() < 0.7:
+                yield env.timeout(rng.uniform(0.0, 3.0))
+        # else: next transfer starts at the same instant (batch case)
+
+    env.process(workload())
+    env.run()
+    assert len(net.completed) == n_flows
+    return {f.label: f.completed_at for f in net.completed}
+
+
+def test_incremental_matches_default_on_random_sims():
+    for seed in (1, 7, 23):
+        default = _run_random_sim("max-min", seed)
+        incremental = _run_random_sim("incremental", seed)
+        assert default.keys() == incremental.keys()
+        for label, expected in default.items():
+            assert math.isclose(
+                incremental[label], expected, rel_tol=_REL, abs_tol=1e-9
+            ), (label, incremental[label], expected)
+
+
+def test_same_timestamp_admits_are_batched_into_one_solve():
+    """N admits at one instant must cost one deferred solve, not N."""
+
+    def run(allocator: str) -> tuple[float, float]:
+        obs = Observer(metrics=["network"])
+        env = des.Environment()
+        obs.attach(env)
+        net = FlowNetwork(env, allocator=allocator)
+        link = Link("l", bandwidth=100.0)
+
+        def start():
+            for n in range(8):
+                net.transfer(1000.0, [link], label=f"f{n}")
+            yield env.timeout(0.0)
+
+        env.process(start())
+        env.run()
+        solves = obs.registry.counter("network.solver_calls").value
+        makespan = max(f.completed_at for f in net.completed)
+        return solves, makespan
+
+    default_solves, default_makespan = run("max-min")
+    incremental_solves, incremental_makespan = run("incremental")
+    assert math.isclose(incremental_makespan, default_makespan, rel_tol=_REL)
+    # Default path: one global solve per admit (8) + completions.
+    assert default_solves >= 8
+    # Incremental path: the 8 same-timestamp admits coalesce into one
+    # component solve; completions add a few more.
+    assert incremental_solves < default_solves
+    assert incremental_solves <= 8
+
+
+def test_incremental_zero_byte_and_loopback_flows():
+    env = des.Environment()
+    net = FlowNetwork(env, allocator="incremental")
+    link = Link("l", bandwidth=100.0)
+    seen = []
+
+    def p():
+        done_empty = net.transfer(0.0, [link], latency=0.5)
+        done_loop = net.transfer(123.0, [], max_rate=10.0)
+        flow = yield done_empty
+        seen.append(("empty", env.now, flow.size))
+        flow = yield done_loop
+        seen.append(("loop", env.now, flow.size))
+
+    env.process(p())
+    env.run()
+    assert ("empty", 0.5, 0.0) in seen
+    assert any(k == "loop" and math.isclose(t, 12.3) for k, t, _ in seen)
+
+
+def test_incremental_observer_counters_present():
+    obs = Observer(metrics=["network"])
+    env = des.Environment()
+    obs.attach(env)
+    net = FlowNetwork(env, allocator="incremental")
+    link = Link("l", bandwidth=10.0)
+
+    def p():
+        yield net.transfer(100.0, [link])
+
+    env.process(p())
+    env.run()
+    registry = obs.registry
+    assert registry.counter("network.solver_calls").value >= 1
+    assert registry.counter("network.links_touched").value >= 1
+    assert registry.counter("network.flows_solved").value >= 1

@@ -1,0 +1,134 @@
+"""Tests for explicit host roles and legacy name-convention inference."""
+
+import warnings
+
+import pytest
+
+from repro.platform import (
+    DiskSpec,
+    HostRole,
+    HostSpec,
+    PlatformSpec,
+    infer_host_roles,
+    infer_role,
+    platform_from_json,
+    platform_to_json,
+)
+from repro.platform.presets import cori_spec, summit_spec
+
+
+def host(name, **kwargs):
+    return HostSpec(name=name, cores=4, core_speed=1e9, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# infer_role: the legacy naming contract, now in one place
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "name,expected",
+    [
+        ("pfs", HostRole.PFS),
+        ("cn0", HostRole.COMPUTE),
+        ("cn12", HostRole.COMPUTE),
+        ("bb0", HostRole.SHARED_BB),
+        ("cn0-bb", HostRole.LOCAL_BB),
+        ("login1", None),
+    ],
+)
+def test_infer_role(name, expected):
+    assert infer_role(name) is expected
+
+
+# ----------------------------------------------------------------------
+# HostSpec role field
+# ----------------------------------------------------------------------
+def test_role_accepts_strings():
+    assert host("n0", role="compute").role is HostRole.COMPUTE
+
+
+def test_attached_to_requires_local_bb_role():
+    with pytest.raises(ValueError, match="attached_to is only meaningful"):
+        host("n0", role=HostRole.COMPUTE, attached_to="n1")
+
+
+def test_attached_to_must_reference_existing_host():
+    with pytest.raises(ValueError, match="unknown host"):
+        PlatformSpec(
+            "p",
+            hosts=[host("buf", role=HostRole.LOCAL_BB, attached_to="ghost")],
+        )
+
+
+def test_hosts_with_role_and_has_roles():
+    spec = PlatformSpec(
+        "p",
+        hosts=[
+            host("worker", role="compute"),
+            host("store", role="pfs"),
+            host("nameless"),
+        ],
+    )
+    assert [h.name for h in spec.hosts_with_role("compute")] == ["worker"]
+    assert not spec.has_roles
+
+
+# ----------------------------------------------------------------------
+# infer_host_roles: the legacy upgrade path
+# ----------------------------------------------------------------------
+def test_infer_host_roles_fills_and_warns():
+    spec = PlatformSpec("p", hosts=[host("cn0"), host("cn0-bb"), host("pfs")])
+    with pytest.warns(DeprecationWarning, match="host-name conventions"):
+        upgraded = infer_host_roles(spec)
+    assert upgraded.has_roles
+    assert upgraded.host("cn0").role is HostRole.COMPUTE
+    local = upgraded.host("cn0-bb")
+    assert local.role is HostRole.LOCAL_BB
+    assert local.attached_to == "cn0"
+
+
+def test_infer_host_roles_noop_when_explicit():
+    spec = PlatformSpec("p", hosts=[host("anything", role="compute")])
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert infer_host_roles(spec) is spec
+
+
+def test_infer_host_roles_rejects_uninferrable_names():
+    spec = PlatformSpec("p", hosts=[host("login1")])
+    with pytest.raises(ValueError, match="no role and none can be inferred"):
+        infer_host_roles(spec)
+
+
+# ----------------------------------------------------------------------
+# Presets and serialization
+# ----------------------------------------------------------------------
+def test_presets_declare_explicit_roles():
+    for spec in (cori_spec(n_compute=2, n_bb_nodes=1), summit_spec(n_compute=2)):
+        assert spec.has_roles, spec.name
+    summit = summit_spec(n_compute=1)
+    assert summit.host("cn0-bb").attached_to == "cn0"
+
+
+def test_roles_round_trip_through_json(tmp_path):
+    spec = PlatformSpec(
+        "p",
+        hosts=[
+            host("worker", role="compute"),
+            HostSpec(
+                name="buf",
+                cores=1,
+                core_speed=1e9,
+                role=HostRole.LOCAL_BB,
+                attached_to="worker",
+                disks=(DiskSpec("nvme", 1e9, 1e9),),
+            ),
+            host("legacy"),  # role=None must survive a round-trip too
+        ],
+    )
+    path = tmp_path / "platform.json"
+    platform_to_json(spec, path)
+    loaded = platform_from_json(path)
+    assert loaded.host("worker").role is HostRole.COMPUTE
+    assert loaded.host("buf").role is HostRole.LOCAL_BB
+    assert loaded.host("buf").attached_to == "worker"
+    assert loaded.host("legacy").role is None
