@@ -15,6 +15,7 @@ Layering (bottom up):
 * :mod:`repro.wms` — the workflow engine and placement policies;
 * :mod:`repro.model` — the paper's Eqs. (1)–(4), fitting, metrics;
 * :mod:`repro.traces` — event traces, Gantt rendering, bandwidth accounting;
+* :mod:`repro.profile` — critical-path profiling and makespan attribution;
 * :mod:`repro.emulation` — the "real machine" stand-in for validation;
 * :mod:`repro.scenarios` — one-call builders for the paper's scenarios;
 * :mod:`repro.simulator` — WRENCH-style files-in/trace-out facade;
@@ -42,6 +43,8 @@ _API = {
     "Simulator": ("repro.simulator", "Simulator"),
     "SimulatorConfig": ("repro.simulator", "SimulatorConfig"),
     "BBMode": ("repro.storage", "BBMode"),
+    "build_profile": ("repro.profile", "build_profile"),
+    "diff_profiles": ("repro.profile", "diff_profiles"),
 }
 
 __all__ = [
@@ -54,6 +57,7 @@ __all__ = [
     "model",
     "network",
     "platform",
+    "profile",
     "scenarios",
     "simulator",
     "storage",

@@ -47,11 +47,33 @@ class Result:
         self.config = config
         self.observer = observer
         self._simulator = _simulator
+        self._profile = None
 
     @property
     def makespan(self) -> float:
         """End-to-end simulated execution time in seconds."""
         return self.trace.makespan
+
+    def profile(self):
+        """The run's critical-path :class:`~repro.profile.Profile`.
+
+        Built lazily from the trace (refined with the observer's wait
+        intervals when the run was observed) and cached.  The profile's
+        attribution is guaranteed — by :class:`~repro.profile.Profile`'s
+        own invariant — to sum to :attr:`makespan` within relative 1e-9,
+        so the library's two answers to "how long did this run take?"
+        can never drift apart.
+        """
+        if self._profile is None:
+            from repro.profile import build_profile
+
+            self._profile = build_profile(self.trace, observer=self.observer)
+        return self._profile
+
+    @property
+    def critical_path(self):
+        """The realized critical path (list of attributed segments)."""
+        return self.profile().critical_path
 
     @property
     def telemetry(self):

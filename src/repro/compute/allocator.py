@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.des import Environment, Event
+from repro.obs.waits import WaitCause
 
 
 class AllocationError(Exception):
@@ -53,7 +54,7 @@ class CoreAllocator:
         self.total_cores = total_cores
         self.label = label
         self._free = total_cores
-        self._queue: list[tuple[int, Event]] = []
+        self._queue: list[tuple[int, Event, str]] = []
 
     @property
     def free_cores(self) -> int:
@@ -67,11 +68,14 @@ class CoreAllocator:
     def queue_length(self) -> int:
         return len(self._queue)
 
-    def request(self, cores: int) -> Event:
+    def request(self, cores: int, task: str = "") -> Event:
         """Request ``cores`` cores.
 
         The returned event fires with a :class:`CoreAllocation` once the
         cores are granted.  Requests exceeding the host size fail fast.
+        ``task`` names the requester in wait-cause telemetry (a request
+        that cannot be granted immediately opens a ``CORES`` wait
+        interval for it); it has no scheduling effect.
         """
         if cores <= 0:
             raise ValueError("cores must be positive")
@@ -80,9 +84,15 @@ class CoreAllocator:
                 f"requested {cores} cores but the host has {self.total_cores}"
             )
         event = self.env.event()
-        self._queue.append((cores, event))
+        self._queue.append((cores, event, task))
         self._grant()
         self._notify()
+        if not event.triggered:
+            # The decision site for core waits: the request just queued
+            # behind the FIFO instead of being granted in this instant.
+            obs = self.env.obs
+            if obs is not None:
+                obs.on_task_blocked(task, WaitCause.CORES, detail=self.label)
         return event
 
     def _release(self, cores: int) -> None:
@@ -94,8 +104,14 @@ class CoreAllocator:
     def _grant(self) -> None:
         # Strict FIFO: stop at the first request that does not fit.
         while self._queue and self._queue[0][0] <= self._free:
-            cores, event = self._queue.pop(0)
+            cores, event, task = self._queue.pop(0)
             self._free -= cores
+            obs = self.env.obs
+            if obs is not None:
+                # Closes the CORES interval opened when the request
+                # queued; a same-instant grant never opened one, and the
+                # observer ignores unmatched unblocks.
+                obs.on_task_unblocked(task, WaitCause.CORES)
             event.succeed(CoreAllocation(self, cores))
 
     def _notify(self) -> None:

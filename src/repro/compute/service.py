@@ -63,9 +63,12 @@ class ComputeService:
         alpha = task.alpha if self.use_amdahl_alpha else 0.0
         return amdahl_time(tc1, p, alpha)
 
-    def acquire_cores(self, host: str, cores: int) -> Event:
-        """Request a core block; fires with a :class:`CoreAllocation`."""
-        return self.allocator(host).request(cores)
+    def acquire_cores(self, host: str, cores: int, task: str = "") -> Event:
+        """Request a core block; fires with a :class:`CoreAllocation`.
+
+        ``task`` names the requester in wait-cause telemetry only.
+        """
+        return self.allocator(host).request(cores, task=task)
 
     def acquire_memory(self, host: str, amount: float) -> Optional[Event]:
         """Reserve ``amount`` bytes of RAM on ``host``.

@@ -74,6 +74,33 @@ def sweep_options_from_args(
     )
 
 
+def render_point_profiles(obs_dir: Path) -> str:
+    """A per-point critical-path summary table for one experiment.
+
+    Reads every ``<point-id>/profile.json`` below ``obs_dir`` (the
+    layout the sweep runner's obs namespacing produces) and tabulates
+    makespan, dominant resource, and its share — a one-look answer to
+    "where does the plateau start?".
+    """
+    from repro.profile import read_profile
+
+    lines = ["per-point critical-path profiles:"]
+    lines.append(f"  {'point':<44} {'makespan':>10} {'dominant':<24} share")
+    found = False
+    for profile_path in sorted(obs_dir.glob("*/profile.json")):
+        found = True
+        profile = read_profile(profile_path)
+        dominant = profile.dominant_resource
+        share = profile.shares.get(dominant, 0.0)
+        lines.append(
+            f"  {profile_path.parent.name:<44} {profile.makespan:>9.2f}s "
+            f"{dominant:<24} {100 * share:>5.1f}%"
+        )
+    if not found:
+        lines.append("  (no <point>/profile.json files found)")
+    return "\n".join(lines)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -99,6 +126,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="write a provenance manifest per experiment "
         "(<id>.manifest.json) plus per-point telemetry directories "
         "(<id>/<point-id>/) into this directory",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="after an --obs-dir run, summarize each point's critical-path "
+        "profile (dominant resource per point, from <point>/profile.json)",
     )
     add_sweep_arguments(parser)
     args = parser.parse_args(argv)
@@ -136,6 +169,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             write_manifest(
                 manifest, Path(args.obs_dir) / f"{experiment_id}.manifest.json"
             )
+        if args.profile and obs_dir is not None and obs_dir.is_dir():
+            print(render_point_profiles(obs_dir))
         elapsed = time.time() - start  # lint: ignore[SIM001]
         print(f"\n[{experiment_id} completed in {elapsed:.1f}s]\n")
     return 0

@@ -44,18 +44,35 @@ def makespan(system: str, fraction: float, n_chromosomes: int, observer=None) ->
 
 
 def compute_point(params: dict[str, Any], obs_dir=None) -> float:
-    """One sweep point: simulated makespan for (system, fraction)."""
+    """One sweep point: simulated makespan for (system, fraction).
+
+    With an ``obs_dir``, the point also exports its telemetry bundle —
+    including the critical-path ``profile.json``/``profile.folded`` —
+    into its per-point directory, so ``repro-profile <a>/ <b>/`` can
+    diff any two sweep points.  The return value stays the bare
+    makespan float: profiling is export-only and cannot perturb the
+    sweep cache key or the cached value.
+    """
     observer = None
     if obs_dir is not None:
-        from repro.obs import Observer, export_run
+        from repro.obs import Observer
 
         observer = Observer()
-    value = makespan(
-        params["system"], params["fraction"], params["n_chromosomes"], observer
+    scenario = run_genomes(
+        system=params["system"],
+        input_fraction=params["fraction"],
+        n_chromosomes=params["n_chromosomes"],
+        n_compute=8,
+        emulated=False,
+        observer=observer,
     )
     if observer is not None:
-        export_run(observer, obs_dir)
-    return value
+        from repro.obs import export_run
+        from repro.profile import build_profile
+
+        profile = build_profile(scenario.trace, observer=observer)
+        export_run(observer, obs_dir, profile=profile)
+    return scenario.makespan
 
 
 def _fractions(quick: bool):

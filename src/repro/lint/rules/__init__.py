@@ -21,6 +21,8 @@ Rule families (see ``docs/LINT.md`` for the full catalogue):
 * ``SIM05x`` — parallelism (worker processes outside ``repro.sweep``)
 * ``SIM06x`` — performance API (direct fair-share solver calls outside
   ``repro.network``/``repro.perf``)
+* ``SIM07x`` — profiling hooks (wait causes must come from the closed
+  ``WaitCause`` enum)
 """
 
 from __future__ import annotations
@@ -85,6 +87,7 @@ def all_rules() -> dict[str, Type[Rule]]:
         observability,
         parallelism,
         perf,
+        profiling,
         units,
     )
 

@@ -43,7 +43,9 @@ from repro.obs.validate import (
     validate_manifest,
     validate_metrics_dir,
     validate_obs_dir,
+    validate_profile_doc,
 )
+from repro.obs.waits import WaitCause, WaitInterval
 
 __all__ = [
     "MANIFEST_SCHEMA",
@@ -54,6 +56,8 @@ __all__ = [
     "Observer",
     "Span",
     "TimeSeries",
+    "WaitCause",
+    "WaitInterval",
     "build_manifest",
     "chrome_trace",
     "config_from_manifest",
@@ -64,6 +68,7 @@ __all__ = [
     "validate_manifest",
     "validate_metrics_dir",
     "validate_obs_dir",
+    "validate_profile_doc",
     "write_chrome_trace",
     "write_manifest",
     "write_metric_csvs",

@@ -36,13 +36,20 @@ def _sanitize(name: str) -> str:
 # ----------------------------------------------------------------------
 # Chrome trace-event JSON
 # ----------------------------------------------------------------------
-def chrome_trace(observer: Observer, *, pid: int = 1) -> dict[str, Any]:
+def chrome_trace(
+    observer: Observer, *, pid: int = 1, profile: Optional[Any] = None
+) -> dict[str, Any]:
     """Build a Chrome trace-event document from an observer's data.
 
     Spans become complete (``"ph": "X"``) events — one lane (*tid*) per
     track/host — and every time series becomes a counter (``"ph": "C"``)
     track.  Events are sorted by timestamp, so consumers (including
     :mod:`repro.obs.validate`) can rely on monotonic ``ts``.
+
+    ``profile`` (a :class:`repro.profile.Profile`) adds a dedicated
+    "critical path" lane: one slice per critical-path segment, named by
+    the attributed resource, so the makespan attribution is visible
+    right next to the task spans in Perfetto.
     """
     events: list[dict[str, Any]] = []
 
@@ -61,6 +68,21 @@ def chrome_trace(observer: Observer, *, pid: int = 1) -> dict[str, Any]:
                 "args": dict(span.args),
             }
         )
+    if profile is not None:
+        tid = tids.setdefault("critical path", len(tids) + 1)
+        for segment in profile.critical_path:
+            events.append(
+                {
+                    "name": segment.resource,
+                    "cat": "critical-path",
+                    "ph": "X",
+                    "ts": segment.start * _US,
+                    "dur": segment.duration * _US,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"task": segment.task, "detail": segment.detail},
+                }
+            )
     for name, series in sorted(observer.registry.series.items()):
         for time, value in series.items():
             events.append(
@@ -106,10 +128,14 @@ def chrome_trace(observer: Observer, *, pid: int = 1) -> dict[str, Any]:
     }
 
 
-def write_chrome_trace(observer: Observer, path: "str | Path") -> Path:
+def write_chrome_trace(
+    observer: Observer, path: "str | Path", profile: Optional[Any] = None
+) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(chrome_trace(observer), indent=1) + "\n")
+    path.write_text(
+        json.dumps(chrome_trace(observer, profile=profile), indent=1) + "\n"
+    )
     return path
 
 
@@ -177,12 +203,16 @@ def export_run(
     observer: Observer,
     directory: "str | Path",
     manifest: Optional[dict[str, Any]] = None,
+    profile: Optional[Any] = None,
 ) -> Path:
     """Write a complete telemetry directory for one run.
 
     ``manifest`` is the document from
     :func:`repro.obs.manifest.build_manifest`; when omitted a minimal
-    one (version + metric catalogue) is generated.
+    one (version + metric catalogue) is generated.  ``profile`` (a
+    :class:`repro.profile.Profile`) additionally writes ``profile.json``
+    and the folded-stacks ``profile.folded``, and merges the
+    critical-path lane into ``trace.json``.
     """
     from repro.obs.manifest import build_manifest, write_manifest
 
@@ -191,6 +221,11 @@ def export_run(
     if manifest is None:
         manifest = build_manifest(observer=observer)
     write_manifest(manifest, directory / "manifest.json")
-    write_chrome_trace(observer, directory / "trace.json")
+    write_chrome_trace(observer, directory / "trace.json", profile=profile)
     write_metric_csvs(observer, directory / "metrics")
+    if profile is not None:
+        from repro.profile import write_flamegraph, write_profile
+
+        write_profile(profile, directory / "profile.json")
+        write_flamegraph(profile, directory / "profile.folded")
     return directory

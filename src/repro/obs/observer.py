@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.obs.probes import MetricRegistry
 from repro.obs.spans import Span, spans_from_record
+from repro.obs.waits import WaitCause, WaitInterval
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.des.environment import Environment
@@ -69,6 +70,13 @@ class Observer:
         self.groups = groups
         self.registry = MetricRegistry()
         self.spans: list[Span] = []
+        #: Closed blocked intervals per task (see :mod:`repro.obs.waits`).
+        self.waits: list[WaitInterval] = []
+        #: Still-open blocked intervals: (task, cause) -> (start, detail).
+        self._open_waits: dict[tuple[str, WaitCause], tuple[float, str]] = {}
+        #: Completed-flow records (label, size, interval) — the
+        #: profiler's raw material for contention analysis.
+        self.flows: list[dict] = []
         self.env: Optional["Environment"] = None
         # Group flags are plain attributes so enabled-path hooks pay one
         # attribute test, not a set lookup.
@@ -143,6 +151,15 @@ class Observer:
         self.registry.timeseries("network.active_flows").sample(self.now, n_active)
         self.registry.counter("network.flows_completed").inc()
         self.registry.counter("network.bytes_completed").inc(flow.size)
+        self.flows.append(
+            {
+                "label": flow.label,
+                "size": flow.size,
+                "start": getattr(flow, "started_at", None),
+                "end": self.now,
+                "max_rate": getattr(flow, "max_rate", None),
+            }
+        )
         bandwidth = flow.achieved_bandwidth
         if bandwidth is not None and flow.size > 0:
             service = flow.label.partition(":")[0] if flow.label else "unlabeled"
@@ -193,6 +210,53 @@ class Observer:
             return
         self.registry.counter("engine.tasks_completed").inc()
         self.spans.extend(spans_from_record(record, category))
+
+    # ------------------------------------------------------------------
+    # Wait-cause hooks (the profiler's causal signal)
+    # ------------------------------------------------------------------
+    def on_task_blocked(
+        self, task: str, cause: WaitCause, detail: str = ""
+    ) -> None:
+        """``task`` stopped making progress, waiting on ``cause``.
+
+        ``cause`` must be a :class:`~repro.obs.waits.WaitCause` member
+        (lint rule SIM070 rejects ad-hoc strings at the call sites), so
+        wait decompositions from any two runs are comparable.  A second
+        ``blocked`` for an already-open (task, cause) pair refreshes the
+        detail but keeps the original start.
+        """
+        if not self._engine:
+            return
+        self._open_waits.setdefault((task, WaitCause(cause)), (self.now, detail))
+
+    def on_task_unblocked(self, task: str, cause: WaitCause) -> None:
+        """``task`` resumed after a :meth:`on_task_blocked` for ``cause``.
+
+        Zero-duration intervals (blocked and unblocked inside the same
+        simulated instant — e.g. cores granted immediately) are dropped:
+        they carry no wait time and would only bloat profiles.  An
+        ``unblocked`` with no matching open interval is ignored, so hook
+        sites never need to track whether the observer saw the start.
+        """
+        if not self._engine:
+            return
+        opened = self._open_waits.pop((task, WaitCause(cause)), None)
+        if opened is None:
+            return
+        start, detail = opened
+        if self.now <= start:
+            return
+        interval = WaitInterval(
+            task=task,
+            cause=WaitCause(cause),
+            start=start,
+            end=self.now,
+            detail=detail,
+        )
+        self.waits.append(interval)
+        self.registry.counter(f"engine.wait.{interval.cause.value}_seconds").inc(
+            interval.duration
+        )
 
     # ------------------------------------------------------------------
     # DES kernel hooks

@@ -199,6 +199,95 @@ def validate_metrics_dir(directory: "str | Path") -> list[str]:
 
 
 # ----------------------------------------------------------------------
+# Critical-path profile
+# ----------------------------------------------------------------------
+def validate_profile_doc(doc: Any) -> list[str]:
+    """Validate a ``profile.json`` document (schema ``repro.profile/1``).
+
+    Checks the schema tag, that the critical path is a contiguous
+    partition of ``[0, makespan]``, that the attribution sums to the
+    makespan within relative 1e-9, and that every recorded wait uses a
+    cause from the closed :class:`~repro.obs.waits.WaitCause` enum.
+    """
+    from repro.obs.waits import WaitCause
+
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["profile: document is not a JSON object"]
+    schema = doc.get("schema")
+    if schema != "repro.profile/1":
+        errors.append(
+            f"profile: schema is {schema!r}, expected 'repro.profile/1'"
+        )
+        return errors
+    makespan = doc.get("makespan")
+    if not isinstance(makespan, (int, float)) or makespan < 0:
+        errors.append(f"profile: bad makespan {makespan!r}")
+        return errors
+    tol = 1e-9 * max(1.0, abs(makespan))
+
+    path = doc.get("critical_path")
+    if not isinstance(path, list):
+        errors.append("profile: missing critical_path array")
+        return errors
+    previous_end = 0.0
+    total = 0.0
+    for i, segment in enumerate(path):
+        if not isinstance(segment, dict):
+            errors.append(f"profile: segment #{i} is not an object")
+            continue
+        start, end = segment.get("start"), segment.get("end")
+        if not isinstance(start, (int, float)) or not isinstance(end, (int, float)):
+            errors.append(f"profile: segment #{i} has non-numeric bounds")
+            continue
+        if end < start - tol:
+            errors.append(f"profile: segment #{i} ends before it starts")
+        if abs(start - previous_end) > tol:
+            errors.append(
+                f"profile: segment #{i} starts at {start}, previous ended "
+                f"at {previous_end} (critical path must be contiguous)"
+            )
+        if not segment.get("resource"):
+            errors.append(f"profile: segment #{i} has no resource")
+        previous_end = end
+        total += end - start
+    if path and abs(previous_end - makespan) > tol:
+        errors.append(
+            f"profile: critical path ends at {previous_end}, makespan is "
+            f"{makespan}"
+        )
+
+    attribution = doc.get("attribution")
+    if not isinstance(attribution, dict):
+        errors.append("profile: missing attribution object")
+    else:
+        recorded = sum(attribution.values())
+        if abs(recorded - makespan) > tol:
+            errors.append(
+                f"profile: attribution sums to {recorded}, makespan is "
+                f"{makespan} (must agree within rel 1e-9)"
+            )
+        if abs(recorded - total) > tol:
+            errors.append(
+                f"profile: attribution ({recorded}) disagrees with the "
+                f"critical path ({total})"
+            )
+
+    known_causes = {cause.value for cause in WaitCause}
+    for i, wait in enumerate(doc.get("waits", ())):
+        if not isinstance(wait, dict):
+            errors.append(f"profile: wait #{i} is not an object")
+            continue
+        cause = wait.get("cause")
+        if cause not in known_causes:
+            errors.append(
+                f"profile: wait #{i} has unknown cause {cause!r} "
+                f"(expected one of {sorted(known_causes)})"
+            )
+    return errors
+
+
+# ----------------------------------------------------------------------
 # Whole-directory validation
 # ----------------------------------------------------------------------
 def validate_obs_dir(directory: "str | Path") -> list[str]:
@@ -229,6 +318,15 @@ def validate_obs_dir(directory: "str | Path") -> list[str]:
         errors.extend(validate_metrics_dir(metrics_dir))
     else:
         errors.append("missing metrics/ directory")
+
+    # profile.json is optional; when present it must be a valid
+    # repro.profile/1 document.
+    profile_path = directory / "profile.json"
+    if profile_path.is_file():
+        try:
+            errors.extend(validate_profile_doc(json.loads(profile_path.read_text())))
+        except json.JSONDecodeError as error:
+            errors.append(f"profile: invalid JSON ({error})")
     return errors
 
 

@@ -1,0 +1,68 @@
+"""Wait-cause vocabulary: *why* a task was not making progress.
+
+The observer's spans record *what* a task did (read/compute/write); the
+wait layer records what it was **waiting for** — the causal signal a
+critical-path profiler (:mod:`repro.profile`) needs to attribute
+makespan to resources instead of merely to phases.
+
+The taxonomy is a **closed enum** on purpose: every hook site must pass
+a :class:`WaitCause` member (enforced by lint rule SIM070), so profiles
+from different runs are always comparable — no ad-hoc cause strings
+that drift between call sites.
+
+Hook sites (one per decision point that can delay a task):
+
+==============  ====================================================
+cause           decision site
+==============  ====================================================
+DEPENDENCY      ``wms/engine.py`` — waiting for parent tasks
+CORES           ``compute/allocator.py`` — FIFO gang-allocation queue
+MEMORY          ``wms/engine.py`` — host RAM pool reservation
+BB_CAPACITY     ``storage/provisioning.py`` — DataWarp pool exhausted
+==============  ====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class WaitCause(str, enum.Enum):
+    """The closed set of reasons a task can be blocked."""
+
+    #: Waiting for one or more parent tasks to complete.
+    DEPENDENCY = "dependency"
+    #: Waiting in a host's FIFO core-allocation queue.
+    CORES = "cores"
+    #: Waiting for RAM to be released on the assigned host.
+    MEMORY = "memory"
+    #: Waiting for burst-buffer allocation capacity (DataWarp pool).
+    BB_CAPACITY = "bb_capacity"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class WaitInterval:
+    """One closed blocked interval of one task."""
+
+    task: str
+    cause: WaitCause
+    start: float
+    end: float
+    detail: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "task": self.task,
+            "cause": self.cause.value,
+            "start": self.start,
+            "end": self.end,
+            "detail": self.detail,
+        }

@@ -1,0 +1,61 @@
+"""Critical-path profiling: makespan attribution and diff/explain.
+
+``repro.obs`` records *what* happened; this package answers *why the
+makespan is what it is*.  It consumes an execution trace (plus,
+optionally, an observer's wait intervals) and produces:
+
+* a per-task **blocked-time decomposition** — compute, per-service
+  read/write, stage-in/out, waiting-on-dependency / cores / memory /
+  BB-capacity;
+* the **critical path** of the realized execution, as a contiguous
+  chain of resource-attributed segments partitioning ``[0, makespan]``
+  (so the attribution provably sums to the makespan — enforced within
+  relative 1e-9 by :class:`Profile` itself);
+* a **diff/explain** mode reporting which resource's critical-path
+  share moved between two runs (e.g. fig13's flip from PFS-bound to
+  compute-bound at the staging plateau).
+
+Quick start::
+
+    from repro.profile import build_profile, diff_profiles
+
+    profile = build_profile(result.trace, observer=obs)
+    print(profile.attribution)              # resource -> seconds
+    print(diff_profiles(p60, p100).explain())
+
+See ``docs/PROFILE.md`` for the model, and ``repro-profile --help``
+for the CLI.
+"""
+
+from repro.profile.build import UNATTRIBUTED, build_profile
+from repro.profile.diff import ProfileDiff, diff_profiles
+from repro.profile.flamegraph import folded_stacks, write_flamegraph
+from repro.profile.model import (
+    ATTRIBUTION_RTOL,
+    PROFILE_SCHEMA,
+    Profile,
+    ProfileError,
+    Segment,
+    TaskBreakdown,
+    read_profile,
+    resource_class,
+    write_profile,
+)
+
+__all__ = [
+    "ATTRIBUTION_RTOL",
+    "PROFILE_SCHEMA",
+    "Profile",
+    "ProfileDiff",
+    "ProfileError",
+    "Segment",
+    "TaskBreakdown",
+    "UNATTRIBUTED",
+    "build_profile",
+    "diff_profiles",
+    "folded_stacks",
+    "read_profile",
+    "resource_class",
+    "write_flamegraph",
+    "write_profile",
+]

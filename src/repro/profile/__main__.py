@@ -1,0 +1,6 @@
+"""``python -m repro.profile`` — same interface as ``repro-profile``."""
+
+from repro.profile.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

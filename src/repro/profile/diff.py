@@ -1,0 +1,126 @@
+"""Profile diffing: which resource's critical-path share moved, and why.
+
+The diff layer answers the paper's causal questions mechanically:
+fig13's 1000Genomes runs plateau at ~80% staged because the critical
+path *flips* from PFS-bound to compute-bound — once staging-in removes
+the PFS reads from the critical path, adding more BB capacity cannot
+help.  ``diff_profiles(before, after)`` detects exactly that flip and
+:meth:`ProfileDiff.explain` phrases it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.profile.model import Profile, resource_class
+
+
+@dataclass
+class ProfileDiff:
+    """The structured comparison of two profiles ("before" vs "after")."""
+
+    before: Profile
+    after: Profile
+    #: resource -> (share_before, share_after); union of both keys.
+    shares: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        keys = set(self.before.shares) | set(self.after.shares)
+        self.shares = {
+            key: (
+                self.before.shares.get(key, 0.0),
+                self.after.shares.get(key, 0.0),
+            )
+            for key in sorted(keys)
+        }
+
+    @property
+    def makespan_delta(self) -> float:
+        return self.after.makespan - self.before.makespan
+
+    @property
+    def dominant_flip(self) -> bool:
+        """Did the dominant critical-path resource change?"""
+        return self.before.dominant_resource != self.after.dominant_resource
+
+    @property
+    def class_flip(self) -> bool:
+        """Did the dominant *resource class* (pfs/bb/compute/wait) change?"""
+        return self.before.dominant_class != self.after.dominant_class
+
+    @property
+    def biggest_mover(self) -> str:
+        """The resource whose critical-path share changed the most."""
+        if not self.shares:
+            return ""
+        return max(
+            self.shares.items(),
+            key=lambda kv: (abs(kv[1][1] - kv[1][0]), kv[0]),
+        )[0]
+
+    def explain(self) -> str:
+        """A short human-readable causal summary of the diff."""
+        b, a = self.before, self.after
+        lines = []
+        if b.makespan > 0:
+            pct = 100.0 * self.makespan_delta / b.makespan
+            lines.append(
+                f"makespan {b.makespan:.2f}s -> {a.makespan:.2f}s ({pct:+.1f}%)"
+            )
+        else:
+            lines.append(f"makespan {b.makespan:.2f}s -> {a.makespan:.2f}s")
+        if self.dominant_flip:
+            lines.append(
+                "critical path flipped: "
+                f"{b.dominant_resource} "
+                f"({100 * b.shares.get(b.dominant_resource, 0.0):.1f}% of makespan) "
+                f"-> {a.dominant_resource} "
+                f"({100 * a.shares.get(a.dominant_resource, 0.0):.1f}%)"
+            )
+            if self.class_flip:
+                lines.append(
+                    f"the run went from {b.dominant_class}-bound to "
+                    f"{a.dominant_class}-bound"
+                )
+        else:
+            dom = b.dominant_resource
+            lines.append(
+                f"critical path still dominated by {dom} "
+                f"({100 * b.shares.get(dom, 0.0):.1f}% -> "
+                f"{100 * a.shares.get(dom, 0.0):.1f}% of makespan)"
+            )
+        mover = self.biggest_mover
+        if mover:
+            before_share, after_share = self.shares[mover]
+            lines.append(
+                f"biggest mover: {mover} "
+                f"({100 * before_share:.1f}% -> {100 * after_share:.1f}%)"
+            )
+        return "\n".join(lines)
+
+    def to_doc(self) -> dict[str, Any]:
+        return {
+            "makespan_before": self.before.makespan,
+            "makespan_after": self.after.makespan,
+            "makespan_delta": self.makespan_delta,
+            "dominant_before": self.before.dominant_resource,
+            "dominant_after": self.after.dominant_resource,
+            "dominant_flip": self.dominant_flip,
+            "class_before": self.before.dominant_class,
+            "class_after": self.after.dominant_class,
+            "class_flip": self.class_flip,
+            "biggest_mover": self.biggest_mover,
+            "shares": {
+                key: {"before": before, "after": after}
+                for key, (before, after) in self.shares.items()
+            },
+        }
+
+
+def diff_profiles(before: Profile, after: Profile) -> ProfileDiff:
+    """Compare two profiles; see :class:`ProfileDiff`."""
+    return ProfileDiff(before, after)
+
+
+__all__ = ["ProfileDiff", "diff_profiles", "resource_class"]

@@ -1,0 +1,50 @@
+"""Folded-stacks export (Brendan Gregg's flamegraph.pl input format).
+
+Each critical-path segment becomes one stack sample line::
+
+    <workflow>;<resource>;<task> <microseconds>
+
+Collapsing is done here (identical stacks merged, values summed), so
+the output feeds ``flamegraph.pl`` — or any folded-stacks viewer such
+as speedscope — directly.  The root frame is the workflow, the second
+frame the attributed resource, the leaf the task: the flame graph's
+second level *is* the makespan attribution.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.profile.model import Profile
+
+
+def _frame(text: str) -> str:
+    """A string as a safe folded-stacks frame (no ';' or whitespace)."""
+    cleaned = text.replace(";", ",").replace(" ", "_")
+    return cleaned or "(unnamed)"
+
+
+def folded_stacks(profile: Profile) -> str:
+    """The profile's critical path as folded-stacks text."""
+    collapsed: dict[str, float] = {}
+    root = _frame(profile.workflow or "workflow")
+    for segment in profile.critical_path:
+        stack = f"{root};{_frame(segment.resource)}"
+        if segment.task:
+            stack += f";{_frame(segment.task)}"
+        collapsed[stack] = collapsed.get(stack, 0.0) + segment.duration
+    lines = [
+        # flamegraph.pl wants integer sample counts: use microseconds.
+        f"{stack} {max(1, round(value * 1e6))}"
+        for stack, value in sorted(collapsed.items())
+        if value > 0
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_flamegraph(profile: Profile, path: "str | Path") -> Path:
+    """Write the folded-stacks file (conventionally ``profile.folded``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(folded_stacks(profile))
+    return path

@@ -171,13 +171,19 @@ class Simulator:
         return engine.run()
 
     def export_telemetry(
-        self, directory: "str | Path", trace: Optional[ExecutionTrace] = None
+        self,
+        directory: "str | Path",
+        trace: Optional[ExecutionTrace] = None,
+        profile=None,
     ) -> Path:
         """Write this run's telemetry (manifest, Chrome trace, CSVs).
 
         Requires the simulator to have been constructed with an
         :class:`~repro.obs.Observer` and :meth:`run` to have completed;
-        ``trace`` enriches the manifest with result figures.
+        ``trace`` enriches the manifest with result figures.  ``profile``
+        (a :class:`~repro.profile.Profile`) additionally writes
+        ``profile.json``/``profile.folded`` and annotates the Perfetto
+        trace with the critical-path lane.
         """
         from repro.obs import build_manifest, export_run
 
@@ -190,7 +196,9 @@ class Simulator:
             trace=trace,
             observer=self.observer,
         )
-        return export_run(self.observer, directory, manifest=manifest)
+        return export_run(
+            self.observer, directory, manifest=manifest, profile=profile
+        )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -232,10 +240,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="comma-separated metric groups to collect "
         "(storage,network,compute,engine,des); default: all",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the critical-path makespan attribution; with "
+        "--obs-dir, also write profile.json + profile.folded and "
+        "annotate the Perfetto trace",
+    )
     args = parser.parse_args(argv)
 
     observer: Optional[Observer] = None
-    if args.obs_dir or args.obs_metrics:
+    if args.obs_dir or args.obs_metrics or args.profile:
         groups = (
             [g.strip() for g in args.obs_metrics.split(",") if g.strip()]
             if args.obs_metrics
@@ -267,8 +282,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.output:
         trace.to_json(args.output)
         print(f"trace written to {args.output}")
+    profile = None
+    if args.profile:
+        from repro.profile import build_profile
+
+        profile = build_profile(trace, observer=observer)
+        print()
+        print("critical-path attribution (sums to the makespan):")
+        for resource, seconds in sorted(
+            profile.attribution.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            share = profile.shares.get(resource, 0.0)
+            print(f"  {resource:<28} {seconds:>12.3f}s {100 * share:>6.1f}%")
+        print(f"  dominant: {profile.dominant_resource} "
+              f"({profile.dominant_class}-bound)")
     if args.obs_dir:
-        directory = simulator.export_telemetry(args.obs_dir, trace=trace)
+        directory = simulator.export_telemetry(
+            args.obs_dir, trace=trace, profile=profile
+        )
         print(f"telemetry written to {directory}")
     return 0
 

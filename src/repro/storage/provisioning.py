@@ -15,6 +15,8 @@ import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.des import Environment, Event
+from repro.obs.waits import WaitCause
 from repro.platform.presets import BB_DISK
 from repro.platform.runtime import Platform
 from repro.platform.units import GiB
@@ -108,6 +110,149 @@ def provision_allocation(
         granularity=float(granularity),
         bb_hosts=used_hosts,
     )
+
+
+@dataclass
+class BBLease:
+    """A granted (and releasable) provisioned allocation.
+
+    The payload of the event returned by :meth:`BBProvisioner.request`.
+    Release it when the job's stage-out completes so queued requests can
+    be granted.
+    """
+
+    provisioner: "BBProvisioner"
+    allocation: BBAllocation
+    per_host_granules: dict[str, int]
+    released: bool = False
+
+    def release(self) -> None:
+        if not self.released:
+            self.released = True
+            self.provisioner._release(self)
+
+    def __enter__(self) -> "BBLease":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+class BBProvisioner:
+    """DES-aware DataWarp allocation queue over a finite granule pool.
+
+    :func:`provision_allocation` sizes a single allocation against an
+    *empty* pool; real DataWarp jobs queue when the pool is exhausted
+    and are granted as earlier allocations are torn down.  This class
+    models that lifecycle: :meth:`request` returns a DES event that
+    fires with a :class:`BBLease` once enough granules are free, in
+    strict FIFO order (no backfilling — matching the core allocator's
+    conservative queueing).
+
+    A request that cannot be granted immediately is a *decision site*
+    for the profiler: it opens a ``BB_CAPACITY`` wait interval for the
+    requesting job (``env.obs`` hooks; zero-cost when disabled).
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        granularity: float = DEFAULT_GRANULARITY,
+        bb_hosts: Optional[Sequence[str]] = None,
+        disk: str = BB_DISK,
+    ) -> None:
+        if granularity <= 0:
+            raise ValueError("granularity must be positive")
+        self.platform = platform
+        self.env: Environment = platform.env
+        self.granularity = float(granularity)
+        if bb_hosts is None:
+            bb_hosts = sorted(h for h in platform.hosts if h.startswith("bb"))
+        if not bb_hosts:
+            raise ValueError("platform has no BB nodes to provision from")
+        self.bb_hosts = list(bb_hosts)
+        self._free: dict[str, int] = {
+            h: int(platform.host(h).disk(disk).capacity // granularity)
+            for h in self.bb_hosts
+        }
+        self.total_granules = sum(self._free.values())
+        self._queue: list[tuple[int, Event, str]] = []
+
+    @property
+    def free_granules(self) -> int:
+        return sum(self._free.values())
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def request(self, size: float, job: str = "") -> Event:
+        """Request an allocation of at least ``size`` bytes.
+
+        The returned event fires with a :class:`BBLease`.  Requests
+        larger than the whole pool can never be satisfied and raise
+        :class:`InsufficientStorage` immediately.  ``job`` names the
+        requester in wait-cause telemetry only.
+        """
+        if size <= 0:
+            raise ValueError("size must be positive")
+        granules = math.ceil(size / self.granularity)
+        if granules > self.total_granules:
+            raise InsufficientStorage(
+                f"allocation of {granules} granules exceeds the BB pool "
+                f"({self.total_granules} granules)"
+            )
+        event = self.env.event()
+        self._queue.append((granules, event, job))
+        self._grant()
+        if not event.triggered:
+            # Decision site: the pool could not satisfy the request in
+            # this instant, so the job queues behind running allocations.
+            obs = self.env.obs
+            if obs is not None:
+                obs.on_task_blocked(job, WaitCause.BB_CAPACITY, detail="bb-pool")
+        return event
+
+    def _release(self, lease: BBLease) -> None:
+        for host, granules in lease.per_host_granules.items():
+            self._free[host] += granules
+        self._grant()
+
+    def _grant(self) -> None:
+        # Strict FIFO: stop at the first request that does not fit.
+        while self._queue and self._queue[0][0] <= self.free_granules:
+            granules, event, job = self._queue.pop(0)
+            obs = self.env.obs
+            if obs is not None:
+                obs.on_task_unblocked(job, WaitCause.BB_CAPACITY)
+            event.succeed(self._carve(granules, job))
+
+    def _carve(self, granules: int, job: str) -> BBLease:
+        """Assign ``granules`` round-robin over nodes with free space."""
+        assigned: dict[str, int] = {h: 0 for h in self.bb_hosts}
+        remaining = granules
+        while remaining > 0:
+            progressed = False
+            for h in self.bb_hosts:
+                if remaining == 0:
+                    break
+                if self._free[h] - assigned[h] > 0:
+                    assigned[h] += 1
+                    remaining -= 1
+                    progressed = True
+            if not progressed:  # pragma: no cover - guarded by _grant
+                raise InsufficientStorage("BB pool exhausted during assignment")
+        per_host = {h: n for h, n in assigned.items() if n > 0}
+        for h, n in per_host.items():
+            self._free[h] -= n
+        granted = granules * self.granularity
+        allocation = BBAllocation(
+            requested=granted,
+            granted=granted,
+            granularity=self.granularity,
+            bb_hosts=tuple(h for h in self.bb_hosts if h in per_host),
+        )
+        return BBLease(self, allocation, per_host)
 
 
 def burst_buffer_for_allocation(

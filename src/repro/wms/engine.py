@@ -26,6 +26,7 @@ from typing import Callable, Optional
 
 from repro.compute.service import ComputeService
 from repro.des import Environment, Event
+from repro.obs.waits import WaitCause
 from repro.platform.runtime import Platform
 from repro.storage.base import StorageService
 from repro.storage.registry import FileRegistry, _accessible
@@ -216,7 +217,13 @@ class WorkflowEngine:
         # Wait for parents.
         parents = self.workflow.parents(task.name)
         if parents:
+            obs = self.env.obs
+            if obs is not None:
+                obs.on_task_blocked(task.name, WaitCause.DEPENDENCY)
             yield self.env.all_of([self._task_done[p.name] for p in parents])
+            obs = self.env.obs
+            if obs is not None:
+                obs.on_task_unblocked(task.name, WaitCause.DEPENDENCY)
 
         host = self._host_of(task)
         record = TaskRecord(
@@ -257,7 +264,7 @@ class WorkflowEngine:
 
     def _run_stage_in(self, task: Task, host: str, record: TaskRecord):
         """Sequential PFS→BB copies for BB-bound inputs."""
-        allocation = yield self.compute.acquire_cores(host, 1)
+        allocation = yield self.compute.acquire_cores(host, 1, task=task.name)
         self._mark_start(task, record)
         record.read_start = self.env.now
         try:
@@ -299,7 +306,7 @@ class WorkflowEngine:
         "staging out" half of the lifecycle the paper's introduction
         describes).  Files already on the PFS cost nothing.
         """
-        allocation = yield self.compute.acquire_cores(host, 1)
+        allocation = yield self.compute.acquire_cores(host, 1, task=task.name)
         self._mark_start(task, record)
         record.read_start = self.env.now
         try:
@@ -323,10 +330,16 @@ class WorkflowEngine:
 
     def _run_compute_task(self, task: Task, host: str, record: TaskRecord):
         cores = min(task.cores, self.compute.allocator(host).total_cores)
-        allocation = yield self.compute.acquire_cores(host, cores)
+        allocation = yield self.compute.acquire_cores(host, cores, task=task.name)
         memory_request = self.compute.acquire_memory(host, task.memory)
         if memory_request is not None:
+            obs = self.env.obs
+            if obs is not None:
+                obs.on_task_blocked(task.name, WaitCause.MEMORY, detail=host)
             yield memory_request
+            obs = self.env.obs
+            if obs is not None:
+                obs.on_task_unblocked(task.name, WaitCause.MEMORY)
         self._mark_start(task, record)
         try:
             # --- read phase (all inputs concurrently) ---------------------

@@ -142,3 +142,28 @@ def test_cli_output_dir(tmp_path, capsys):
     assert main(["table1", "--output-dir", str(out)]) == 0
     assert (out / "table1.json").exists()
     assert (out / "table1.csv").exists()
+
+
+def test_cli_profile_summarizes_sweep_points(tmp_path, capsys):
+    """--obs-dir --profile: every fig13 point exports a profile.json and
+    the CLI tabulates the per-point dominant resources — the quick-size
+    rendition of the paper's plateau explanation."""
+    obs = tmp_path / "telemetry"
+    assert main(
+        ["fig13", "--quick", "--no-cache", "--obs-dir", str(obs), "--profile"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "per-point critical-path profiles:" in out
+    assert "dominant" in out
+    point_dirs = sorted((obs / "fig13").glob("*/profile.json"))
+    assert len(point_dirs) == 12  # 6 fractions x 2 systems
+    # Even at quick size the staged-fraction sweep shifts dominance
+    # from PFS reads toward compute.
+    assert "read:pfs" in out and "compute" in out
+
+
+def test_render_point_profiles_empty_dir(tmp_path):
+    from repro.experiments.cli import render_point_profiles
+
+    text = render_point_profiles(tmp_path)
+    assert "no <point>/profile.json" in text

@@ -1,0 +1,66 @@
+"""Figure 13's plateau, explained mechanically by the profiler.
+
+The paper observes that Cori's makespan stops improving once ~80% of
+the 1000Genomes input is staged into the burst buffer.  The profiler
+turns that observation into a statement about the critical path: below
+the plateau the path is dominated by PFS reads; past it the path is
+compute-bound, so staging more input cannot help.  These tests pin the
+flip on the real (non-quick) fig13 configuration.
+"""
+
+import pytest
+
+from repro.obs import Observer
+from repro.profile import build_profile, diff_profiles
+from repro.scenarios import run_genomes
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    out = {}
+    for fraction in (0.6, 1.0):
+        obs = Observer()
+        scenario = run_genomes(
+            system="cori",
+            input_fraction=fraction,
+            n_chromosomes=22,
+            n_compute=8,
+            emulated=False,
+            observer=obs,
+        )
+        out[fraction] = build_profile(scenario.trace, observer=obs)
+    return out
+
+
+def test_below_plateau_is_pfs_bound(profiles):
+    before = profiles[0.6]
+    assert before.dominant_resource == "read:pfs"
+    assert before.dominant_class == "pfs"
+    # PFS reads are a large share of the makespan, not a sliver.
+    assert before.shares["read:pfs"] > 0.3
+
+
+def test_fully_staged_is_compute_bound(profiles):
+    after = profiles[1.0]
+    assert after.dominant_resource == "compute"
+    assert after.dominant_class == "compute"
+    assert after.shares["compute"] > 0.5
+    assert after.shares.get("read:pfs", 0.0) < 0.05
+
+
+def test_diff_explains_the_plateau(profiles):
+    diff = diff_profiles(profiles[0.6], profiles[1.0])
+    assert diff.dominant_flip
+    assert diff.class_flip
+    text = diff.explain()
+    assert "critical path flipped" in text
+    assert "read:pfs" in text
+    assert "pfs-bound to compute-bound" in text
+    assert diff.biggest_mover == "read:pfs"
+
+
+def test_attribution_invariant_holds_at_scale(profiles):
+    for profile in profiles.values():
+        assert sum(profile.attribution.values()) == pytest.approx(
+            profile.makespan, rel=1e-9
+        )

@@ -1,0 +1,21 @@
+"""Known-bad: wait-cause hooks fed ad-hoc strings (SIM070)."""
+
+
+def run_task(env, task):
+    obs = env.obs
+    if obs is not None:
+        # A string cause fractures the closed vocabulary: diffs between
+        # runs would report "cpu" and "cores" as different resources.
+        obs.on_task_blocked(task.name, "cores")  # expect[SIM070]
+    yield env.timeout(1.0)
+    obs = env.obs
+    if obs is not None:
+        obs.on_task_unblocked(task.name, "cpu")  # expect[SIM070]
+
+
+def forgot_the_cause(env, task):
+    env.obs.on_task_blocked(task.name)  # expect[SIM070]
+
+
+def variable_cause(env, task, cause):
+    env.obs.on_task_blocked(task.name, cause=cause)  # expect[SIM070]

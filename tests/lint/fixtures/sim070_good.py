@@ -1,0 +1,19 @@
+"""Known-good: wait-cause hooks pass closed WaitCause members."""
+
+from repro.obs import WaitCause
+from repro.obs.waits import WaitCause as Cause
+
+
+def run_task(env, task):
+    obs = env.obs
+    if obs is not None:
+        obs.on_task_blocked(task.name, WaitCause.CORES, detail="cn0")
+    yield env.timeout(1.0)
+    obs = env.obs
+    if obs is not None:
+        obs.on_task_unblocked(task.name, WaitCause.CORES)
+
+
+def aliased_import(env, task):
+    env.obs.on_task_blocked(task.name, cause=Cause.BB_CAPACITY)
+    env.obs.on_task_unblocked(task.name, cause=Cause.BB_CAPACITY)

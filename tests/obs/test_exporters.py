@@ -178,3 +178,84 @@ def test_validate_cli_main(tmp_path, capsys):
     assert "ok" in capsys.readouterr().out
     assert main([str(tmp_path / "nothing")]) == 1
     assert "missing" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Profile export (repro.profile/1 inside a telemetry directory)
+# ----------------------------------------------------------------------
+def _profiled_run():
+    from repro.profile import build_profile
+    from repro.scenarios import run_swarp
+
+    obs = Observer()
+    result = run_swarp(observer=obs)
+    return obs, build_profile(result.trace, observer=obs)
+
+
+def test_export_run_with_profile_round_trips(tmp_path):
+    from repro.obs import validate_profile_doc
+    from repro.profile import read_profile
+    from repro.simulator import SimulatorConfig
+
+    obs, profile = _profiled_run()
+    config = SimulatorConfig(input_fraction=1.0)
+    out = export_run(
+        obs, tmp_path / "telemetry",
+        manifest=build_manifest(config=config, observer=obs),
+        profile=profile,
+    )
+    # The directory validates as a whole, profile.json included.
+    assert validate_obs_dir(out) == []
+    doc = json.loads((out / "profile.json").read_text())
+    assert validate_profile_doc(doc) == []
+    # Loading back yields the same profile...
+    loaded = read_profile(out / "profile.json")
+    assert loaded.to_doc() == profile.to_doc()
+    assert loaded.attribution == profile.attribution
+    # ...and the manifest still round-trips its config alongside it.
+    manifest = json.loads((out / "manifest.json").read_text())
+    assert config_from_manifest(manifest) == config
+    # The flamegraph rides along.
+    assert (out / "profile.folded").is_file()
+
+
+def test_export_run_profile_annotates_chrome_trace(tmp_path):
+    obs, profile = _profiled_run()
+    out = export_run(obs, tmp_path / "telemetry", profile=profile)
+    doc = json.loads((out / "trace.json").read_text())
+    lanes = [
+        e for e in doc["traceEvents"] if e.get("cat") == "critical-path"
+    ]
+    assert lanes
+    assert validate_chrome_trace(doc) == []
+
+
+def test_validator_flags_corrupted_profile(tmp_path):
+    from repro.obs import validate_profile_doc
+
+    obs, profile = _profiled_run()
+    out = export_run(obs, tmp_path / "telemetry", profile=profile)
+    doc = json.loads((out / "profile.json").read_text())
+
+    tampered = json.loads(json.dumps(doc))
+    tampered["attribution"][next(iter(tampered["attribution"]))] += 10.0
+    assert any("attribution" in e for e in validate_profile_doc(tampered))
+
+    tampered = json.loads(json.dumps(doc))
+    tampered["schema"] = "repro.profile/0"
+    assert any("schema" in e for e in validate_profile_doc(tampered))
+
+    tampered = json.loads(json.dumps(doc))
+    if tampered["critical_path"]:
+        tampered["critical_path"][0]["start"] -= 1.0
+    assert validate_profile_doc(tampered) != []
+
+    tampered = json.loads(json.dumps(doc))
+    tampered["waits"] = [{"task": "t", "cause": "vibes", "start": 0, "end": 1}]
+    assert any("cause" in e for e in validate_profile_doc(tampered))
+
+    # A corrupted profile.json fails whole-directory validation too.
+    (out / "profile.json").write_text(json.dumps({"schema": "repro.profile/0"}))
+    assert any("profile" in e for e in validate_obs_dir(out))
+    (out / "profile.json").write_text("{not json")
+    assert any("invalid JSON" in e for e in validate_obs_dir(out))

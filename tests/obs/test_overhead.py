@@ -44,6 +44,41 @@ def test_observed_run_is_bit_identical():
     assert observed.to_json() == plain.to_json()
 
 
+def test_contended_run_with_wait_hooks_is_bit_identical():
+    """The PR's new blocked/unblocked decision sites must preserve the
+    zero-influence contract under contention, where they actually fire."""
+    from repro.scenarios import run_genomes
+
+    plain = run_genomes(n_chromosomes=6, n_compute=2).trace
+    obs = Observer()
+    observed = run_genomes(n_chromosomes=6, n_compute=2, observer=obs).trace
+    assert observed.to_json() == plain.to_json()
+    assert obs.waits, "contended run should have recorded wait intervals"
+
+
+def test_wait_hooks_fire_on_contended_scenario():
+    from repro.scenarios import run_genomes
+
+    obs, counts = counting_observer()
+    wait_calls = {"blocked": 0, "unblocked": 0}
+    inner_blocked = obs.on_task_blocked
+    inner_unblocked = obs.on_task_unblocked
+
+    def blocked(*args, **kwargs):
+        wait_calls["blocked"] += 1
+        return inner_blocked(*args, **kwargs)
+
+    def unblocked(*args, **kwargs):
+        wait_calls["unblocked"] += 1
+        return inner_unblocked(*args, **kwargs)
+
+    obs.on_task_blocked = blocked
+    obs.on_task_unblocked = unblocked
+    run_genomes(n_chromosomes=6, n_compute=2, observer=obs)
+    assert wait_calls["blocked"] > 0
+    assert wait_calls["unblocked"] >= wait_calls["blocked"]
+
+
 def test_disabled_overhead_under_two_percent():
     # How many times would hooks fire on this scenario?
     obs, counts = counting_observer()

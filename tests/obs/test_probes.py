@@ -54,6 +54,45 @@ def test_series_collapses_same_instant():
     assert list(s.items()) == [(1.0, 2.0)]
 
 
+def test_series_same_instant_last_write_wins_after_real_step():
+    """Regression: the collapse must keep working when the duplicate
+    arrives *after* earlier distinct timestamps (the original bug fired
+    only on the first same-instant pair of a busy series)."""
+    s = TimeSeries("s")
+    s.sample(0.0, 1.0)
+    s.sample(1.0, 2.0)
+    s.sample(1.0, 9.0)
+    s.sample(1.0, 4.0)
+    s.sample(3.0, 0.0)
+    assert list(s.items()) == [(0.0, 1.0), (1.0, 4.0), (3.0, 0.0)]
+    assert len(s) == 3
+
+
+def test_series_timestamps_strictly_increasing_invariant():
+    s = TimeSeries("s")
+    for t, v in [(0.0, 1.0), (0.0, 2.0), (1.0, 3.0), (1.0, 3.0), (2.0, 0.0)]:
+        s.sample(t, v)
+    assert s.times == sorted(set(s.times))
+
+
+def test_contended_run_exports_strictly_increasing_series():
+    """End-to-end regression for the same-instant duplicate: a
+    contended run grants/releases many core allocations in a single
+    simulated instant, so every exported series must still carry
+    strictly increasing, duplicate-free timestamps."""
+    from repro.obs import Observer
+    from repro.scenarios import run_genomes
+
+    obs = Observer()
+    run_genomes(n_chromosomes=6, n_compute=2, observer=obs)
+    snap = obs.registry.snapshot()
+    assert snap["series"], "expected the run to export time series"
+    for name, series in snap["series"].items():
+        times = series["times"]
+        assert times == sorted(times), name
+        assert len(times) == len(set(times)), f"{name}: duplicate timestamps"
+
+
 def test_series_rejects_time_travel():
     s = TimeSeries("s")
     s.sample(2.0, 1.0)

@@ -1,0 +1,85 @@
+"""repro-profile CLI: summary, diff, trace input, flamegraph output."""
+
+import json
+
+import pytest
+
+from repro.obs import Observer
+from repro.profile import build_profile, write_profile
+from repro.profile.cli import load_profile, main
+from repro.scenarios import run_swarp
+
+
+@pytest.fixture(scope="module")
+def run_dirs(tmp_path_factory):
+    """Two exported run dirs (different staged fractions) + a trace file."""
+    base = tmp_path_factory.mktemp("profiles")
+    dirs = {}
+    for label, fraction in (("a", 0.0), ("b", 1.0)):
+        obs = Observer()
+        result = run_swarp(input_fraction=fraction, observer=obs)
+        profile = build_profile(result.trace, observer=obs)
+        directory = base / label
+        directory.mkdir()
+        write_profile(profile, directory / "profile.json")
+        dirs[label] = directory
+    trace_path = base / "trace-export.json"
+    run_swarp().trace.to_json(trace_path)
+    dirs["trace"] = trace_path
+    return dirs
+
+
+def test_single_run_summary(run_dirs, capsys):
+    assert main([str(run_dirs["a"])]) == 0
+    out = capsys.readouterr().out
+    assert "makespan:" in out
+    assert "dominant:" in out
+    assert "compute" in out
+
+
+def test_single_run_json(run_dirs, capsys):
+    assert main([str(run_dirs["a"]), "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == "repro.profile/1"
+    assert sum(doc["attribution"].values()) == pytest.approx(
+        doc["makespan"], rel=1e-9
+    )
+
+
+def test_diff_mode(run_dirs, capsys):
+    assert main([str(run_dirs["a"]), str(run_dirs["b"])]) == 0
+    out = capsys.readouterr().out
+    assert "makespan" in out
+    assert "->" in out
+
+
+def test_diff_json(run_dirs, capsys):
+    assert main([str(run_dirs["a"]), str(run_dirs["b"]), "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert {"makespan_before", "makespan_after", "shares"} <= set(doc)
+
+
+def test_trace_input_is_profiled_on_the_fly(run_dirs, capsys):
+    assert main([str(run_dirs["trace"])]) == 0
+    assert "makespan:" in capsys.readouterr().out
+
+
+def test_flamegraph_output(run_dirs, tmp_path):
+    folded = tmp_path / "profile.folded"
+    assert main([str(run_dirs["a"]), "--flamegraph", str(folded)]) == 0
+    assert folded.is_file()
+    assert all(" " in line for line in folded.read_text().splitlines())
+
+
+def test_load_profile_rejects_garbage(tmp_path, capsys):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text(json.dumps({"hello": 1}))
+    assert main([str(bogus)]) == 1
+    assert "repro-profile:" in capsys.readouterr().err
+    missing = tmp_path / "nope"
+    assert main([str(missing)]) == 1
+
+
+def test_load_profile_from_directory(run_dirs):
+    profile = load_profile(run_dirs["a"])
+    assert profile.makespan > 0

@@ -1,0 +1,56 @@
+"""Diff/explain: detecting critical-path flips between runs."""
+
+import pytest
+
+from repro.profile import Profile, Segment, diff_profiles
+
+
+def _profile(makespan, pieces):
+    segments, cursor = [], 0.0
+    for resource, duration in pieces:
+        segments.append(Segment(cursor, cursor + duration, resource))
+        cursor += duration
+    assert cursor == pytest.approx(makespan)
+    return Profile("wf", makespan, segments)
+
+
+def test_flip_detected_and_explained():
+    before = _profile(100.0, [("read:pfs", 60.0), ("compute", 40.0)])
+    after = _profile(70.0, [("read:bb-striped", 10.0), ("compute", 60.0)])
+    diff = diff_profiles(before, after)
+    assert diff.dominant_flip
+    assert diff.class_flip
+    assert diff.before.dominant_class == "pfs"
+    assert diff.after.dominant_class == "compute"
+    text = diff.explain()
+    assert "flipped" in text
+    assert "read:pfs" in text and "compute" in text
+    assert "pfs-bound to compute-bound" in text
+
+
+def test_no_flip_reports_stable_dominance():
+    before = _profile(100.0, [("compute", 80.0), ("read:pfs", 20.0)])
+    after = _profile(90.0, [("compute", 75.0), ("read:pfs", 15.0)])
+    diff = diff_profiles(before, after)
+    assert not diff.dominant_flip
+    assert "still dominated by compute" in diff.explain()
+
+
+def test_makespan_delta_and_biggest_mover():
+    before = _profile(100.0, [("read:pfs", 60.0), ("compute", 40.0)])
+    after = _profile(70.0, [("read:bb-striped", 10.0), ("compute", 60.0)])
+    diff = diff_profiles(before, after)
+    assert diff.makespan_delta == pytest.approx(-30.0)
+    assert diff.biggest_mover == "read:pfs"  # 60% -> 0%
+    doc = diff.to_doc()
+    assert doc["dominant_flip"] is True
+    assert doc["shares"]["read:pfs"]["after"] == 0.0
+
+
+def test_shares_union_covers_both_runs():
+    before = _profile(10.0, [("compute", 10.0)])
+    after = _profile(10.0, [("write:pfs", 10.0)])
+    diff = diff_profiles(before, after)
+    assert set(diff.shares) == {"compute", "write:pfs"}
+    assert diff.shares["compute"] == (1.0, 0.0)
+    assert diff.shares["write:pfs"] == (0.0, 1.0)

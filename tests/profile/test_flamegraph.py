@@ -1,0 +1,58 @@
+"""Folded-stacks export format checks."""
+
+from repro.profile import Profile, Segment, folded_stacks, write_flamegraph
+
+
+def _profile():
+    return Profile(
+        "my wf",
+        6.0,
+        [
+            Segment(0.0, 2.0, "read:pfs", task="t1"),
+            Segment(2.0, 5.0, "compute", task="t1"),
+            Segment(5.0, 6.0, "compute", task="t2"),
+        ],
+    )
+
+
+def test_folded_lines_are_stack_space_value():
+    text = folded_stacks(_profile())
+    lines = text.strip().splitlines()
+    assert len(lines) == 3
+    for line in lines:
+        stack, _, value = line.rpartition(" ")
+        assert int(value) > 0
+        frames = stack.split(";")
+        assert frames[0] == "my_wf"  # spaces sanitized
+        assert len(frames) == 3
+
+
+def test_values_are_microseconds():
+    text = folded_stacks(_profile())
+    values = {
+        line.rsplit(" ", 1)[0]: int(line.rsplit(" ", 1)[1])
+        for line in text.strip().splitlines()
+    }
+    assert values["my_wf;read:pfs;t1"] == 2_000_000
+    assert values["my_wf;compute;t1"] == 3_000_000
+
+
+def test_same_stack_segments_collapse():
+    profile = Profile(
+        "wf",
+        4.0,
+        [
+            Segment(0.0, 1.0, "compute", task="t"),
+            Segment(1.0, 3.0, "read:pfs", task="t"),
+            Segment(3.0, 4.0, "compute", task="t"),
+        ],
+    )
+    lines = folded_stacks(profile).strip().splitlines()
+    assert len(lines) == 2  # both compute segments merged
+    assert "wf;compute;t 2000000" in lines
+
+
+def test_write_flamegraph(tmp_path):
+    path = write_flamegraph(_profile(), tmp_path / "out" / "profile.folded")
+    assert path.is_file()
+    assert path.read_text() == folded_stacks(_profile())

@@ -1,0 +1,116 @@
+"""Profile model invariants, serialization, and derived views."""
+
+import pytest
+
+from repro.profile import (
+    PROFILE_SCHEMA,
+    Profile,
+    ProfileError,
+    Segment,
+    TaskBreakdown,
+    read_profile,
+    resource_class,
+    write_profile,
+)
+
+
+def _simple_profile():
+    return Profile(
+        "wf",
+        10.0,
+        [
+            Segment(0.0, 4.0, "read:pfs", task="a", detail="f.dat"),
+            Segment(4.0, 9.0, "compute", task="a"),
+            Segment(9.0, 10.0, "write:bb", task="a"),
+        ],
+        tasks=[
+            TaskBreakdown(
+                task="a", host="cn0", start=0.0, end=10.0,
+                phases={"read:pfs": 4.0, "compute": 5.0, "write:bb": 1.0},
+                waits={"cores": 0.5},
+            )
+        ],
+        waits=[{"task": "a", "cause": "cores", "start": 0.0, "end": 0.5,
+                "detail": "cn0"}],
+    )
+
+
+def test_attribution_derived_and_summing():
+    profile = _simple_profile()
+    assert profile.attribution == {
+        "read:pfs": 4.0, "compute": 5.0, "write:bb": 1.0
+    }
+    assert sum(profile.attribution.values()) == profile.makespan
+    assert profile.dominant_resource == "compute"
+    assert profile.shares["compute"] == pytest.approx(0.5)
+
+
+def test_non_contiguous_path_raises():
+    with pytest.raises(ProfileError, match="contiguous"):
+        Profile("wf", 10.0, [Segment(0.0, 4.0, "a"), Segment(5.0, 10.0, "b")])
+
+
+def test_path_not_reaching_makespan_raises():
+    with pytest.raises(ProfileError, match="makespan"):
+        Profile("wf", 10.0, [Segment(0.0, 9.0, "a")])
+
+
+def test_negative_segment_raises():
+    with pytest.raises(ProfileError, match="negative"):
+        Profile("wf", 1.0, [Segment(1.0, 0.0, "a"), Segment(0.0, 1.0, "b")])
+
+
+def test_round_trip_through_doc(tmp_path):
+    profile = _simple_profile()
+    path = write_profile(profile, tmp_path / "profile.json")
+    loaded = read_profile(path)
+    assert loaded.to_doc() == profile.to_doc()
+    assert loaded.attribution == profile.attribution
+    assert loaded.makespan == profile.makespan
+    assert loaded.breakdown_for("a").waits == {"cores": 0.5}
+
+
+def test_from_doc_rejects_wrong_schema():
+    doc = _simple_profile().to_doc()
+    doc["schema"] = "repro.profile/999"
+    with pytest.raises(ProfileError, match="schema"):
+        Profile.from_doc(doc)
+
+
+def test_from_doc_rejects_tampered_attribution():
+    doc = _simple_profile().to_doc()
+    doc["attribution"]["compute"] = 99.0
+    with pytest.raises(ProfileError, match="disagrees"):
+        Profile.from_doc(doc)
+
+
+def test_schema_tag():
+    assert _simple_profile().to_doc()["schema"] == PROFILE_SCHEMA == "repro.profile/1"
+
+
+def test_resource_classes():
+    assert resource_class("compute") == "compute"
+    assert resource_class("read:pfs") == "pfs"
+    assert resource_class("write:pfs") == "pfs"
+    assert resource_class("stage-in") == "pfs"
+    assert resource_class("stage-out") == "pfs"
+    assert resource_class("read:bb-striped") == "bb"
+    assert resource_class("write:bb-local:cn0-bb") == "bb"
+    assert resource_class("wait:cores") == "wait"
+    assert resource_class("idle") == "idle"
+
+
+def test_dominant_class_collapses_resources():
+    profile = Profile(
+        "wf",
+        10.0,
+        [
+            Segment(0.0, 3.0, "read:pfs"),
+            Segment(3.0, 6.0, "stage-in"),
+            Segment(6.0, 10.0, "compute"),
+        ],
+    )
+    # pfs class: 3 + 3 = 6 > compute's 4, even though compute is the
+    # largest single resource.
+    assert profile.dominant_resource == "compute"
+    assert profile.dominant_class == "pfs"

@@ -110,6 +110,42 @@ def test_cli_end_to_end(files, tmp_path, capsys):
     assert len(doc["tasks"]) == 5
 
 
+def test_cli_profile_flag(files, tmp_path, capsys):
+    platform_path, workflow_path = files
+    obs_dir = tmp_path / "telemetry"
+    code = main(
+        [
+            "--platform", str(platform_path),
+            "--workflow", str(workflow_path),
+            "--profile",
+            "--obs-dir", str(obs_dir),
+        ]
+    )
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "critical-path attribution" in printed
+    assert "dominant:" in printed
+    # The exported bundle includes a valid profile.
+    from repro.obs import validate_obs_dir
+
+    assert validate_obs_dir(obs_dir) == []
+    assert (obs_dir / "profile.json").is_file()
+    assert (obs_dir / "profile.folded").is_file()
+
+
+def test_cli_profile_without_obs_dir(files, capsys):
+    platform_path, workflow_path = files
+    code = main(
+        [
+            "--platform", str(platform_path),
+            "--workflow", str(workflow_path),
+            "--profile",
+        ]
+    )
+    assert code == 0
+    assert "critical-path attribution" in capsys.readouterr().out
+
+
 def test_cli_gantt(files, capsys):
     platform_path, workflow_path = files
     assert main(
