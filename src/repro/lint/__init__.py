@@ -20,18 +20,26 @@ Suppressions: ``# lint: ignore[SIM001] - why`` (line) and
 rationale and examples: ``docs/LINT.md``.
 """
 
+from repro.lint.baseline import Baseline, write_baseline
 from repro.lint.checker import Checker, PARSE_ERROR_ID
 from repro.lint.config import LintConfig
 from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.pragmas import UNKNOWN_PRAGMA_RULE_ID
 from repro.lint.rules import Rule, all_rules, register
+from repro.lint.semantic import SemanticAnalyzer, SemanticResult
 
 __all__ = [
+    "Baseline",
     "Checker",
     "Diagnostic",
     "LintConfig",
     "PARSE_ERROR_ID",
     "Rule",
+    "SemanticAnalyzer",
+    "SemanticResult",
     "Severity",
+    "UNKNOWN_PRAGMA_RULE_ID",
     "all_rules",
     "register",
+    "write_baseline",
 ]

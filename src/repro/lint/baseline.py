@@ -1,0 +1,93 @@
+"""Baseline (suppression) file: incremental adoption of new analyses.
+
+A baseline entry grandfathers one existing finding so a new rule can
+land enforcing *no new findings* without first fixing every historical
+one.  Entries are fingerprinted on (rule, path, message) — not line
+numbers — so unrelated edits that shift code don't invalidate them,
+while any change to the finding itself (different message, moved file)
+does.
+
+Format — one entry per line, ``#`` comments for per-entry rationale::
+
+    # repro-lint baseline
+    # cache.py counts files; order-insensitive by construction.
+    SIM101 src/repro/sweep/cache.py 6c50437188f3
+
+``repro-lint --write-baseline`` emits entries for all current findings
+with TODO rationales; the review step is filling those in (or fixing
+the finding instead).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.diagnostics import Diagnostic
+
+FINGERPRINT_LEN = 12
+
+
+def fingerprint(diag: Diagnostic) -> str:
+    """Line-number-independent identity of one finding."""
+    path = diag.path.replace("\\", "/")
+    payload = f"{diag.rule_id}::{path}::{diag.message}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:FINGERPRINT_LEN]
+
+
+class Baseline:
+    """Parsed baseline file: a set of grandfathered fingerprints."""
+
+    def __init__(self, entries: "Iterable[tuple[str, str, str]]" = ()) -> None:
+        #: (rule_id, path, fingerprint)
+        self.entries: set[tuple[str, str, str]] = set(entries)
+        self.matched: set[tuple[str, str, str]] = set()
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "Baseline":
+        baseline = cls()
+        file_path = Path(path)
+        if not file_path.is_file():
+            return baseline
+        for raw_line in file_path.read_text(encoding="utf-8").splitlines():
+            line = raw_line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                continue
+            rule_id, entry_path, fp = parts
+            baseline.entries.add((rule_id, entry_path.replace("\\", "/"), fp))
+        return baseline
+
+    def suppresses(self, diag: Diagnostic) -> bool:
+        entry = (diag.rule_id, diag.path.replace("\\", "/"), fingerprint(diag))
+        if entry in self.entries:
+            self.matched.add(entry)
+            return True
+        return False
+
+    def unused(self) -> list[tuple[str, str, str]]:
+        """Entries that matched nothing — candidates for deletion."""
+        return sorted(self.entries - self.matched)
+
+    def filter(self, diagnostics: Sequence[Diagnostic]) -> list[Diagnostic]:
+        return [d for d in diagnostics if not self.suppresses(d)]
+
+
+def write_baseline(diagnostics: Sequence[Diagnostic], path: "str | Path") -> int:
+    """Write a baseline covering every current finding; returns count."""
+    lines = [
+        "# repro-lint baseline — grandfathered findings.",
+        "# Each entry: <rule> <path> <fingerprint>; keep a rationale comment",
+        "# above every entry.  Regenerate with: repro-lint --write-baseline",
+        "",
+    ]
+    for diag in sorted(diagnostics):
+        lines.append(f"# TODO: justify or fix ({diag.line}:{diag.col} {diag.message})")
+        lines.append(
+            f"{diag.rule_id} {diag.path.replace(chr(92), '/')} {fingerprint(diag)}"
+        )
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return len(diagnostics)

@@ -7,11 +7,14 @@ from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.lint.context import FileContext
 from repro.lint.diagnostics import Diagnostic, Severity
-from repro.lint.pragmas import Pragmas
+from repro.lint.pragmas import UNKNOWN_PRAGMA_RULE_ID, Pragmas
 from repro.lint.rules import Rule, all_rules
 
 #: Pseudo-rule for unparseable files (cannot be suppressed per-line).
 PARSE_ERROR_ID = "SIM999"
+
+#: Rule ids that exist outside the registry proper.
+_PSEUDO_RULE_IDS = frozenset({PARSE_ERROR_ID, UNKNOWN_PRAGMA_RULE_ID})
 
 
 class Checker:
@@ -25,10 +28,16 @@ class Checker:
         registry = all_rules()
         selected = set(select) if select else set(registry)
         selected -= set(ignore or ())
-        unknown = selected - set(registry)
+        unknown = selected - set(registry) - _PSEUDO_RULE_IDS
         if unknown:
             raise ValueError(f"unknown rule ids: {', '.join(sorted(unknown))}")
-        self.rules: list[Rule] = [registry[rule_id]() for rule_id in sorted(selected)]
+        self.rules: list[Rule] = [
+            registry[rule_id]() for rule_id in sorted(selected - _PSEUDO_RULE_IDS)
+        ]
+        #: ids pragmas may legitimately name: every registered rule (not
+        #: just the selected subset) plus the pseudo-rules.
+        self._known_ids = frozenset(registry) | _PSEUDO_RULE_IDS
+        self._validate_pragmas = UNKNOWN_PRAGMA_RULE_ID not in set(ignore or ())
 
     # ------------------------------------------------------------------
     # Entry points
@@ -80,6 +89,23 @@ class Checker:
             for diag in rule.check(ctx)
             if not pragmas.suppresses(diag.rule_id, diag.line)
         ]
+        if self._validate_pragmas:
+            diagnostics.extend(
+                Diagnostic(
+                    path=path,
+                    line=line,
+                    col=1,
+                    rule_id=UNKNOWN_PRAGMA_RULE_ID,
+                    message=(
+                        f"unknown rule id {rule_id!r} in suppression pragma "
+                        "(typo'd pragmas suppress nothing)"
+                    ),
+                    severity=Severity.ERROR,
+                    fix_hint="use an id from --list-rules, or drop the pragma",
+                )
+                for line, rule_id in pragmas.unknown_rule_ids(self._known_ids)
+                if not pragmas.suppresses(UNKNOWN_PRAGMA_RULE_ID, line)
+            )
         return sorted(diagnostics)
 
     # ------------------------------------------------------------------

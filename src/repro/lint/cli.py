@@ -1,6 +1,19 @@
 """Command-line interface: ``python -m repro.lint`` / ``repro-lint``.
 
 Exit codes: 0 = clean, 1 = diagnostics reported, 2 = usage error.
+
+Two analysis layers compose here:
+
+* the classic per-file rules (SIM0xx), run by the :class:`Checker`;
+* the whole-program semantic analyses (SIM1xx/SIM2xx), run by
+  :class:`~repro.lint.semantic.SemanticAnalyzer` when ``--semantic``
+  is given (or the selection names a semantic rule, or pyproject sets
+  ``semantic = true``).
+
+Supporting machinery: ``--baseline`` grandfathers existing findings,
+``--changed BASE`` lints only edited files plus their reverse-
+dependency closure, ``--cache-dir`` enables the incremental semantic
+cache, and ``--format sarif`` emits code-scanning-ready output.
 """
 
 from __future__ import annotations
@@ -10,9 +23,11 @@ import json
 import sys
 from typing import Optional, Sequence
 
+from repro.lint.baseline import Baseline, write_baseline
 from repro.lint.checker import Checker
 from repro.lint.config import LintConfig
 from repro.lint.rules import all_rules
+from repro.lint.sarif import collect_rule_meta, render_sarif
 
 
 def _split_ids(values: "list[str] | None") -> "list[str] | None":
@@ -28,11 +43,12 @@ def list_rules() -> str:
     """Render the rule catalogue (``--list-rules``)."""
     lines = []
     for rule_id, cls in all_rules().items():
-        lines.append(f"{rule_id}  [{cls.severity.value:7s}]  {cls.summary}")
+        tag = "semantic" if cls.semantic else cls.severity.value
+        lines.append(f"{rule_id}  [{tag:8s}]  {cls.summary}")
     return "\n".join(lines)
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description=(
@@ -60,7 +76,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -69,6 +85,88 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    semantic = parser.add_argument_group("whole-program analysis")
+    semantic.add_argument(
+        "--semantic",
+        action="store_true",
+        help="also run the interprocedural SIM1xx/SIM2xx analyses",
+    )
+    semantic.add_argument(
+        "--no-semantic",
+        action="store_true",
+        help="suppress the semantic analyses even if configured on",
+    )
+    semantic.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel workers for parsing (output is identical for any N)",
+    )
+    semantic.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="incremental-analysis cache directory (warm runs re-analyze "
+        "only changed files plus their reverse-dependency closure)",
+    )
+    semantic.add_argument(
+        "--stats",
+        action="store_true",
+        help="print analysis statistics to stderr",
+    )
+    adoption = parser.add_argument_group("incremental adoption")
+    adoption.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings recorded in this baseline file",
+    )
+    adoption.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write all current findings to FILE as a baseline and exit 0",
+    )
+    adoption.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        metavar="BASE",
+        help="lint only files changed vs BASE (default HEAD) plus their "
+        "reverse-dependency closure",
+    )
+    return parser
+
+
+def _resolve_targets(args, config: LintConfig) -> "tuple[list[str], Optional[list[str]]]":
+    """(lint roots, restrict-to file list or None) honoring --changed."""
+    paths = list(args.paths) or config.paths
+    if args.changed is None:
+        return paths, None
+    from repro.lint.semantic.changed import (
+        changed_python_files,
+        expand_with_dependents,
+        git_repo_root,
+    )
+
+    repo_root = git_repo_root()
+    if repo_root is None:
+        print(
+            "warning: --changed requires a git checkout; linting everything",
+            file=sys.stderr,
+        )
+        return paths, None
+    changed = changed_python_files(args.changed, repo_root)
+    if changed is None:
+        print(
+            f"warning: cannot diff against {args.changed!r}; linting everything",
+            file=sys.stderr,
+        )
+        return paths, None
+    restrict = expand_with_dependents(paths, changed)
+    return paths, restrict
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -78,7 +176,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     config = LintConfig.load()
     select = _split_ids(args.select) or config.select
     ignore = _split_ids(args.ignore) or config.ignore
-    paths = list(args.paths) or config.paths
+
+    registry = all_rules()
+    semantic_ids = frozenset(r for r, cls in registry.items() if cls.semantic)
+    run_semantic = (
+        args.semantic
+        or config.semantic
+        or bool(select and semantic_ids.intersection(select))
+    ) and not args.no_semantic
 
     try:
         checker = Checker(select=select, ignore=ignore)
@@ -86,10 +191,66 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    diagnostics = checker.check_paths(paths)
+    try:
+        paths, restrict = _resolve_targets(args, config)
+    except Exception as error:  # git plumbing should never abort a lint
+        print(f"warning: --changed failed ({error}); linting everything", file=sys.stderr)
+        paths, restrict = list(args.paths) or config.paths, None
+
+    # A selection naming only semantic rules needs no per-file pass at
+    # all — skipping it keeps warm incremental runs at engine speed
+    # instead of re-parsing every file for zero per-file rules.
+    semantic_only = bool(select) and set(select) <= semantic_ids
+    if semantic_only:
+        diagnostics = []
+    elif restrict is not None:
+        diagnostics = checker.check_paths(restrict)
+    else:
+        diagnostics = checker.check_paths(paths)
+
+    # Engine-backed rules contribute nothing through Checker; run them
+    # over the full tree so cross-module chains stay visible, then
+    # restrict reporting to the changed closure.
+    if run_semantic:
+        from repro.lint.semantic import SemanticAnalyzer
+
+        analyzer = SemanticAnalyzer(
+            select=select,
+            ignore=ignore,
+            cache_dir=args.cache_dir or config.cache_dir,
+            jobs=args.jobs,
+        )
+        result = analyzer.analyze_paths(paths, restrict_to=restrict)
+        diagnostics = sorted([*diagnostics, *result.diagnostics])
+        if args.stats:
+            print(
+                "semantic: {files} file(s), {analyzed} analyzed, "
+                "{from_cache} from cache, {functions} function(s), jobs={jobs}".format(
+                    **result.stats
+                ),
+                file=sys.stderr,
+            )
+
+    if args.write_baseline:
+        count = write_baseline(diagnostics, args.write_baseline)
+        print(f"wrote {count} baseline entrie(s) to {args.write_baseline}", file=sys.stderr)
+        return 0
+
+    baseline_path = args.baseline or config.baseline
+    if baseline_path:
+        baseline = Baseline.load(baseline_path)
+        diagnostics = baseline.filter(diagnostics)
+        for rule_id, entry_path, fp in baseline.unused():
+            print(
+                f"warning: unused baseline entry {rule_id} {entry_path} {fp}",
+                file=sys.stderr,
+            )
 
     if args.format == "json":
         print(json.dumps([d.to_dict() for d in diagnostics], indent=2))
+    elif args.format == "sarif":
+        meta = collect_rule_meta(d.rule_id for d in diagnostics)
+        print(render_sarif(diagnostics, meta))
     else:
         for diagnostic in diagnostics:
             print(diagnostic.render())

@@ -6,6 +6,9 @@ Recognized keys (all optional)::
     paths = ["src"]            # default lint targets when CLI gives none
     select = ["SIM001"]        # run only these rules
     ignore = ["SIM010"]        # never run these rules
+    baseline = ".repro-lint-baseline"   # grandfathered-findings file
+    semantic = false           # run whole-program analyses by default
+    cache_dir = ".repro-lint-cache"     # semantic incremental cache
 
 CLI flags override the file; ``--select`` and ``--ignore`` replace the
 corresponding config lists entirely.
@@ -28,6 +31,9 @@ class LintConfig:
     paths: list[str] = field(default_factory=lambda: ["src"])
     select: Optional[list[str]] = None
     ignore: Optional[list[str]] = None
+    baseline: Optional[str] = None
+    semantic: bool = False
+    cache_dir: Optional[str] = None
 
     @classmethod
     def load(cls, start: "str | Path | None" = None) -> "LintConfig":
@@ -47,6 +53,12 @@ class LintConfig:
             config.select = [str(r) for r in table["select"]]
         if isinstance(table.get("ignore"), list):
             config.ignore = [str(r) for r in table["ignore"]]
+        if isinstance(table.get("baseline"), str):
+            config.baseline = table["baseline"]
+        if isinstance(table.get("semantic"), bool):
+            config.semantic = table["semantic"]
+        if isinstance(table.get("cache_dir"), str):
+            config.cache_dir = table["cache_dir"]
         return config
 
 

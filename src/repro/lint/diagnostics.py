@@ -24,7 +24,12 @@ class Severity(enum.Enum):
 
 @dataclass(frozen=True, order=True)
 class Diagnostic:
-    """One finding: rule ID + location + message + how to fix it."""
+    """One finding: rule ID + location + message + how to fix it.
+
+    Interprocedural findings additionally carry ``chain`` — the
+    source-to-sink propagation path, one human-readable hop per entry —
+    so a cross-module bug reads as a path, not a bare location.
+    """
 
     path: str
     line: int
@@ -33,20 +38,23 @@ class Diagnostic:
     message: str = field(compare=False)
     severity: Severity = field(compare=False, default=Severity.ERROR)
     fix_hint: str = field(compare=False, default="")
+    chain: tuple[str, ...] = field(compare=False, default=())
 
     def render(self) -> str:
-        """One-line human-readable form (``path:line:col: ID message``)."""
+        """Human-readable form (``path:line:col: ID message`` + chain)."""
         text = (
             f"{self.path}:{self.line}:{self.col}: "
             f"{self.rule_id} [{self.severity}] {self.message}"
         )
         if self.fix_hint:
             text += f" (fix: {self.fix_hint})"
+        for hop in self.chain:
+            text += f"\n    | {hop}"
         return text
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable form (``--format json``)."""
-        return {
+        doc: dict[str, Any] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
@@ -55,3 +63,6 @@ class Diagnostic:
             "message": self.message,
             "fix_hint": self.fix_hint,
         }
+        if self.chain:
+            doc["chain"] = list(self.chain)
+        return doc

@@ -1,31 +1,50 @@
 """Suppression pragmas.
 
-Two forms, both requiring an explicit rule list (a bare ``lint: ignore``
-suppresses every rule on that line — allowed, but discouraged):
+Two spellings of the marker are accepted — ``lint:`` (historical) and
+``repro-lint:`` (matches the CLI name) — and two forms, both taking a
+comma-separated rule list (a bare ``lint: ignore`` suppresses every
+rule on that line — allowed, but discouraged):
 
 * line pragma — suppresses findings reported *on that physical line*::
 
-      start = time.time()  # lint: ignore[SIM001] - harness progress message
+      start = clock()  # repro-lint: ignore[SIM001, SIM100] - harness progress
 
-* file pragma — suppresses a rule for the whole file; put it near the
+* file pragma — suppresses rules for the whole file; put it near the
   top with a justification::
 
       # lint: ignore-file[SIM010] - this module *defines* the unit constants
+
+Rule ids named in a pragma are validated against the registry: an
+unknown id is reported as a diagnostic (``SIM998``) rather than
+silently suppressing nothing — a typo'd pragma that appears to work is
+worse than no pragma at all.
 """
 
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-_LINE_RE = re.compile(r"#\s*lint:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?")
-_FILE_RE = re.compile(r"#\s*lint:\s*ignore-file\[(?P<rules>[A-Z0-9,\s]+)\]")
+_LINE_RE = re.compile(r"#\s*(?:repro-)?lint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9,\s]+)\])?")
+_FILE_RE = re.compile(r"#\s*(?:repro-)?lint:\s*ignore-file\[(?P<rules>[A-Za-z0-9,\s]+)\]")
+
+#: Pseudo-rule for pragmas naming unknown rule ids.
+UNKNOWN_PRAGMA_RULE_ID = "SIM998"
 
 
 def _split(rules: "str | None") -> frozenset[str]:
     if rules is None:
         return frozenset()  # bare pragma: matches every rule
     return frozenset(r.strip() for r in rules.split(",") if r.strip())
+
+
+@dataclass(frozen=True)
+class PragmaEntry:
+    """One pragma occurrence, kept for rule-id validation."""
+
+    line: int
+    rules: frozenset[str]
+    is_file: bool
 
 
 @dataclass(frozen=True)
@@ -36,22 +55,38 @@ class Pragmas:
     line_rules: dict[int, frozenset[str]]
     #: rule IDs suppressed for the entire file
     file_rules: frozenset[str]
+    #: every pragma seen, in order, for validation
+    entries: tuple[PragmaEntry, ...] = field(default=())
 
     @classmethod
     def scan(cls, source: str) -> "Pragmas":
         line_rules: dict[int, frozenset[str]] = {}
         file_rules: set[str] = set()
+        entries: list[PragmaEntry] = []
+        bare_lines: set[int] = set()  # a bare `ignore` beats scoped ones
         for lineno, line in enumerate(source.splitlines(), start=1):
             if "#" not in line:
                 continue
             file_match = _FILE_RE.search(line)
             if file_match:
-                file_rules |= _split(file_match.group("rules"))
+                rules = _split(file_match.group("rules"))
+                file_rules |= rules
+                entries.append(PragmaEntry(line=lineno, rules=rules, is_file=True))
                 continue
-            line_match = _LINE_RE.search(line)
-            if line_match:
-                line_rules[lineno] = _split(line_match.group("rules"))
-        return cls(line_rules=line_rules, file_rules=frozenset(file_rules))
+            for line_match in _LINE_RE.finditer(line):
+                rules = _split(line_match.group("rules"))
+                entries.append(PragmaEntry(line=lineno, rules=rules, is_file=False))
+                if not rules:
+                    bare_lines.add(lineno)
+                if lineno in bare_lines:
+                    line_rules[lineno] = frozenset()
+                else:
+                    line_rules[lineno] = line_rules.get(lineno, frozenset()) | rules
+        return cls(
+            line_rules=line_rules,
+            file_rules=frozenset(file_rules),
+            entries=tuple(entries),
+        )
 
     def suppresses(self, rule_id: str, line: int) -> bool:
         if rule_id in self.file_rules:
@@ -60,3 +95,17 @@ class Pragmas:
         if rules is None:
             return False
         return not rules or rule_id in rules
+
+    def unknown_rule_ids(self, known: "set[str] | frozenset[str]") -> list[tuple[int, str]]:
+        """(line, rule_id) for every pragma id not in ``known``, sorted.
+
+        Unknown ids are *not* honored as suppressions elsewhere only by
+        accident (nothing emits them); surfacing them as diagnostics
+        turns a silent no-op typo into an actionable finding.
+        """
+        unknown: set[tuple[int, str]] = set()
+        for entry in self.entries:
+            for rule_id in entry.rules:
+                if rule_id not in known:
+                    unknown.add((entry.line, rule_id))
+        return sorted(unknown)

@@ -23,6 +23,9 @@ Rule families (see ``docs/LINT.md`` for the full catalogue):
   ``repro.network``/``repro.perf``)
 * ``SIM07x`` — profiling hooks (wait causes must come from the closed
   ``WaitCause`` enum)
+* ``SIM1xx`` — whole-program determinism taint (engine-backed; see
+  :mod:`repro.lint.semantic`)
+* ``SIM2xx`` — whole-program unit/dimension dataflow (engine-backed)
 """
 
 from __future__ import annotations
@@ -41,6 +44,9 @@ class Rule:
     rationale: ClassVar[str] = ""
     severity: ClassVar[Severity] = Severity.ERROR
     fix_hint: ClassVar[str] = ""
+    #: True for whole-program rules run by repro.lint.semantic.engine;
+    #: their per-file ``check`` is a no-op (see rules/semantic_meta.py).
+    semantic: ClassVar[bool] = False
 
     def applies_to(self, ctx: FileContext) -> bool:
         """Whether this rule runs on ``ctx`` at all (path scoping)."""
@@ -88,6 +94,7 @@ def all_rules() -> dict[str, Type[Rule]]:
         parallelism,
         perf,
         profiling,
+        semantic_meta,
         units,
     )
 

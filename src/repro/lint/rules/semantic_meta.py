@@ -1,0 +1,104 @@
+"""Registry descriptors for the whole-program (semantic) rules.
+
+The SIM100/SIM200-series analyses run in
+:mod:`repro.lint.semantic.engine`, not per file — a taint chain is not
+computable from one AST.  These descriptor classes exist so the ids
+participate in the ordinary rule machinery anyway: ``--list-rules``
+documents them, ``--select``/``--ignore`` accept them, and pragma
+validation knows they are real.  Their per-file ``check`` is a no-op;
+set ``semantic = True`` marks them for the CLI to route to the engine.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.rules import Rule, register
+
+
+class SemanticRule(Rule):
+    """Engine-backed rule: per-file check is intentionally empty."""
+
+    semantic: ClassVar[bool] = True
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        return iter(())
+
+
+@register
+class TaintReachesSink(SemanticRule):
+    id = "SIM100"
+    summary = "nondeterministic value reaches a DES-visible sink"
+    rationale = (
+        "Set iteration order, unsorted directory listings, the wall clock, "
+        "and id() all vary between runs; once such a value reaches event "
+        "scheduling, trace export, or cache-key construction, traces stop "
+        "being bit-identical and parallel sweeps silently diverge from "
+        "serial.  Reported with the full call-graph propagation chain."
+    )
+    severity = Severity.ERROR
+    fix_hint = "pin an order at the source (sorted(...) with an explicit key) or launder before the sink"
+
+
+@register
+class UnsortedFsEnumeration(SemanticRule):
+    id = "SIM101"
+    summary = "unsorted filesystem enumeration iterated directly"
+    rationale = (
+        "os.listdir/Path.iterdir/glob return entries in filesystem order, "
+        "which differs across machines and runs; any loop over them bakes "
+        "that order into results."
+    )
+    severity = Severity.ERROR
+    fix_hint = "wrap the enumeration in sorted()"
+
+
+@register
+class IdKeyedOrdering(SemanticRule):
+    id = "SIM102"
+    summary = "ordering keyed on id()"
+    rationale = (
+        "id() is a memory address: sorting or tie-breaking on it orders by "
+        "allocator accident, not simulation state."
+    )
+    severity = Severity.ERROR
+    fix_hint = "key on a stable attribute (name, sequence number) instead"
+
+
+@register
+class UnorderedReduction(SemanticRule):
+    id = "SIM103"
+    summary = "order-sensitive reduction over an unordered collection"
+    rationale = (
+        "Float addition and string joins do not commute; sum()/''.join() "
+        "over a set yields hash-order-dependent results."
+    )
+    severity = Severity.WARNING
+    fix_hint = "reduce over sorted(...) input"
+
+
+@register
+class CrossDimensionArithmetic(SemanticRule):
+    id = "SIM201"
+    summary = "cross-dimension arithmetic or comparison"
+    rationale = (
+        "Bytes, seconds, bytes/s, flops, cores, and granules are all bare "
+        "floats; adding or comparing across dimensions is silently wrong "
+        "and indistinguishable from modeling error in validation plots."
+    )
+    severity = Severity.ERROR
+    fix_hint = "convert explicitly (divide by a bandwidth, multiply by a duration) before mixing"
+
+
+@register
+class BareMagnitudeArgument(SemanticRule):
+    id = "SIM202"
+    summary = "bare magnitude passed to a dimension-typed parameter"
+    rationale = (
+        "A literal like 3000000 passed to a bytes- or seconds-typed "
+        "parameter hides its unit; 3 * units.MB cannot be misread."
+    )
+    severity = Severity.WARNING
+    fix_hint = "build the magnitude from repro.platform.units constants"

@@ -1,0 +1,117 @@
+"""SARIF 2.1.0 rendering (``--format sarif``).
+
+Minimal but valid static-analysis results interchange: one run, one
+tool, per-rule metadata from the registry, one result per diagnostic.
+Propagation chains become ``codeFlows`` with synthetic messages so
+GitHub code-scanning renders the source-to-sink path inline.
+
+Output is deterministic: rules and results are emitted in sorted
+order and the JSON is serialized with stable key order.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from repro.lint.diagnostics import Diagnostic, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+TOOL_NAME = "repro-lint"
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _location(diag: Diagnostic) -> dict:
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": diag.path.replace("\\", "/")},
+            "region": {"startLine": diag.line, "startColumn": diag.col},
+        }
+    }
+
+
+def _result(diag: Diagnostic) -> dict:
+    result: dict = {
+        "ruleId": diag.rule_id,
+        "level": _level(diag.severity),
+        "message": {"text": diag.message},
+        "locations": [_location(diag)],
+    }
+    if diag.fix_hint:
+        result["message"]["text"] += f" (fix: {diag.fix_hint})"
+    if diag.chain:
+        result["codeFlows"] = [
+            {
+                "threadFlows": [
+                    {
+                        "locations": [
+                            {
+                                "location": {
+                                    **_location(diag),
+                                    "message": {"text": hop},
+                                }
+                            }
+                            for hop in diag.chain
+                        ]
+                    }
+                ]
+            }
+        ]
+    return result
+
+
+def _rule_entries(rule_meta: dict[str, tuple[str, str]]) -> list[dict]:
+    return [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": summary},
+            "defaultConfiguration": {"level": level},
+        }
+        for rule_id, (level, summary) in sorted(rule_meta.items())
+    ]
+
+
+def render_sarif(
+    diagnostics: Sequence[Diagnostic],
+    rule_meta: "dict[str, tuple[str, str]] | None" = None,
+    tool_version: str = "0",
+) -> str:
+    """Serialize diagnostics as a SARIF log (stable byte output)."""
+    doc = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": tool_version,
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": _rule_entries(rule_meta or {}),
+                    }
+                },
+                "results": [_result(d) for d in sorted(diagnostics)],
+                "columnKind": "unicodeCodePoints",
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2)
+
+
+def collect_rule_meta(rule_ids: Iterable[str]) -> dict[str, tuple[str, str]]:
+    """(level, summary) metadata for the given rule ids, registry-backed."""
+    from repro.lint.rules import all_rules
+
+    registry = all_rules()
+    meta: dict[str, tuple[str, str]] = {}
+    for rule_id in sorted(set(rule_ids)):
+        cls = registry.get(rule_id)
+        if cls is not None:
+            meta[rule_id] = (_level(cls.severity), cls.summary)
+        else:
+            meta[rule_id] = ("error", "")
+    return meta

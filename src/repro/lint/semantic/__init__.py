@@ -1,0 +1,30 @@
+"""repro.lint.semantic — whole-program analyses beneath the rule registry.
+
+Where the classic ``repro.lint`` rules see one file at a time, this
+subpackage parses the full project once into a module graph, symbol
+table, and call graph, then runs two interprocedural analyses:
+
+* **determinism taint** (SIM100-series) — nondeterminism sources
+  (unsorted set iteration, unsorted directory listings, wall clock,
+  global RNG, ``id()``-keyed ordering) are propagated along the call
+  graph; any tainted value reaching DES-visible state (event
+  scheduling, trace export, cache-key construction) is reported with
+  the full propagation chain;
+* **unit/dimension dataflow** (SIM200-series) — physical dimensions
+  (bytes, seconds, bytes/s, flops, cores, granules) are inferred from
+  :mod:`repro.platform.units` constants and naming conventions, then
+  propagated through assignments, arithmetic, and calls; cross-
+  dimension addition/comparison and bare magnitudes flowing into
+  dimension-typed parameters are flagged.
+
+The engine is incremental (per-file content-hash cache; warm runs
+re-analyze only changed files plus their reverse-dependency closure)
+and deterministic: diagnostics are byte-identical across repeated runs
+and ``--jobs N``.
+
+Entry point: :class:`~repro.lint.semantic.engine.SemanticAnalyzer`.
+"""
+
+from repro.lint.semantic.engine import SemanticAnalyzer, SemanticResult, semantic_rule_ids
+
+__all__ = ["SemanticAnalyzer", "SemanticResult", "semantic_rule_ids"]

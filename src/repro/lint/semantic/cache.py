@@ -1,0 +1,195 @@
+"""Incremental analysis cache.
+
+One JSON document maps each analyzed file to its content hash, raw
+import list, serialized interprocedural summaries, and post-pragma
+findings.  On a warm run the engine re-parses and re-analyzes only
+files whose hash changed plus their reverse-dependency closure; for
+everything else the cached summaries feed the fixpoint and the cached
+findings are replayed verbatim — so warm diagnostics are identical to
+a cold run by construction.
+
+The cache is advisory: version or schema mismatches, unreadable files,
+and partial records all degrade to "treat as changed", never to wrong
+results.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.lint.semantic.dimensions import Dim, DimSummary
+from repro.lint.semantic.taint import Taint, TaintFinding, TaintSummary
+
+#: Bump when analysis semantics change — stale caches self-invalidate.
+CACHE_SCHEMA = "repro-lint-semantic/1"
+
+CACHE_FILENAME = "semantic-cache.json"
+
+
+def serialize_taint(taint: Optional[Taint]) -> Optional[dict[str, Any]]:
+    if taint is None:
+        return None
+    return {
+        "desc": taint.desc,
+        "path": taint.path,
+        "line": taint.line,
+        "chain": list(taint.chain),
+    }
+
+
+def deserialize_taint(doc: Optional[dict[str, Any]]) -> Optional[Taint]:
+    if doc is None:
+        return None
+    return Taint(
+        desc=doc["desc"], path=doc["path"], line=doc["line"], chain=tuple(doc["chain"])
+    )
+
+
+def serialize_dim(dim: Optional[Dim]) -> Optional[list[list]]:
+    if dim is None:
+        return None
+    return [[base, exp] for base, exp in dim]
+
+
+def deserialize_dim(doc: "Optional[list]") -> Optional[Dim]:
+    if doc is None:
+        return None
+    return tuple((base, exp) for base, exp in doc)
+
+
+def serialize_finding(finding: TaintFinding) -> dict[str, Any]:
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "rule": finding.rule_id,
+        "message": finding.message,
+        "chain": list(finding.chain),
+    }
+
+
+def deserialize_finding(doc: dict[str, Any]) -> TaintFinding:
+    return TaintFinding(
+        path=doc["path"],
+        line=doc["line"],
+        col=doc["col"],
+        rule_id=doc["rule"],
+        message=doc["message"],
+        chain=tuple(doc.get("chain", ())),
+    )
+
+
+class FileRecord:
+    """Cached facts for one file."""
+
+    def __init__(
+        self,
+        sha: str,
+        raw_imports: list[str],
+        taint: dict[str, Optional[Taint]],
+        dims: dict[str, DimSummary],
+        findings: list[TaintFinding],
+    ) -> None:
+        self.sha = sha
+        self.raw_imports = raw_imports
+        self.taint = taint
+        self.dims = dims
+        self.findings = findings
+
+    def to_doc(self) -> dict[str, Any]:
+        return {
+            "sha": self.sha,
+            "imports": sorted(self.raw_imports),
+            "taint": {
+                qname: serialize_taint(taint)
+                for qname, taint in sorted(self.taint.items())
+            },
+            "dims": {
+                qname: {
+                    "order": list(summary.params),
+                    "params": {
+                        p: serialize_dim(d) for p, d in sorted(summary.param_dims.items())
+                    },
+                    "return": serialize_dim(summary.return_dim),
+                }
+                for qname, summary in sorted(self.dims.items())
+            },
+            "findings": [serialize_finding(f) for f in self.findings],
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict[str, Any]) -> "FileRecord":
+        taint = {
+            qname: deserialize_taint(t) for qname, t in doc.get("taint", {}).items()
+        }
+        dims = {
+            qname: DimSummary(
+                param_dims={
+                    p: deserialize_dim(d)
+                    for p, d in entry.get("params", {}).items()
+                    if d is not None
+                },
+                return_dim=deserialize_dim(entry.get("return")),
+                params=tuple(entry.get("order", ())),
+            )
+            for qname, entry in doc.get("dims", {}).items()
+        }
+        return cls(
+            sha=doc["sha"],
+            raw_imports=list(doc.get("imports", [])),
+            taint=taint,
+            dims=dims,
+            findings=[deserialize_finding(f) for f in doc.get("findings", [])],
+        )
+
+
+class AnalysisCache:
+    """Load/store the per-file record map, keyed by resolved path."""
+
+    def __init__(self, directory: "str | Path | None") -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self.records: dict[str, FileRecord] = {}
+        self.loaded = False
+
+    @property
+    def path(self) -> Optional[Path]:
+        return self.directory / CACHE_FILENAME if self.directory else None
+
+    def load(self) -> None:
+        self.loaded = True
+        if self.path is None or not self.path.is_file():
+            return
+        try:
+            doc = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if doc.get("schema") != CACHE_SCHEMA:
+            return
+        for key, entry in doc.get("files", {}).items():
+            try:
+                self.records[key] = FileRecord.from_doc(entry)
+            except (KeyError, TypeError, ValueError):
+                continue
+
+    def lookup(self, key: str, sha: str) -> Optional[FileRecord]:
+        record = self.records.get(key)
+        if record is not None and record.sha == sha:
+            return record
+        return None
+
+    def store(self, key: str, record: FileRecord) -> None:
+        self.records[key] = record
+
+    def flush(self) -> None:
+        if self.path is None:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "schema": CACHE_SCHEMA,
+            "files": {key: self.records[key].to_doc() for key in sorted(self.records)},
+        }
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(doc, indent=1, sort_keys=True), encoding="utf-8")
+        tmp.replace(self.path)

@@ -1,0 +1,353 @@
+"""Whole-program analysis driver.
+
+Pipeline per run:
+
+1. discover files (sorted), hash contents;
+2. split into *changed* (hash miss vs cache) and *unchanged*;
+3. build the module graph — imports come from cached records for
+   unchanged files, from a fresh parse for changed ones;
+4. re-analysis closure = changed modules + transitive dependents;
+5. parse + build symbols for closure modules (``--jobs`` parallelizes
+   this phase; results are merged in sorted order so worker count
+   never changes output);
+6. interprocedural fixpoint (taint + dimension summaries), seeded
+   with cached summaries for out-of-closure modules;
+7. final collect pass over closure functions → findings, filtered by
+   per-file pragmas; merged with cached findings for untouched files;
+8. cache write-back.
+
+Diagnostics are sorted on (path, line, col, rule, message) and carry
+the propagation chain, so output is byte-identical across repeated
+runs, worker counts, and warm/cold cache states.
+"""
+
+from __future__ import annotations
+
+import ast
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.pragmas import Pragmas
+from repro.lint.semantic.cache import AnalysisCache, FileRecord
+from repro.lint.semantic.dimensions import DimSummary, analyze_function_dims, signature_dims
+from repro.lint.semantic.modgraph import (
+    ModuleGraph,
+    ModuleInfo,
+    collect_python_files,
+    content_hash,
+    extract_imports,
+    module_name_for,
+)
+from repro.lint.semantic.symbols import ModuleSymbols, SymbolTable
+from repro.lint.semantic.taint import TaintFinding, TaintSummary, analyze_function
+
+#: Rule metadata: id -> (severity, summary).  The checker-side registry
+#: mirrors these as descriptor Rule classes for --list-rules and pragma
+#: validation; the analyses themselves live in this subpackage.
+SEMANTIC_RULES: dict[str, tuple[Severity, str]] = {
+    "SIM100": (Severity.ERROR, "nondeterministic value reaches a DES-visible sink"),
+    "SIM101": (Severity.ERROR, "unsorted filesystem enumeration iterated directly"),
+    "SIM102": (Severity.ERROR, "ordering keyed on id()"),
+    "SIM103": (Severity.WARNING, "order-sensitive reduction over an unordered collection"),
+    "SIM201": (Severity.ERROR, "cross-dimension arithmetic or comparison"),
+    "SIM202": (Severity.WARNING, "bare magnitude passed to a dimension-typed parameter"),
+}
+
+_FIXPOINT_CAP = 20
+
+
+def semantic_rule_ids() -> frozenset[str]:
+    return frozenset(SEMANTIC_RULES)
+
+
+@dataclass
+class SemanticResult:
+    """Outcome of one engine run, with incremental-cache provenance."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: files parsed + analyzed this run (changed + reverse closure)
+    analyzed: list[str] = field(default_factory=list)
+    #: files whose findings were replayed from the cache
+    from_cache: list[str] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+
+@dataclass
+class _FileState:
+    path: str          # as given (diagnostic + cache key)
+    sha: str
+    source: Optional[str] = None
+    tree: Optional[ast.Module] = None
+    parse_error: Optional[SyntaxError] = None
+    module: Optional[str] = None
+    raw_imports: frozenset[str] = frozenset()
+
+
+class SemanticAnalyzer:
+    """Runs the whole-program analyses over a file set."""
+
+    def __init__(
+        self,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+        cache_dir: "str | Path | None" = None,
+        jobs: int = 1,
+    ) -> None:
+        known = semantic_rule_ids()
+        selected = set(select) if select else set(known)
+        selected &= known
+        selected -= set(ignore or ())
+        self.selected = frozenset(selected)
+        self.cache = AnalysisCache(cache_dir)
+        self.jobs = max(1, int(jobs))
+
+    # ------------------------------------------------------------------
+    def analyze_paths(
+        self,
+        paths: Sequence["str | Path"],
+        restrict_to: Optional[Iterable[str]] = None,
+    ) -> SemanticResult:
+        """Analyze a file set; ``restrict_to`` (path strings) limits which
+        files *report* diagnostics without shrinking the analysis scope."""
+        files = collect_python_files(paths)
+        self.cache.load()
+        states = self._load_states(files)
+
+        changed = [s for s in states if self.cache.lookup(s.path, s.sha) is None]
+        unchanged = {s.path: self.cache.lookup(s.path, s.sha) for s in states}
+        unchanged = {p: r for p, r in unchanged.items() if r is not None}
+
+        # -- module graph (imports from cache where possible) -----------
+        self._parse(changed)
+        infos = []
+        for state in states:
+            record = unchanged.get(state.path)
+            raw = (
+                frozenset(record.raw_imports)
+                if record is not None
+                else state.raw_imports
+            )
+            state.module = module_name_for(Path(state.path))
+            infos.append(
+                ModuleInfo(
+                    name=state.module, path=state.path, sha=state.sha, raw_imports=raw
+                )
+            )
+        graph = ModuleGraph.build(infos)
+
+        # -- closure: changed + everything that imports it --------------
+        changed_modules = [s.module for s in changed if s.module]
+        closure = graph.reverse_closure(changed_modules)
+        by_module = {s.module: s for s in states}
+        closure_states = [by_module[m] for m in sorted(closure) if m in by_module]
+        self._parse(closure_states)
+
+        # -- symbols for the closure ------------------------------------
+        table = SymbolTable(graph)
+        for state in closure_states:
+            if state.tree is not None:
+                table.add(ModuleSymbols.build(state.module, state.path, state.tree))
+
+        # -- summaries: cached seeds for out-of-closure modules ---------
+        taint_summaries: dict[str, TaintSummary] = {}
+        dim_summaries: dict[str, DimSummary] = {}
+        for state in states:
+            if state.module in closure:
+                continue
+            record = unchanged.get(state.path)
+            if record is None:
+                continue
+            for qname, taint in record.taint.items():
+                taint_summaries[qname] = TaintSummary(returns_taint=taint)
+            dim_summaries.update(record.dims)
+        for func in table.iter_functions():
+            taint_summaries.setdefault(func.qname, TaintSummary())
+            dim_summaries.setdefault(
+                func.qname,
+                DimSummary(param_dims=signature_dims(func), params=tuple(func.params)),
+            )
+
+        self._fixpoint(table, taint_summaries, dim_summaries)
+
+        # -- final collect pass -----------------------------------------
+        findings_by_path: dict[str, list[TaintFinding]] = {s.path: [] for s in states}
+        for func in table.iter_functions():
+            syms = table.by_module[func.module]
+            _, taint_findings = analyze_function(
+                func, syms, table, taint_summaries, collect=True
+            )
+            _, dim_findings = analyze_function_dims(
+                func, syms, table, dim_summaries, collect=True
+            )
+            findings_by_path.setdefault(func.path, []).extend(
+                (*taint_findings, *dim_findings)
+            )
+
+        analyzed_paths = {s.path for s in closure_states}
+        diagnostics: list[Diagnostic] = []
+        result = SemanticResult()
+        for state in states:
+            if state.path in analyzed_paths:
+                result.analyzed.append(state.path)
+                if state.parse_error is not None:
+                    file_findings = [self._parse_finding(state)]
+                else:
+                    file_findings = self._apply_pragmas(
+                        state, findings_by_path.get(state.path, [])
+                    )
+                self.cache.store(
+                    state.path,
+                    self._record_for(state, table, taint_summaries, dim_summaries, file_findings),
+                )
+            else:
+                result.from_cache.append(state.path)
+                record = unchanged[state.path]
+                file_findings = record.findings
+            diagnostics.extend(
+                self._to_diagnostic(f)
+                for f in file_findings
+                if f.rule_id in self.selected or f.rule_id == "SIM999"
+            )
+
+        self.cache.flush()
+        if restrict_to is not None:
+            allowed = set(restrict_to)
+            diagnostics = [d for d in diagnostics if d.path in allowed]
+        result.diagnostics = sorted(
+            diagnostics, key=lambda d: (d.path, d.line, d.col, d.rule_id, d.message)
+        )
+        result.stats = {
+            "files": len(states),
+            "analyzed": len(result.analyzed),
+            "from_cache": len(result.from_cache),
+            "functions": len(table.functions),
+            "jobs": self.jobs,
+        }
+        return result
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def _load_states(self, files: list[Path]) -> list[_FileState]:
+        def load(path: Path) -> _FileState:
+            try:
+                data = path.read_bytes()
+            except OSError:
+                data = b""
+            return _FileState(path=str(path), sha=content_hash(data))
+
+        if self.jobs > 1 and len(files) > 1:
+            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+                return list(pool.map(load, files))
+        return [load(path) for path in files]
+
+    def _parse(self, states: list[_FileState]) -> None:
+        def parse(state: _FileState) -> None:
+            if state.tree is not None or state.parse_error is not None:
+                return
+            try:
+                source = Path(state.path).read_text(encoding="utf-8")
+                state.source = source
+                state.tree = ast.parse(source, filename=state.path)
+            except SyntaxError as error:
+                state.parse_error = error
+            except (OSError, UnicodeDecodeError):
+                state.parse_error = SyntaxError("cannot read file")
+            if state.tree is not None:
+                module = module_name_for(Path(state.path))
+                state.raw_imports = extract_imports(state.tree, module)
+
+        if self.jobs > 1 and len(states) > 1:
+            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+                list(pool.map(parse, states))
+        else:
+            for state in states:
+                parse(state)
+
+    def _fixpoint(
+        self,
+        table: SymbolTable,
+        taint_summaries: dict[str, TaintSummary],
+        dim_summaries: dict[str, DimSummary],
+    ) -> None:
+        funcs = list(table.iter_functions())
+        for _ in range(_FIXPOINT_CAP):
+            changed = False
+            for func in funcs:
+                syms = table.by_module[func.module]
+                new_taint, _ = analyze_function(func, syms, table, taint_summaries)
+                old_taint = taint_summaries[func.qname]
+                if (new_taint.returns_taint is None) != (old_taint.returns_taint is None) or (
+                    new_taint.returns_taint is not None
+                    and old_taint.returns_taint is not None
+                    and new_taint.returns_taint.chain != old_taint.returns_taint.chain
+                ):
+                    taint_summaries[func.qname] = new_taint
+                    changed = True
+                new_dims, _ = analyze_function_dims(func, syms, table, dim_summaries)
+                if new_dims.return_dim != dim_summaries[func.qname].return_dim:
+                    dim_summaries[func.qname] = new_dims
+                    changed = True
+            if not changed:
+                break
+
+    # ------------------------------------------------------------------
+    # Assembly helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _apply_pragmas(
+        state: _FileState, findings: list[TaintFinding]
+    ) -> list[TaintFinding]:
+        pragmas = Pragmas.scan(state.source or "")
+        return [f for f in findings if not pragmas.suppresses(f.rule_id, f.line)]
+
+    @staticmethod
+    def _parse_finding(state: _FileState) -> TaintFinding:
+        error = state.parse_error
+        return TaintFinding(
+            path=state.path,
+            line=getattr(error, "lineno", 1) or 1,
+            col=(getattr(error, "offset", 0) or 0) + 1,
+            rule_id="SIM999",
+            message=f"syntax error: {getattr(error, 'msg', error)}",
+        )
+
+    @staticmethod
+    def _record_for(
+        state: _FileState,
+        table: SymbolTable,
+        taint_summaries: dict[str, TaintSummary],
+        dim_summaries: dict[str, DimSummary],
+        findings: list[TaintFinding],
+    ) -> FileRecord:
+        syms = table.by_module.get(state.module)
+        qnames = sorted(syms.functions) if syms is not None else []
+        return FileRecord(
+            sha=state.sha,
+            raw_imports=sorted(state.raw_imports),
+            taint={
+                q: taint_summaries[q].returns_taint
+                for q in qnames
+                if taint_summaries.get(q) and taint_summaries[q].returns_taint is not None
+            },
+            dims={q: dim_summaries[q] for q in qnames if q in dim_summaries},
+            findings=sorted(
+                findings, key=lambda f: (f.path, f.line, f.col, f.rule_id, f.message)
+            ),
+        )
+
+    @staticmethod
+    def _to_diagnostic(finding: TaintFinding) -> Diagnostic:
+        severity, _ = SEMANTIC_RULES.get(finding.rule_id, (Severity.ERROR, ""))
+        return Diagnostic(
+            path=finding.path,
+            line=finding.line,
+            col=finding.col,
+            rule_id=finding.rule_id,
+            message=finding.message,
+            severity=severity,
+            chain=finding.chain,
+        )

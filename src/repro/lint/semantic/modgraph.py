@@ -1,0 +1,156 @@
+"""Project module graph: file discovery, content hashes, import edges.
+
+The graph answers two questions the incremental engine needs:
+
+* *who do I import?* — forward edges, used to resolve call targets;
+* *who imports me?* — reverse edges, used to compute the
+  re-analysis closure after an edit (taint flows callee → caller and
+  dimension summaries flow callee → caller, so a change in module ``m``
+  can only alter diagnostics in ``m`` and its transitive dependents).
+
+Everything is computed from sorted inputs so graph iteration order is
+deterministic regardless of filesystem enumeration order.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+
+def content_hash(data: bytes) -> str:
+    """Stable per-file fingerprint for the incremental cache."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for a file, walking up through ``__init__.py``
+    packages (``src/repro/network/flownet.py`` → ``repro.network.flownet``;
+    a loose fixture file becomes its bare stem)."""
+    parts: list[str] = [] if path.name == "__init__.py" else [path.stem]
+    directory = path.parent
+    while (directory / "__init__.py").is_file():
+        parts.insert(0, directory.name)
+        parent = directory.parent
+        if parent == directory:
+            break
+        directory = parent
+    return ".".join(parts) or path.stem
+
+
+def extract_imports(tree: ast.Module, module: str) -> frozenset[str]:
+    """Raw dotted names imported by a module (absolute form).
+
+    Relative imports are resolved against ``module``'s package so
+    fixture packages using ``from .collect import gather`` still
+    produce edges.  Names are *not* yet restricted to project modules;
+    :meth:`ModuleGraph.build` does that.
+    """
+    package_parts = module.split(".")[:-1]
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base_parts = package_parts[: len(package_parts) - node.level + 1]
+                base = ".".join(base_parts + ([node.module] if node.module else []))
+            else:
+                base = node.module or ""
+            if not base:
+                continue
+            names.add(base)
+            for alias in node.names:
+                names.add(f"{base}.{alias.name}")
+    return frozenset(names)
+
+
+@dataclass
+class ModuleInfo:
+    """One project module: identity, location, and import edges."""
+
+    name: str
+    path: str          # path as given on the command line (diagnostics)
+    sha: str
+    raw_imports: frozenset[str] = frozenset()
+
+
+@dataclass
+class ModuleGraph:
+    """Forward/reverse import edges between project modules only."""
+
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+    #: module -> project modules it imports (direct edges)
+    imports: dict[str, frozenset[str]] = field(default_factory=dict)
+    #: module -> project modules importing it (reverse edges)
+    dependents: dict[str, frozenset[str]] = field(default_factory=dict)
+    #: path (as given) -> module name
+    path_to_module: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, infos: Iterable[ModuleInfo]) -> "ModuleGraph":
+        graph = cls()
+        for info in sorted(infos, key=lambda m: m.name):
+            graph.modules[info.name] = info
+            graph.path_to_module[info.path] = info.name
+        known = set(graph.modules)
+        reverse: dict[str, set[str]] = {name: set() for name in known}
+        for name, info in graph.modules.items():
+            edges: set[str] = set()
+            for imported in info.raw_imports:
+                resolved = _longest_known_prefix(imported, known)
+                if resolved and resolved != name:
+                    edges.add(resolved)
+            graph.imports[name] = frozenset(edges)
+            for target in edges:
+                reverse[target].add(name)
+        graph.dependents = {name: frozenset(deps) for name, deps in reverse.items()}
+        return graph
+
+    def reverse_closure(self, seeds: Iterable[str]) -> frozenset[str]:
+        """Seeds plus every transitive dependent — the re-analysis set."""
+        closure: set[str] = set()
+        frontier = [name for name in seeds if name in self.modules]
+        while frontier:
+            name = frontier.pop()
+            if name in closure:
+                continue
+            closure.add(name)
+            frontier.extend(self.dependents.get(name, ()))
+        return frozenset(closure)
+
+    def resolve_module(self, dotted: str) -> Optional[str]:
+        """Longest project-module prefix of a dotted name, if any."""
+        return _longest_known_prefix(dotted, self.modules.keys())
+
+
+def _longest_known_prefix(dotted: str, known: "set[str] | Sequence[str] | Iterable[str]") -> Optional[str]:
+    known_set = known if isinstance(known, (set, frozenset, dict)) else set(known)
+    parts = dotted.split(".")
+    for end in range(len(parts), 0, -1):
+        candidate = ".".join(parts[:end])
+        if candidate in known_set:
+            return candidate
+    return None
+
+
+def collect_python_files(paths: Sequence["str | Path"]) -> list[Path]:
+    """Deterministic file discovery shared with the per-file checker."""
+    seen: set[Path] = set()
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        candidates: Iterable[Path] = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            out.append(candidate)
+    return out

@@ -1,0 +1,22 @@
+"""SIM201/SIM202 true positives: dimension mixups a type checker
+cannot see (everything is float)."""
+
+from repro.platform.units import GiB, HOUR, MB
+
+
+def transfer_time(size_bytes, bandwidth):
+    return size_bytes / bandwidth
+
+
+def mixed_budget():
+    total_bytes = 3 * GiB
+    return total_bytes + HOUR  # bytes + seconds
+
+
+def compare_wrong(makespan):
+    limit_bytes = 10 * MB
+    return makespan > limit_bytes  # seconds vs bytes
+
+
+def bare_literals():
+    return transfer_time(3000000, 6.5e9)  # magnitudes without units

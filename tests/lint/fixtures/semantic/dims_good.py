@@ -1,0 +1,15 @@
+"""SIM201/SIM202 clean: units vocabulary + consistent dimensions."""
+
+from repro.platform.units import GB, MB
+
+
+def transfer_time(size_bytes, bandwidth):
+    return size_bytes / bandwidth
+
+
+def staged_budget(makespan, stage_duration):
+    return makespan + stage_duration  # seconds + seconds
+
+
+def from_units():
+    return transfer_time(3 * MB, 6.5 * GB)

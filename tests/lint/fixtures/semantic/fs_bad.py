@@ -1,0 +1,10 @@
+"""SIM101 true positive: directory enumeration iterated unsorted."""
+
+from pathlib import Path
+
+
+def trace_files(directory):
+    out = []
+    for path in Path(directory).iterdir():
+        out.append(path.name)
+    return out

@@ -1,0 +1,14 @@
+"""SIM101 sanitizers: sorted() wrap and the order-insensitive count."""
+
+from pathlib import Path
+
+
+def trace_files(directory):
+    out = []
+    for path in sorted(Path(directory).iterdir()):
+        out.append(path.name)
+    return out
+
+
+def trace_count(directory):
+    return sum(1 for _ in Path(directory).glob("*.json"))

@@ -1,0 +1,9 @@
+"""SIM102 true positive: tie-break keyed on id()."""
+
+
+def pick_order(tasks):
+    return sorted(tasks, key=id)
+
+
+def pick_order_lambda(tasks):
+    return sorted(tasks, key=lambda task: id(task))

@@ -1,0 +1,5 @@
+"""SIM102 clean: tie-break on a stable attribute."""
+
+
+def pick_order(tasks):
+    return sorted(tasks, key=lambda task: task.name)

@@ -1,0 +1,10 @@
+"""SIM103 true positives: order-sensitive reductions over sets."""
+
+
+def total_weight(weights):
+    rounded = {round(w, 6) for w in weights}
+    return sum(rounded)
+
+
+def joined_names():
+    return ",".join({"a", "b", "c"})

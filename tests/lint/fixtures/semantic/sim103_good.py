@@ -1,0 +1,10 @@
+"""SIM103 clean: reductions over sorted input."""
+
+
+def total_weight(weights):
+    rounded = {round(w, 6) for w in weights}
+    return sum(sorted(rounded))
+
+
+def joined_names():
+    return ",".join(sorted({"a", "b", "c"}))

@@ -1,0 +1,8 @@
+"""Fixture package: a seeded cross-module nondeterminism bug.
+
+``collectors`` iterates a set (the source), ``middle`` launders nothing
+while passing the value along, and ``sink`` feeds it to the event heap
+— so the taint travels two call-graph hops before reaching a
+DES-visible sink.  ``clean`` is the same shape with ``sorted()``
+pinning the order, proving the sanitizer path.
+"""

@@ -1,0 +1,10 @@
+"""Sanitizer pattern: sorted() pins the order before the sink."""
+
+import heapq
+
+from .middle import ready_queue
+
+
+def schedule_sorted(event_heap):
+    for seq, name in enumerate(sorted(ready_queue())):
+        heapq.heappush(event_heap, (seq, name))

@@ -1,0 +1,9 @@
+"""Source module: set iteration order leaks into a returned list."""
+
+
+def discovered_tasks():
+    names = {"merge", "align", "filter", "stage"}
+    out = []
+    for name in names:  # PYTHONHASHSEED-dependent order
+        out.append(name)
+    return out

@@ -1,0 +1,7 @@
+"""Pass-through module: one extra call-graph hop, no laundering."""
+
+from taintpkg.collectors import discovered_tasks
+
+
+def ready_queue():
+    return list(discovered_tasks())

@@ -1,0 +1,10 @@
+"""Sink module: the tainted ordering reaches the event heap."""
+
+import heapq
+
+from .middle import ready_queue
+
+
+def schedule_all(event_heap):
+    for seq, name in enumerate(ready_queue()):
+        heapq.heappush(event_heap, (seq, name))

@@ -1,0 +1,63 @@
+"""Baseline (suppression) file: fingerprints, round-trip, unused-entry
+reporting."""
+
+from __future__ import annotations
+
+from repro.lint.baseline import Baseline, fingerprint, write_baseline
+from repro.lint.diagnostics import Diagnostic, Severity
+
+
+def diag(rule_id="SIM101", path="src/a.py", line=3, message="unsorted listing"):
+    return Diagnostic(
+        path=path, line=line, col=1, rule_id=rule_id, message=message,
+        severity=Severity.ERROR,
+    )
+
+
+def test_fingerprint_is_line_number_independent():
+    assert fingerprint(diag(line=3)) == fingerprint(diag(line=99))
+    assert fingerprint(diag(message="a")) != fingerprint(diag(message="b"))
+    assert fingerprint(diag(rule_id="SIM101")) != fingerprint(diag(rule_id="SIM103"))
+
+
+def test_write_then_load_round_trip(tmp_path):
+    diags = [diag(), diag(rule_id="SIM201", path="src/b.py", message="bytes + seconds")]
+    baseline_file = tmp_path / ".repro-lint-baseline"
+    assert write_baseline(diags, baseline_file) == 2
+
+    baseline = Baseline.load(baseline_file)
+    assert baseline.filter(diags) == []
+    assert baseline.unused() == []
+
+
+def test_unbaselined_finding_passes_through(tmp_path):
+    baseline_file = tmp_path / ".repro-lint-baseline"
+    write_baseline([diag()], baseline_file)
+
+    baseline = Baseline.load(baseline_file)
+    fresh = diag(message="a brand-new finding")
+    assert baseline.filter([diag(), fresh]) == [fresh]
+
+
+def test_unused_entries_reported(tmp_path):
+    baseline_file = tmp_path / ".repro-lint-baseline"
+    write_baseline([diag(), diag(path="src/gone.py")], baseline_file)
+
+    baseline = Baseline.load(baseline_file)
+    baseline.filter([diag()])
+    unused = baseline.unused()
+    assert len(unused) == 1
+    assert unused[0][1] == "src/gone.py"
+
+
+def test_written_file_has_rationale_placeholders(tmp_path):
+    baseline_file = tmp_path / ".repro-lint-baseline"
+    write_baseline([diag()], baseline_file)
+    text = baseline_file.read_text()
+    assert "# TODO: justify or fix" in text
+    assert "SIM101 src/a.py" in text
+
+
+def test_missing_file_is_empty_baseline(tmp_path):
+    baseline = Baseline.load(tmp_path / "nope")
+    assert baseline.filter([diag()]) == [diag()]

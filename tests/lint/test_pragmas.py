@@ -62,3 +62,50 @@ def test_multi_rule_line_pragma():
     assert pragmas.suppresses("SIM010", 1)
     assert pragmas.suppresses("SIM011", 1)
     assert not pragmas.suppresses("SIM001", 1)
+
+
+def test_multi_rule_pragma_with_spaces_and_cli_spelling():
+    source = WALL_CLOCK.format(pragma="  # repro-lint: ignore[SIM001, SIM100]")
+    assert _lint(source) == []
+
+
+def test_unknown_rule_id_in_pragma_reported_as_sim998():
+    source = WALL_CLOCK.format(pragma="  # lint: ignore[SIM001, SIM777]")
+    diagnostics = Checker().check_source(source)
+    assert [d.rule_id for d in diagnostics] == ["SIM998"]
+    assert "SIM777" in diagnostics[0].message
+    assert diagnostics[0].line == 3
+
+
+def test_lowercase_rule_id_typo_is_flagged_not_silently_honored():
+    # historical footgun: `ignore[sim001]` used to fail the bracket
+    # match and act as a suppress-everything bare pragma
+    source = WALL_CLOCK.format(pragma="  # lint: ignore[sim001]")
+    diagnostics = Checker().check_source(source)
+    rule_ids = sorted(d.rule_id for d in diagnostics)
+    assert "SIM998" in rule_ids  # the typo itself is reported
+    assert "SIM001" in rule_ids  # ... and nothing got suppressed
+
+
+def test_sim998_is_itself_suppressible():
+    source = WALL_CLOCK.format(
+        pragma="  # lint: ignore[SIM001, SIM777]  # lint: ignore[SIM998]"
+    )
+    diagnostics = Checker().check_source(source)
+    assert diagnostics == []
+
+
+def test_ignoring_sim998_disables_pragma_validation():
+    source = WALL_CLOCK.format(pragma="  # lint: ignore[SIM001, SIM777]")
+    diagnostics = Checker(ignore=["SIM998"]).check_source(source)
+    assert diagnostics == []
+
+
+def test_unknown_rule_ids_sorted_and_deduplicated():
+    pragmas = Pragmas.scan(
+        "a = 1  # lint: ignore[SIMX, SIMA]\n"
+        "b = 2  # lint: ignore[SIMX]\n"
+    )
+    assert pragmas.unknown_rule_ids({"SIM001"}) == [
+        (1, "SIMA"), (1, "SIMX"), (2, "SIMX"),
+    ]

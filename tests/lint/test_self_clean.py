@@ -9,9 +9,11 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.lint import Checker
+from repro.lint import Baseline, Checker
+from repro.lint.semantic import SemanticAnalyzer
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / ".repro-lint-baseline"
 
 
 def test_src_tree_lints_clean():
@@ -19,3 +21,21 @@ def test_src_tree_lints_clean():
     assert src.is_dir(), f"source tree not found at {src}"
     diagnostics = Checker().check_paths([src])
     assert diagnostics == [], "\n" + "\n".join(d.render() for d in diagnostics)
+
+
+def test_src_tree_semantic_clean_modulo_baseline():
+    """Whole-program gate: zero unbaselined SIM1xx/SIM2xx findings."""
+    src = REPO_ROOT / "src"
+    result = SemanticAnalyzer().analyze_paths([src])
+    baseline = Baseline.load(BASELINE)
+    fresh = baseline.filter(result.diagnostics)
+    assert fresh == [], "\n" + "\n".join(d.render() for d in fresh)
+
+
+def test_baseline_has_no_stale_entries():
+    """Every committed baseline entry must still match a real finding."""
+    src = REPO_ROOT / "src"
+    result = SemanticAnalyzer().analyze_paths([src])
+    baseline = Baseline.load(BASELINE)
+    baseline.filter(result.diagnostics)
+    assert baseline.unused() == [], baseline.unused()

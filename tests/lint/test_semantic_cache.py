@@ -1,0 +1,103 @@
+"""Incremental-analysis cache: warm runs must equal cold runs, and an
+edit must re-analyze exactly the changed file plus its reverse-dependency
+closure."""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+from repro.lint.semantic import SemanticAnalyzer
+from repro.lint.semantic.cache import CACHE_FILENAME
+
+FIXTURES = Path(__file__).parent / "fixtures" / "semantic"
+
+
+def make_project(tmp_path: Path) -> Path:
+    project = tmp_path / "proj"
+    shutil.copytree(FIXTURES / "taintpkg", project / "taintpkg")
+    shutil.copy(FIXTURES / "fs_bad.py", project / "fs_bad.py")
+    return project
+
+
+def render_all(diags):
+    return "\n".join(d.render() for d in diags)
+
+
+def test_warm_run_equals_cold_run(tmp_path):
+    project = make_project(tmp_path)
+    cache_dir = tmp_path / "cache"
+
+    cold = SemanticAnalyzer(cache_dir=str(cache_dir)).analyze_paths([str(project)])
+    assert (cache_dir / CACHE_FILENAME).exists()
+    assert cold.from_cache == []
+
+    warm = SemanticAnalyzer(cache_dir=str(cache_dir)).analyze_paths([str(project)])
+    assert warm.analyzed == []  # nothing changed, nothing re-parsed
+    assert render_all(warm.diagnostics) == render_all(cold.diagnostics)
+    assert [d.to_dict() for d in warm.diagnostics] == [d.to_dict() for d in cold.diagnostics]
+
+
+def test_edit_reanalyzes_reverse_closure_only(tmp_path):
+    project = make_project(tmp_path)
+    cache_dir = tmp_path / "cache"
+
+    SemanticAnalyzer(cache_dir=str(cache_dir)).analyze_paths([str(project)])
+
+    # touch the leaf module: its dependents (middle, sink, clean) must be
+    # re-analyzed; the unrelated fs_bad.py must come from cache.
+    collectors = project / "taintpkg" / "collectors.py"
+    collectors.write_text(collectors.read_text() + "\n# touched\n")
+
+    warm = SemanticAnalyzer(cache_dir=str(cache_dir)).analyze_paths([str(project)])
+    analyzed = {Path(p).name for p in warm.analyzed}
+    assert "collectors.py" in analyzed
+    assert {"middle.py", "sink.py", "clean.py"} <= analyzed
+    assert "fs_bad.py" not in analyzed
+    assert any(Path(p).name == "fs_bad.py" for p in warm.from_cache)
+
+
+def test_incremental_output_matches_fresh_analysis(tmp_path):
+    project = make_project(tmp_path)
+    cache_dir = tmp_path / "cache"
+    analyzer = SemanticAnalyzer(cache_dir=str(cache_dir))
+    analyzer.analyze_paths([str(project)])
+
+    # fix the seeded bug: sort at the source
+    collectors = project / "taintpkg" / "collectors.py"
+    collectors.write_text(
+        collectors.read_text().replace("for name in names:", "for name in sorted(names):")
+    )
+
+    warm = SemanticAnalyzer(cache_dir=str(cache_dir)).analyze_paths([str(project)])
+    fresh = SemanticAnalyzer().analyze_paths([str(project)])
+    assert render_all(warm.diagnostics) == render_all(fresh.diagnostics)
+    # the SIM100 through sink.py is gone once the source is sorted
+    assert not any(d.rule_id == "SIM100" for d in warm.diagnostics)
+
+
+def test_edit_downstream_keeps_upstream_cached(tmp_path):
+    project = make_project(tmp_path)
+    cache_dir = tmp_path / "cache"
+    SemanticAnalyzer(cache_dir=str(cache_dir)).analyze_paths([str(project)])
+
+    sink = project / "taintpkg" / "sink.py"
+    sink.write_text(sink.read_text() + "\n# touched\n")
+
+    warm = SemanticAnalyzer(cache_dir=str(cache_dir)).analyze_paths([str(project)])
+    analyzed = {Path(p).name for p in warm.analyzed}
+    # sink has no project dependents: only it is re-analyzed
+    assert analyzed == {"sink.py"}
+    # ... and the cross-module finding survives, seeded by cached summaries
+    assert any(d.rule_id == "SIM100" for d in warm.diagnostics)
+
+
+def test_corrupt_cache_degrades_to_cold_run(tmp_path):
+    project = make_project(tmp_path)
+    cache_dir = tmp_path / "cache"
+    cold = SemanticAnalyzer(cache_dir=str(cache_dir)).analyze_paths([str(project)])
+
+    (cache_dir / CACHE_FILENAME).write_text("{not json")
+    recovered = SemanticAnalyzer(cache_dir=str(cache_dir)).analyze_paths([str(project)])
+    assert render_all(recovered.diagnostics) == render_all(cold.diagnostics)
+    assert recovered.from_cache == []

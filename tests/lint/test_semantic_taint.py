@@ -1,0 +1,109 @@
+"""Determinism-taint corpus: cross-module propagation, sanitizers,
+and the SIM101/102/103 syntactic companions."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.semantic import SemanticAnalyzer
+
+FIXTURES = Path(__file__).parent / "fixtures" / "semantic"
+
+
+def run(*paths, select=None):
+    analyzer = SemanticAnalyzer(select=select)
+    return analyzer.analyze_paths([str(p) for p in paths]).diagnostics
+
+
+# ----------------------------------------------------------------------
+# SIM100: the seeded cross-module bug, two call-graph hops from the sink
+# ----------------------------------------------------------------------
+
+def test_cross_module_taint_reaches_sink():
+    diags = run(FIXTURES / "taintpkg", select=["SIM100"])
+    assert [d.rule_id for d in diags] == ["SIM100"]
+    (diag,) = diags
+    assert diag.path.endswith("sink.py")
+    assert "event-heap insertion" in diag.message
+    assert "unsorted" in diag.message
+
+
+def test_taint_chain_names_every_hop():
+    (diag,) = run(FIXTURES / "taintpkg", select=["SIM100"])
+    chain = "\n".join(diag.chain)
+    # source -> middle -> sink, with files and lines for each hop
+    assert "collectors.py" in chain
+    assert "taintpkg.collectors.discovered_tasks" in chain
+    assert "taintpkg.middle.ready_queue" in chain
+    assert "sink.py" in chain
+    assert chain.index("collectors.py") < chain.index("middle.ready_queue")
+    # the rendered diagnostic shows the chain too
+    assert "| " in diags_render(diag)
+
+
+def diags_render(diag):
+    return diag.render()
+
+
+def test_sorted_launders_taint():
+    # clean.py calls the same tainted producer but sorts before the sink
+    diags = run(FIXTURES / "taintpkg", select=["SIM100"])
+    assert not any(d.path.endswith("clean.py") for d in diags)
+
+
+def test_single_module_analysis_has_no_cross_module_noise():
+    # analyzing only middle.py (no sink in scope) reports nothing
+    assert run(FIXTURES / "taintpkg" / "middle.py", select=["SIM100"]) == []
+
+
+# ----------------------------------------------------------------------
+# SIM101: filesystem enumeration
+# ----------------------------------------------------------------------
+
+def test_unsorted_iterdir_flagged():
+    diags = run(FIXTURES / "fs_bad.py", select=["SIM101"])
+    assert [d.rule_id for d in diags] == ["SIM101"]
+    assert "iterdir" in diags[0].message
+
+
+def test_sorted_and_counting_idioms_clean():
+    assert run(FIXTURES / "fs_good.py", select=["SIM101"]) == []
+
+
+# ----------------------------------------------------------------------
+# SIM102 / SIM103
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "rule_id, bad, good, n_bad",
+    [
+        ("SIM102", "sim102_bad.py", "sim102_good.py", 2),
+        ("SIM103", "sim103_bad.py", "sim103_good.py", 2),
+    ],
+)
+def test_syntactic_rules(rule_id, bad, good, n_bad):
+    bad_diags = run(FIXTURES / bad, select=[rule_id])
+    assert [d.rule_id for d in bad_diags] == [rule_id] * n_bad
+    assert run(FIXTURES / good, select=[rule_id]) == []
+
+
+# ----------------------------------------------------------------------
+# Selection / pragma behavior at the engine level
+# ----------------------------------------------------------------------
+
+def test_select_excludes_other_semantic_rules():
+    diags = run(FIXTURES, select=["SIM102"])
+    assert {d.rule_id for d in diags} == {"SIM102"}
+
+
+def test_line_pragma_suppresses_semantic_finding(tmp_path):
+    source = FIXTURES.joinpath("fs_bad.py").read_text()
+    patched = source.replace(
+        "for path in Path(directory).iterdir():",
+        "for path in Path(directory).iterdir():  # repro-lint: ignore[SIM101] - test",
+    )
+    target = tmp_path / "fs_pragma.py"
+    target.write_text(patched)
+    assert run(target, select=["SIM101"]) == []
