@@ -85,6 +85,16 @@ class Result:
             return None
         return self.observer.registry
 
+    @property
+    def events(self):
+        """The run's structured event log (``repro.obs.log/1`` records).
+
+        ``None`` unless the run was given an observer.
+        """
+        if self.observer is None:
+            return None
+        return self.observer.events
+
     def export_telemetry(self, directory: "str | Path") -> Path:
         """Write manifest + Perfetto trace + metric CSVs to ``directory``.
 
@@ -107,6 +117,8 @@ def simulate(
     *,
     config: "SimulatorConfig | Mapping[str, object] | None" = None,
     observer: "Observer | bool | None" = None,
+    monitors: bool = False,
+    live_dir: "str | Path | None" = None,
 ) -> Result:
     """Simulate ``workflow`` on ``platform`` and return a :class:`Result`.
 
@@ -124,14 +136,34 @@ def simulate(
         ``network_allocator``, ...) for quick literal configs.
     observer:
         An :class:`~repro.obs.Observer` to collect telemetry into;
-        ``True`` creates one collecting every metric group.
+        ``True`` creates one collecting every metric group.  Implied by
+        ``monitors`` / ``live_dir``.
+    monitors:
+        ``True`` runs the standard online invariant monitors (BB
+        occupancy, link capacity, clock monotonicity, lease balance); a
+        violated invariant raises
+        :class:`~repro.obs.InvariantViolation` mid-run.  Only applies
+        when this call creates the observer — a pre-built
+        :class:`Observer` carries its own monitor list.
+    live_dir:
+        Stream live telemetry (``repro.obs.live/1``) into this
+        directory while the run executes; tail it with
+        ``repro-obs watch``.  The stream is closed when the run ends.
     """
     if config is not None and not isinstance(config, SimulatorConfig):
         config = SimulatorConfig(**dict(config))
+    if observer in (None, False) and (monitors or live_dir is not None):
+        observer = True
     if observer is True:
-        observer = Observer()
+        observer = Observer(monitors=monitors)
     elif observer is False:
         observer = None
+    if live_dir is not None:
+        from repro.obs import LiveBus
+
+        observer.attach_bus(LiveBus(live_dir))
     simulator = Simulator(platform, workflow, config=config, observer=observer)
     trace = simulator.run()
+    if observer is not None and observer.bus is not None:
+        observer.bus.close()
     return Result(trace, simulator.config, observer, simulator)

@@ -93,6 +93,11 @@ class CoreAllocator:
             obs = self.env.obs
             if obs is not None:
                 obs.on_task_blocked(task, WaitCause.CORES, detail=self.label)
+                obs.log_event(
+                    "compute", "cores_queued",
+                    host=self.label, task=task, cores=cores,
+                    free=self._free, queue=len(self._queue),
+                )
         return event
 
     def _release(self, cores: int) -> None:
@@ -112,6 +117,10 @@ class CoreAllocator:
                 # queued; a same-instant grant never opened one, and the
                 # observer ignores unmatched unblocks.
                 obs.on_task_unblocked(task, WaitCause.CORES)
+                obs.log_event(
+                    "compute", "cores_granted",
+                    host=self.label, task=task, cores=cores, free=self._free,
+                )
             event.succeed(CoreAllocation(self, cores))
 
     def _notify(self) -> None:

@@ -129,11 +129,16 @@ class Environment:
 
         obs = self.obs
         if obs is not None:
-            obs.on_event_processed()
+            obs.on_event_processed(when)
 
         if not event._ok and not event.defused:
             # An unhandled failure: re-raise so bugs surface loudly.
             exc = event.value
+            if obs is not None:
+                obs.log_event(
+                    "des", "sim_error",
+                    error=type(exc).__name__, detail=str(exc),
+                )
             raise exc
 
     def run(self, until: "float | Event | None" = None) -> Any:

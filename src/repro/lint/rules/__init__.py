@@ -23,6 +23,8 @@ Rule families (see ``docs/LINT.md`` for the full catalogue):
   ``repro.network``/``repro.perf``)
 * ``SIM07x`` — profiling hooks (wait causes must come from the closed
   ``WaitCause`` enum)
+* ``SIM08x`` — structured logging (no ad-hoc logging/stderr output in
+  simulator subsystems; diagnostics go through ``repro.obs.log``)
 * ``SIM1xx`` — whole-program determinism taint (engine-backed; see
   :mod:`repro.lint.semantic`)
 * ``SIM2xx`` — whole-program unit/dimension dataflow (engine-backed)

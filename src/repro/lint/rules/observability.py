@@ -1,4 +1,4 @@
-"""Observability rules (SIM040)."""
+"""Observability rules (SIM040, SIM080)."""
 
 from __future__ import annotations
 
@@ -53,4 +53,102 @@ class NoBarePrint(Rule):
                 and ctx.imports.resolve(child.func) == "print"
             ):
                 yield self.diagnostic(ctx, child, "bare print() in library code")
+            yield from self._scan(ctx, child)
+
+
+#: The simulator subsystems whose only sanctioned output channel is the
+#: structured event log (``Observer.log_event`` → ``repro.obs.log``).
+_SUBSYSTEM_DIRS = (
+    "des/", "network/", "storage/", "compute/", "wms/", "sweep/"
+)
+
+#: Stream attributes a subsystem must not write to directly.
+_STREAM_ATTRS = frozenset({"sys.stdout", "sys.stderr"})
+
+
+@register
+class NoAdHocSubsystemOutput(Rule):
+    """SIM080: no direct terminal/logging output in simulator subsystems.
+
+    SIM040 bans bare ``print()`` everywhere in library code; inside the
+    simulator subsystems the bar is higher — *any* ad-hoc output channel
+    (the :mod:`logging` module, direct ``sys.stdout``/``sys.stderr``
+    writes, ``warnings.warn``) bypasses the structured event log, so a
+    tailing tool and the post-run ``events.ndjson`` never see it.
+    """
+
+    id = "SIM080"
+    summary = "ad-hoc output channel in a simulator subsystem"
+    rationale = (
+        "Subsystem diagnostics must flow through the structured event "
+        "log (obs.log_event -> repro.obs.log/1): ad-hoc logging/stderr "
+        "writes are invisible to the live bus, the invariant monitors' "
+        "event chains, and the exported events.ndjson, and their wall-"
+        "clock timestamps break byte-identical post-run exports."
+    )
+    severity = Severity.ERROR
+    fix_hint = (
+        "emit a structured event via the observer "
+        "(obs.log_event(component, event, **fields)) instead"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if PurePath(ctx.path).name in _CLI_BASENAMES:
+            return False
+        return ctx.in_package_dir(*_SUBSYSTEM_DIRS)
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        yield from self._scan(ctx, ctx.tree)
+
+    def _scan(self, ctx: FileContext, node: ast.AST) -> Iterator[Diagnostic]:
+        for child in ast.iter_child_nodes(node):
+            if (
+                isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and child.name == "main"
+            ):
+                continue  # a main() entry point owns its terminal
+            if isinstance(child, ast.Import):
+                for alias in child.names:
+                    if alias.name.split(".")[0] == "logging":
+                        yield self.diagnostic(
+                            ctx, child,
+                            "logging module imported in a simulator subsystem",
+                        )
+            elif isinstance(child, ast.ImportFrom):
+                if (
+                    child.module
+                    and not child.level
+                    and child.module.split(".")[0] == "logging"
+                ):
+                    yield self.diagnostic(
+                        ctx, child,
+                        "logging module imported in a simulator subsystem",
+                    )
+            elif isinstance(child, ast.Call):
+                name = ctx.imports.resolve(child.func) or ""
+                if name == "warnings.warn":
+                    yield self.diagnostic(
+                        ctx, child,
+                        "warnings.warn() in a simulator subsystem",
+                    )
+                elif name.split(".")[0] == "logging":
+                    yield self.diagnostic(
+                        ctx, child,
+                        f"{name}() call in a simulator subsystem",
+                    )
+                elif isinstance(child.func, ast.Attribute):
+                    owner = ctx.imports.resolve(child.func.value)
+                    if owner in _STREAM_ATTRS:
+                        yield self.diagnostic(
+                            ctx, child,
+                            f"direct {owner} write in a simulator subsystem",
+                        )
+            elif isinstance(child, ast.keyword) and child.arg == "file":
+                target = ctx.imports.resolve(child.value)
+                if target in _STREAM_ATTRS:
+                    yield self.diagnostic(
+                        ctx, child.value,
+                        f"output redirected to {target} in a simulator "
+                        "subsystem",
+                    )
             yield from self._scan(ctx, child)

@@ -256,6 +256,7 @@ class FlowNetwork:
         obs = self.env.obs
         if obs is not None:
             obs.on_rate_solve(len(flows), len(capacities))
+            obs.on_rates_assigned(flows)
 
     def _next_completion_delay(self) -> Optional[float]:
         best: Optional[float] = None
@@ -352,6 +353,11 @@ class FlowNetwork:
             # The flow is already out of (or never entered) _flows, so
             # the count reflects concurrency after this completion.
             obs.on_flow_finished(flow, len(self._flows))
+            obs.log_event(
+                "network", "flow_completed",
+                label=flow.label, size=flow.size,
+                elapsed=flow.elapsed, active=len(self._flows),
+            )
         assert flow.done_event is not None
         flow.done_event.succeed(flow)
 
@@ -405,6 +411,7 @@ class FlowNetwork:
                 stats.links_touched - links,
                 solver_calls=stats.solver_calls - calls,
             )
+            obs.on_rates_assigned(list(self._flows.values()))
 
     def _peek_next_finish(self) -> Optional[float]:
         """Earliest valid completion time, lazily discarding stale heap

@@ -18,8 +18,16 @@ Quick start::
     ...                                 # build and run on env
     export_run(obs, "telemetry/")       # manifest + Perfetto trace + CSVs
 
+Live telemetry (watch a run while it executes)::
+
+    from repro.obs import LiveBus, Observer
+
+    obs = Observer(bus=LiveBus("telemetry/live"), monitors=True)
+    ...                                 # tail with `repro-obs watch`
+
 See ``docs/OBSERVABILITY.md`` for the probe API, the metric catalogue,
-exporter formats, and the Perfetto how-to.
+exporter formats, the live bus, invariant monitors, and the Perfetto
+how-to.
 """
 
 from repro.obs.exporters import (
@@ -27,6 +35,24 @@ from repro.obs.exporters import (
     export_run,
     write_chrome_trace,
     write_metric_csvs,
+)
+from repro.obs.invariants import (
+    BBOccupancyMonitor,
+    EventMonotonicityMonitor,
+    InvariantMonitor,
+    InvariantViolation,
+    LeaseBalanceMonitor,
+    LinkCapacityMonitor,
+    standard_monitors,
+)
+from repro.obs.live import LIVE_SCHEMA, LiveBus
+from repro.obs.log import (
+    COMPONENTS,
+    LOG_SCHEMA,
+    iter_ndjson,
+    make_event,
+    read_events,
+    write_events,
 )
 from repro.obs.manifest import (
     MANIFEST_SCHEMA,
@@ -36,10 +62,18 @@ from repro.obs.manifest import (
     write_manifest,
 )
 from repro.obs.observer import METRIC_GROUPS, Observer
-from repro.obs.probes import Counter, Gauge, MetricRegistry, TimeSeries
+from repro.obs.probes import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    TimeSeries,
+)
 from repro.obs.spans import Span, spans_from_record
 from repro.obs.validate import (
     validate_chrome_trace,
+    validate_events_ndjson,
+    validate_live_dir,
     validate_manifest,
     validate_metrics_dir,
     validate_obs_dir,
@@ -48,10 +82,21 @@ from repro.obs.validate import (
 from repro.obs.waits import WaitCause, WaitInterval
 
 __all__ = [
+    "COMPONENTS",
+    "LIVE_SCHEMA",
+    "LOG_SCHEMA",
     "MANIFEST_SCHEMA",
     "METRIC_GROUPS",
+    "BBOccupancyMonitor",
     "Counter",
+    "EventMonotonicityMonitor",
     "Gauge",
+    "Histogram",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "LeaseBalanceMonitor",
+    "LinkCapacityMonitor",
+    "LiveBus",
     "MetricRegistry",
     "Observer",
     "Span",
@@ -62,14 +107,21 @@ __all__ = [
     "chrome_trace",
     "config_from_manifest",
     "export_run",
+    "iter_ndjson",
+    "make_event",
     "platform_digest",
+    "read_events",
     "spans_from_record",
+    "standard_monitors",
     "validate_chrome_trace",
+    "validate_events_ndjson",
+    "validate_live_dir",
     "validate_manifest",
     "validate_metrics_dir",
     "validate_obs_dir",
     "validate_profile_doc",
     "write_chrome_trace",
+    "write_events",
     "write_manifest",
     "write_metric_csvs",
 ]

@@ -1,4 +1,8 @@
-"""``python -m repro.obs <dir>`` — validate exported telemetry."""
+"""``python -m repro.obs <dir>`` — validate exported telemetry.
+
+Kept as the bare-directories form of ``repro-obs validate`` for CI
+scripts that predate the ``repro-obs`` entry point.
+"""
 
 from repro.obs.validate import main
 

@@ -5,6 +5,8 @@ Layout of one exported run directory (``export_run``)::
     <dir>/
       manifest.json          # provenance (repro.obs.manifest)
       trace.json             # Chrome trace-event JSON (open in Perfetto)
+      events.ndjson          # structured event log (repro.obs.log/1),
+                             # written only when events were emitted
       metrics/
         index.csv            # metric name -> series file
         counters.csv         # metric,value
@@ -223,9 +225,18 @@ def export_run(
     write_manifest(manifest, directory / "manifest.json")
     write_chrome_trace(observer, directory / "trace.json", profile=profile)
     write_metric_csvs(observer, directory / "metrics")
+    if observer.events:
+        from repro.obs.log import write_events
+
+        # Deterministic copy: records keep ts=None (wall time only ever
+        # enters via the live bus's flush stamps).
+        write_events(observer.events, directory / "events.ndjson")
     if profile is not None:
         from repro.profile import write_flamegraph, write_profile
 
         write_profile(profile, directory / "profile.json")
         write_flamegraph(profile, directory / "profile.folded")
+    bus = observer.bus
+    if bus is not None:
+        bus.close()
     return directory

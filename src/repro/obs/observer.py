@@ -30,12 +30,27 @@ compute   per-host busy cores and allocation queue depth
 engine    ready-task depth, task lifecycle spans, completion counts
 des       kernel events processed
 ========  ==========================================================
+
+Beyond metrics, the observer carries three further channels:
+
+* **structured events** (:meth:`log_event`): the ``repro.obs.log/1``
+  record stream subsystems publish instead of printing (lint rule
+  SIM080), collected in :attr:`events` and exported deterministically;
+* **live bus** (``Observer(bus=LiveBus(...))``): events, span closes
+  and wait transitions stream to ``<obs-dir>/live/`` while the run
+  executes (see :mod:`repro.obs.live`);
+* **invariant monitors** (``Observer(monitors=True)``): online checks
+  that raise :class:`~repro.obs.invariants.InvariantViolation` with the
+  recent event chain at the timestep an invariant breaks.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Optional
+from collections import deque
+from typing import TYPE_CHECKING, Any, Iterable, Optional, Sequence
 
+from repro.obs.invariants import InvariantMonitor, standard_monitors
+from repro.obs.log import make_event
 from repro.obs.probes import MetricRegistry
 from repro.obs.spans import Span, spans_from_record
 from repro.obs.waits import WaitCause, WaitInterval
@@ -43,10 +58,15 @@ from repro.obs.waits import WaitCause, WaitInterval
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.des.environment import Environment
     from repro.network.flownet import Flow
+    from repro.obs.live import LiveBus
     from repro.traces.events import TaskRecord
 
 #: The metric groups an observer can collect, in documentation order.
 METRIC_GROUPS = ("storage", "network", "compute", "engine", "des")
+
+#: How many recent event records an observer retains for the violation
+#: chain (:attr:`Observer.recent_events`).
+RECENT_EVENT_WINDOW = 64
 
 
 class Observer:
@@ -57,9 +77,21 @@ class Observer:
     metrics:
         Iterable of group names to collect (see :data:`METRIC_GROUPS`);
         ``None`` collects everything.
+    bus:
+        A :class:`~repro.obs.live.LiveBus` to stream events, span
+        closes and wait transitions into while the run executes.
+    monitors:
+        ``True`` registers the standard invariant monitors
+        (:func:`~repro.obs.invariants.standard_monitors`); a sequence
+        registers those instances; ``None``/``False`` runs unmonitored.
     """
 
-    def __init__(self, metrics: Optional[Iterable[str]] = None) -> None:
+    def __init__(
+        self,
+        metrics: Optional[Iterable[str]] = None,
+        bus: Optional["LiveBus"] = None,
+        monitors: "bool | Sequence[InvariantMonitor] | None" = None,
+    ) -> None:
         groups = frozenset(metrics) if metrics is not None else frozenset(METRIC_GROUPS)
         unknown = groups - frozenset(METRIC_GROUPS)
         if unknown:
@@ -77,6 +109,14 @@ class Observer:
         #: Completed-flow records (label, size, interval) — the
         #: profiler's raw material for contention analysis.
         self.flows: list[dict] = []
+        #: Structured event records (``repro.obs.log/1``), in emission
+        #: order, wall-clock free (``ts`` is ``None``).
+        self.events: list[dict[str, Any]] = []
+        #: Sliding window of the most recent events — the violation
+        #: chain invariant monitors attach to their failures.
+        self.recent_events: deque[dict[str, Any]] = deque(
+            maxlen=RECENT_EVENT_WINDOW
+        )
         self.env: Optional["Environment"] = None
         # Group flags are plain attributes so enabled-path hooks pay one
         # attribute test, not a set lookup.
@@ -85,6 +125,37 @@ class Observer:
         self._compute = "compute" in groups
         self._engine = "engine" in groups
         self._des = "des" in groups
+        self._bus: Optional["LiveBus"] = None
+        if bus is not None:
+            self.attach_bus(bus)
+        if monitors is True:
+            monitor_list: list[InvariantMonitor] = standard_monitors()
+        elif monitors:
+            monitor_list = list(monitors)
+        else:
+            monitor_list = []
+        self.monitors: tuple[InvariantMonitor, ...] = tuple(monitor_list)
+        for monitor in self.monitors:
+            monitor.bind(self)
+        # Per-hook dispatch tuples, so a hook with no interested monitor
+        # pays one truthiness test on an empty tuple.
+        base = InvariantMonitor
+        self._mon_occupancy = tuple(
+            m for m in self.monitors
+            if type(m).on_storage_occupancy is not base.on_storage_occupancy
+        )
+        self._mon_rates = tuple(
+            m for m in self.monitors
+            if type(m).on_rates_assigned is not base.on_rates_assigned
+        )
+        self._mon_clock = tuple(
+            m for m in self.monitors
+            if type(m).on_event_processed is not base.on_event_processed
+        )
+        self._mon_lease = tuple(
+            m for m in self.monitors
+            if type(m).on_bb_lease is not base.on_bb_lease
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -115,10 +186,43 @@ class Observer:
         return self.env.now
 
     # ------------------------------------------------------------------
+    # Structured event log / live bus
+    # ------------------------------------------------------------------
+    def attach_bus(self, bus: "LiveBus") -> "LiveBus":
+        """Stream into ``bus`` from now on (one bus per observer)."""
+        if self._bus is not None and self._bus is not bus:
+            raise ValueError("observer already streams to another live bus")
+        bus.attach(self)
+        self._bus = bus
+        return bus
+
+    @property
+    def bus(self) -> Optional["LiveBus"]:
+        return self._bus
+
+    def log_event(self, component: str, event: str, **fields: Any) -> dict:
+        """Publish one structured event record (``repro.obs.log/1``).
+
+        The deterministic copy lands in :attr:`events` (wall-clock
+        free); an attached live bus receives a second copy that gets a
+        ``ts`` stamp at flush time.
+        """
+        sim_time = self.env.now if self.env is not None else 0.0
+        record = make_event(sim_time, component, event, fields)
+        self.events.append(record)
+        self.recent_events.append(record)
+        bus = self._bus
+        if bus is not None:
+            bus.push({"kind": "event", **record})
+        return record
+
+    # ------------------------------------------------------------------
     # Storage hooks
     # ------------------------------------------------------------------
     def on_storage_occupancy(self, service: str, used: float, capacity: float) -> None:
         """A service's content table changed (file added or deleted)."""
+        for monitor in self._mon_occupancy:
+            monitor.on_storage_occupancy(service, used, capacity)
         if not self._storage:
             return
         self.registry.timeseries(f"storage.{service}.occupancy_bytes").sample(
@@ -180,6 +284,16 @@ class Observer:
         self.registry.counter("network.links_touched").inc(links_touched)
         self.registry.counter("network.flows_solved").inc(flows_solved)
 
+    def on_rates_assigned(self, flows: "Iterable[Flow]") -> None:
+        """The allocator settled rates for the active flow set.
+
+        Pure monitor feed: the metric story is already told by
+        :meth:`on_rate_solve`; this hook exists so capacity monitors see
+        the *assigned* rates, not just solver call counts.
+        """
+        for monitor in self._mon_rates:
+            monitor.on_rates_assigned(flows)
+
     # ------------------------------------------------------------------
     # Compute hooks
     # ------------------------------------------------------------------
@@ -209,7 +323,20 @@ class Observer:
         if not self._engine:
             return
         self.registry.counter("engine.tasks_completed").inc()
-        self.spans.extend(spans_from_record(record, category))
+        spans = spans_from_record(record, category)
+        self.spans.extend(spans)
+        bus = self._bus
+        if bus is not None:
+            for span in spans:
+                bus.push({
+                    "kind": "span_close",
+                    "sim_time": span.end,
+                    "name": span.name,
+                    "category": span.category,
+                    "track": span.track,
+                    "start": span.start,
+                    "end": span.end,
+                })
 
     # ------------------------------------------------------------------
     # Wait-cause hooks (the profiler's causal signal)
@@ -227,7 +354,18 @@ class Observer:
         """
         if not self._engine:
             return
-        self._open_waits.setdefault((task, WaitCause(cause)), (self.now, detail))
+        key = (task, WaitCause(cause))
+        if key not in self._open_waits:
+            self._open_waits[key] = (self.now, detail)
+            bus = self._bus
+            if bus is not None:
+                bus.push({
+                    "kind": "wait_open",
+                    "sim_time": self.now,
+                    "task": task,
+                    "cause": key[1].value,
+                    "detail": detail,
+                })
 
     def on_task_unblocked(self, task: str, cause: WaitCause) -> None:
         """``task`` resumed after a :meth:`on_task_blocked` for ``cause``.
@@ -244,6 +382,15 @@ class Observer:
         if opened is None:
             return
         start, detail = opened
+        bus = self._bus
+        if bus is not None:
+            bus.push({
+                "kind": "wait_close",
+                "sim_time": self.now,
+                "task": task,
+                "cause": WaitCause(cause).value,
+                "start": start,
+            })
         if self.now <= start:
             return
         interval = WaitInterval(
@@ -259,9 +406,30 @@ class Observer:
         )
 
     # ------------------------------------------------------------------
+    # Burst-buffer lease hooks
+    # ------------------------------------------------------------------
+    def on_bb_lease(
+        self, action: str, granules: int, free: int, total: int, job: str
+    ) -> None:
+        """The BB provisioner queued, granted, or released a lease.
+
+        ``free``/``total`` are the provisioner's granule counts *after*
+        the action, so lease-balance monitors can cross-check its ledger
+        against their own running total.
+        """
+        self.log_event(
+            "storage", f"bb_lease_{action}",
+            granules=granules, free=free, total=total, job=job,
+        )
+        for monitor in self._mon_lease:
+            monitor.on_bb_lease(action, granules, free, total, job)
+
+    # ------------------------------------------------------------------
     # DES kernel hooks
     # ------------------------------------------------------------------
-    def on_event_processed(self) -> None:
+    def on_event_processed(self, when: Optional[float] = None) -> None:
+        for monitor in self._mon_clock:
+            monitor.on_event_processed(when)
         if not self._des:
             return
         self.registry.counter("des.events_processed").inc()

@@ -10,7 +10,10 @@ Three probe kinds cover every signal the simulator publishes:
   buffer occupancy, busy cores, concurrent flows).  Discrete-event
   simulations make push-on-change sampling exact: between samples the
   value cannot have changed, so no periodic sampler process is needed
-  (and none could perturb the simulation).
+  (and none could perturb the simulation);
+* :class:`Histogram` — bucketed observations of a repeated quantity
+  (per-point wall times in a sweep campaign), for cheap percentile
+  estimates without keeping every sample.
 
 Probes live in a :class:`MetricRegistry`, created lazily by name so
 instrumentation points never need declaring metrics up front.
@@ -18,7 +21,7 @@ instrumentation points never need declaring metrics up front.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Sequence
 
 
 class Counter:
@@ -103,6 +106,74 @@ class TimeSeries:
         return f"<TimeSeries {self.name}: {len(self)} samples>"
 
 
+#: Default histogram bucket upper bounds, in seconds: tuned for the
+#: wall times of sweep points (sub-second micro points up to ten-minute
+#: full-scale simulations).  The implicit final bucket is +inf.
+DEFAULT_SECONDS_BUCKETS = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0,
+)
+
+
+class Histogram:
+    """Bucketed observations with cumulative counts (Prometheus-style).
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; an
+    implicit +inf bucket catches everything above the last bound.
+    ``counts[i]`` is the number of observations ``<= bounds[i]`` (the
+    +inf count is :attr:`count`).
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum")
+
+    def __init__(
+        self, name: str, bounds: Sequence[float] = DEFAULT_SECONDS_BUCKETS
+    ) -> None:
+        if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram {name!r}: bounds must be strictly increasing"
+            )
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * len(self.bounds)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-resolution quantile estimate (upper bound of the bucket
+        holding the ``q``-th observation); ``None`` when empty, and the
+        last finite bound when the quantile lands in the +inf bucket."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        for bound, cumulative in zip(self.bounds, self.counts):
+            if cumulative >= rank:
+                return bound
+        return self.bounds[-1]
+
+    def snapshot(self) -> dict:
+        """JSON-ready view: cumulative ``(le, count)`` pairs plus totals."""
+        return {
+            "buckets": [
+                {"le": bound, "count": cumulative}
+                for bound, cumulative in zip(self.bounds, self.counts)
+            ],
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Histogram {self.name}: {self.count} observations>"
+
+
 class MetricRegistry:
     """Lazily-created probes, addressed by dotted metric name.
 
@@ -116,6 +187,7 @@ class MetricRegistry:
         self.counters: dict[str, Counter] = {}
         self.gauges: dict[str, Gauge] = {}
         self.series: dict[str, TimeSeries] = {}
+        self.histograms: dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
         probe = self.counters.get(name)
@@ -138,13 +210,29 @@ class MetricRegistry:
             probe = self.series[name] = TimeSeries(name)
         return probe
 
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_SECONDS_BUCKETS
+    ) -> Histogram:
+        probe = self.histograms.get(name)
+        if probe is None:
+            self._claim(name)
+            probe = self.histograms[name] = Histogram(name, bounds)
+        return probe
+
     def _claim(self, name: str) -> None:
-        if name in self.counters or name in self.gauges or name in self.series:
+        if (
+            name in self.counters
+            or name in self.gauges
+            or name in self.series
+            or name in self.histograms
+        ):
             raise ValueError(f"metric {name!r} already exists with another kind")
 
     def names(self) -> list[str]:
         """Every registered metric name, sorted."""
-        return sorted([*self.counters, *self.gauges, *self.series])
+        return sorted(
+            [*self.counters, *self.gauges, *self.series, *self.histograms]
+        )
 
     def snapshot(self) -> dict:
         """Plain-data view of every probe (JSON-ready)."""
@@ -155,7 +243,15 @@ class MetricRegistry:
                 n: {"times": list(s.times), "values": list(s.values)}
                 for n, s in sorted(self.series.items())
             },
+            "histograms": {
+                n: h.snapshot() for n, h in sorted(self.histograms.items())
+            },
         }
 
     def __len__(self) -> int:
-        return len(self.counters) + len(self.gauges) + len(self.series)
+        return (
+            len(self.counters)
+            + len(self.gauges)
+            + len(self.series)
+            + len(self.histograms)
+        )

@@ -50,8 +50,24 @@ def validate_manifest(doc: Any) -> list[str]:
                 if key not in config:
                     errors.append(f"manifest: config missing {key!r}")
     platform = doc.get("platform")
-    if platform is not None and not isinstance(platform.get("digest"), str):
-        errors.append("manifest: platform.digest missing or not a string")
+    if platform is not None:
+        # A non-dict platform used to crash with AttributeError (and a
+        # crash in a list comprehension upstream let some malformed
+        # manifests validate clean) — check the shape first.
+        if not isinstance(platform, dict):
+            errors.append("manifest: platform is not an object")
+        elif not isinstance(platform.get("digest"), str):
+            errors.append("manifest: platform.digest missing or not a string")
+    metrics = doc.get("metrics")
+    if metrics is not None and (
+        not isinstance(metrics, list)
+        or not all(isinstance(name, str) for name in metrics)
+    ):
+        errors.append("manifest: metrics is not a list of metric names")
+    for key in ("workflow", "result"):
+        value = doc.get(key)
+        if value is not None and not isinstance(value, dict):
+            errors.append(f"manifest: {key} is not an object")
     return errors
 
 
@@ -199,6 +215,156 @@ def validate_metrics_dir(directory: "str | Path") -> list[str]:
 
 
 # ----------------------------------------------------------------------
+# Structured event log (repro.obs.log/1)
+# ----------------------------------------------------------------------
+def validate_events_ndjson(path: "str | Path") -> list[str]:
+    """Validate an ``events.ndjson`` stream (header + event envelopes)."""
+    from repro.obs.log import COMPONENTS, LOG_SCHEMA, iter_ndjson
+
+    path = Path(path)
+    errors: list[str] = []
+    try:
+        records = list(iter_ndjson(path))
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"events: unreadable NDJSON ({error})"]
+    if not records:
+        return ["events: empty stream (missing schema header)"]
+    header = records[0]
+    if not isinstance(header, dict) or header.get("schema") != LOG_SCHEMA:
+        errors.append(
+            f"events: header schema is "
+            f"{header.get('schema') if isinstance(header, dict) else header!r}, "
+            f"expected {LOG_SCHEMA!r}"
+        )
+        return errors
+    for i, record in enumerate(records[1:], start=1):
+        if not isinstance(record, dict):
+            errors.append(f"events: record #{i} is not an object")
+            continue
+        missing = {"sim_time", "component", "event", "fields"} - record.keys()
+        if missing:
+            errors.append(
+                f"events: record #{i} missing {sorted(missing)}"
+            )
+            continue
+        if record["component"] not in COMPONENTS:
+            errors.append(
+                f"events: record #{i} has unknown component "
+                f"{record['component']!r} (expected one of {list(COMPONENTS)})"
+            )
+        if not isinstance(record["sim_time"], (int, float)):
+            errors.append(f"events: record #{i} has non-numeric sim_time")
+        elif record["sim_time"] < 0:
+            errors.append(
+                f"events: record #{i} has negative sim_time {record['sim_time']}"
+            )
+        if not isinstance(record["event"], str) or not record["event"]:
+            errors.append(f"events: record #{i} has no event name")
+        if not isinstance(record["fields"], dict):
+            errors.append(f"events: record #{i} fields is not an object")
+        ts = record.get("ts")
+        if ts is not None and not isinstance(ts, (int, float)):
+            errors.append(f"events: record #{i} has non-numeric ts {ts!r}")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# Live telemetry directory (repro.obs.live/1)
+# ----------------------------------------------------------------------
+def validate_live_dir(directory: "str | Path") -> list[str]:
+    """Validate a live-bus directory (snapshots, events, heartbeat).
+
+    Mid-flight directories are valid: a truncated final line is the
+    producer mid-write, and ``closed: false`` in the heartbeat just
+    means the run is still going.
+    """
+    from repro.obs.live import LIVE_SCHEMA
+    from repro.obs.log import iter_ndjson
+
+    directory = Path(directory)
+    errors: list[str] = []
+
+    snapshots_path = directory / "snapshots.ndjson"
+    if not snapshots_path.is_file():
+        errors.append("live: missing snapshots.ndjson")
+    else:
+        try:
+            records = list(iter_ndjson(snapshots_path))
+        except (OSError, json.JSONDecodeError) as error:
+            records = []
+            errors.append(f"live: snapshots.ndjson unreadable ({error})")
+        if records:
+            if records[0].get("schema") != LIVE_SCHEMA:
+                errors.append(
+                    f"live: snapshots header schema is "
+                    f"{records[0].get('schema')!r}, expected {LIVE_SCHEMA!r}"
+                )
+            last_seq: Optional[int] = None
+            for i, snap in enumerate(records[1:], start=1):
+                seq = snap.get("seq")
+                if not isinstance(seq, int):
+                    errors.append(f"live: snapshot #{i} has no integer seq")
+                    continue
+                if last_seq is not None and seq <= last_seq:
+                    errors.append(
+                        f"live: snapshot #{i} seq {seq} does not increase "
+                        f"past {last_seq}"
+                    )
+                last_seq = seq
+                for key in ("counters", "gauges", "series"):
+                    if not isinstance(snap.get(key), dict):
+                        errors.append(f"live: snapshot #{i} missing {key!r}")
+                dropped = snap.get("dropped")
+                if not isinstance(dropped, int) or dropped < 0:
+                    errors.append(
+                        f"live: snapshot #{i} has bad dropped count {dropped!r}"
+                    )
+        elif not errors:
+            errors.append("live: snapshots.ndjson has no schema header")
+
+    events_path = directory / "events.ndjson"
+    if events_path.is_file():
+        from repro.obs.live import LIVE_SCHEMA as _live_schema
+
+        try:
+            records = list(iter_ndjson(events_path))
+        except (OSError, json.JSONDecodeError) as error:
+            records = []
+            errors.append(f"live: events.ndjson unreadable ({error})")
+        if records and records[0].get("schema") != _live_schema:
+            errors.append(
+                f"live: events header schema is {records[0].get('schema')!r}, "
+                f"expected {_live_schema!r}"
+            )
+        for i, record in enumerate(records[1:], start=1):
+            if not isinstance(record.get("kind"), str):
+                errors.append(f"live: event #{i} has no kind")
+            if not isinstance(record.get("ts"), (int, float)):
+                errors.append(f"live: event #{i} has no wall-clock ts")
+
+    heartbeat_path = directory / "heartbeat.json"
+    if heartbeat_path.is_file():
+        try:
+            heartbeat = json.loads(heartbeat_path.read_text())
+        except json.JSONDecodeError as error:
+            heartbeat = None
+            errors.append(f"live: heartbeat.json invalid JSON ({error})")
+        if heartbeat is not None:
+            if not isinstance(heartbeat, dict):
+                errors.append("live: heartbeat.json is not an object")
+            else:
+                if not isinstance(heartbeat.get("ts"), (int, float)):
+                    errors.append("live: heartbeat has no numeric ts")
+                if not isinstance(heartbeat.get("seq"), int):
+                    errors.append("live: heartbeat has no integer seq")
+                if not isinstance(heartbeat.get("closed"), bool):
+                    errors.append("live: heartbeat has no closed flag")
+    else:
+        errors.append("live: missing heartbeat.json")
+    return errors
+
+
+# ----------------------------------------------------------------------
 # Critical-path profile
 # ----------------------------------------------------------------------
 def validate_profile_doc(doc: Any) -> list[str]:
@@ -327,17 +493,54 @@ def validate_obs_dir(directory: "str | Path") -> list[str]:
             errors.extend(validate_profile_doc(json.loads(profile_path.read_text())))
         except json.JSONDecodeError as error:
             errors.append(f"profile: invalid JSON ({error})")
+
+    # events.ndjson and live/ are optional; when present they must be
+    # valid repro.obs.log/1 and repro.obs.live/1 streams.
+    events_path = directory / "events.ndjson"
+    if events_path.is_file():
+        errors.extend(validate_events_ndjson(events_path))
+    live_dir = directory / "live"
+    if live_dir.is_dir():
+        errors.extend(validate_live_dir(live_dir))
     return errors
 
 
+#: Which file each validator's error prefix points at, so the CLI can
+#: name the failing file rather than just the directory.
+_COMPONENT_FILES = {
+    "manifest": "manifest.json",
+    "trace": "trace.json",
+    "metrics": "metrics",
+    "profile": "profile.json",
+    "events": "events.ndjson",
+    "live": "live",
+}
+
+
+def error_path(directory: "str | Path", error: str) -> Path:
+    """The file an error string from :func:`validate_obs_dir` refers to."""
+    directory = Path(directory)
+    component = error.split(":", 1)[0]
+    if error.startswith("missing "):
+        component = error[len("missing "):].rstrip("/ ").partition(".")[0]
+        if component == "metrics":
+            return directory / "metrics"
+    name = _COMPONENT_FILES.get(component)
+    return directory / name if name else directory
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI: validate one or more telemetry directories."""
+    """CLI: validate one or more telemetry directories.
+
+    Exits non-zero when *any* directory has *any* schema violation, and
+    names the failing file in each diagnostic.
+    """
     import argparse
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
         description="Validate exported simulation telemetry "
-        "(manifest, Chrome trace, metric CSVs).",
+        "(manifest, Chrome trace, metric CSVs, event log, live stream).",
     )
     parser.add_argument("directories", nargs="+", help="telemetry directories")
     args = parser.parse_args(argv)
@@ -348,7 +551,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if errors:
             failed = True
             for error in errors:
-                print(f"{directory}: {error}", file=sys.stderr)
+                print(f"{error_path(directory, error)}: {error}", file=sys.stderr)
         else:
             print(f"{directory}: ok")
     return 1 if failed else 0

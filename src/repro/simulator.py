@@ -247,16 +247,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--obs-dir, also write profile.json + profile.folded and "
         "annotate the Perfetto trace",
     )
+    parser.add_argument(
+        "--live",
+        help="stream live telemetry into this directory while the run "
+        "executes (tail with `repro-obs watch`)",
+    )
+    parser.add_argument(
+        "--monitors",
+        action="store_true",
+        help="run the online invariant monitors (BB occupancy, link "
+        "capacity, clock monotonicity, lease balance); a violation "
+        "aborts the run with the offending event chain",
+    )
     args = parser.parse_args(argv)
 
     observer: Optional[Observer] = None
-    if args.obs_dir or args.obs_metrics or args.profile:
+    if (args.obs_dir or args.obs_metrics or args.profile or args.live
+            or args.monitors):
         groups = (
             [g.strip() for g in args.obs_metrics.split(",") if g.strip()]
             if args.obs_metrics
             else None
         )
-        observer = Observer(metrics=groups)
+        observer = Observer(metrics=groups, monitors=args.monitors)
+        if args.live:
+            from repro.obs import LiveBus
+
+            observer.attach_bus(LiveBus(args.live))
 
     simulator = Simulator(
         Path(args.platform),
@@ -301,6 +318,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.obs_dir, trace=trace, profile=profile
         )
         print(f"telemetry written to {directory}")
+    elif observer is not None and observer.bus is not None:
+        observer.bus.close()  # export_run closes it on the --obs-dir path
     return 0
 
 

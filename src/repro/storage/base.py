@@ -118,11 +118,22 @@ class StorageService(abc.ABC):
         self._reserve(file)
         self._contents[file.name] = file
         self._notify_occupancy()
+        self._log_content_event("file_added", file)
 
     def delete(self, file: File) -> None:
         """Remove ``file``, freeing its space (no-op if absent)."""
         if self._contents.pop(file.name, None) is not None:
             self._notify_occupancy()
+            self._log_content_event("file_deleted", file)
+
+    def _log_content_event(self, event: str, file: File) -> None:
+        obs = self.env.obs
+        if obs is not None:
+            obs.log_event(
+                "storage", event,
+                service=self.name, file=file.name, size=file.size,
+                used=self.used,
+            )
 
     def _notify_occupancy(self) -> None:
         """Publish the occupancy sample after a content-table change."""
@@ -138,6 +149,13 @@ class StorageService(abc.ABC):
 
     def _reserve(self, file: File) -> None:
         if file.size > self.free_space:
+            obs = self.env.obs
+            if obs is not None:
+                obs.log_event(
+                    "storage", "insufficient_storage",
+                    service=self.name, file=file.name, need=file.size,
+                    free=self.free_space,
+                )
             raise InsufficientStorage(
                 f"{self.name}: cannot store {file.name!r} "
                 f"({file.size:.3e} B > {self.free_space:.3e} B free)"

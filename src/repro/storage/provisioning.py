@@ -211,11 +211,21 @@ class BBProvisioner:
             obs = self.env.obs
             if obs is not None:
                 obs.on_task_blocked(job, WaitCause.BB_CAPACITY, detail="bb-pool")
+                obs.on_bb_lease(
+                    "queued", granules, self.free_granules,
+                    self.total_granules, job,
+                )
         return event
 
     def _release(self, lease: BBLease) -> None:
         for host, granules in lease.per_host_granules.items():
             self._free[host] += granules
+        obs = self.env.obs
+        if obs is not None:
+            obs.on_bb_lease(
+                "released", lease.allocation.granules, self.free_granules,
+                self.total_granules, "",
+            )
         self._grant()
 
     def _grant(self) -> None:
@@ -226,6 +236,11 @@ class BBProvisioner:
             if obs is not None:
                 obs.on_task_unblocked(job, WaitCause.BB_CAPACITY)
             event.succeed(self._carve(granules, job))
+            if obs is not None:
+                obs.on_bb_lease(
+                    "granted", granules, self.free_granules,
+                    self.total_granules, job,
+                )
 
     def _carve(self, granules: int, job: str) -> BBLease:
         """Assign ``granules`` round-robin over nodes with free space."""

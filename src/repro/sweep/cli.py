@@ -11,7 +11,9 @@ Caching is on by default (``results/.cache/``); ``--no-cache`` disables
 it and ``--cache-dir`` relocates it.  ``--obs-dir`` namespaces
 per-point telemetry into ``<obs-dir>/<experiment>/<point-id>/`` and
 fails fast on collision.  ``--stats-json`` exports the campaign's
-telemetry counters (points completed/cached/failed, wall time).
+telemetry counters (points completed/cached/failed, wall time,
+point-latency histogram).  ``--live`` streams progress into
+``<LIVE>/<experiment>/`` for ``repro-obs watch``.
 """
 
 from __future__ import annotations
@@ -66,6 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--obs-dir",
                         help="namespace per-point telemetry into "
                         "<obs-dir>/<experiment>/<point-id>/ (collision fails fast)")
+    parser.add_argument("--live",
+                        help="stream live sweep progress into "
+                        "<LIVE>/<experiment>/ (tail with `repro-obs watch`)")
     parser.add_argument("--output-dir",
                         help="write <id>.json and <id>.csv into this directory")
     parser.add_argument("--stats-json",
@@ -111,6 +116,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             timeout=args.timeout,
             cache_dir=None if args.no_cache else Path(args.cache_dir),
             obs_dir=Path(args.obs_dir) / experiment_id if args.obs_dir else None,
+            live_dir=Path(args.live) / experiment_id if args.live else None,
             telemetry=telemetry,
         )
         try:

@@ -1,0 +1,114 @@
+"""Live sweep progress: the stream ``repro-obs watch`` tails.
+
+The sweep runner is a harness, so its live stream is simpler than the
+simulator's bus: one writer appending point-lifecycle records to
+``<live-dir>/sweep.ndjson`` (``repro.sweep.live/1``) and atomically
+rewriting ``<live-dir>/heartbeat.json`` after every record.
+
+Record envelope (after the ``{"schema": ...}`` header line):
+
+========== ==========================================================
+field      meaning
+========== ==========================================================
+``ts``     wall-clock seconds
+``event``  ``point_started`` / ``point_completed`` / ``point_cached``
+           / ``point_failed`` / ``point_retry`` / ``sweep_done``
+``point_id`` the point (absent on ``sweep_done``)
+``duration`` attempt wall time, on completions/failures
+``progress`` counter snapshot: completed/cached/failed/retried/
+           in_flight/total
+========== ==========================================================
+
+The heartbeat carries the same progress snapshot plus the start
+timestamp of every in-flight point, so a watcher can show per-worker
+heartbeat age without parsing the whole stream.  All timestamps are
+wall-clock (this is harness telemetry; SIM001 pragmas mark the reads).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.sweep.telemetry import SweepTelemetry
+
+#: Sweep live-stream format identifier.
+SWEEP_LIVE_SCHEMA = "repro.sweep.live/1"
+
+
+class SweepLiveWriter:
+    """Appends point-lifecycle records and maintains the heartbeat."""
+
+    def __init__(
+        self,
+        directory: "str | Path",
+        telemetry: SweepTelemetry,
+        clock: Callable[[], float] = time.time,  # lint: ignore[SIM001] — harness wall time
+    ) -> None:
+        self.directory = Path(directory)
+        self.telemetry = telemetry
+        self._clock = clock
+        self._stream: Optional[Path] = None
+        #: point_id -> wall-clock start of its current attempt.
+        self.in_flight: dict[str, float] = {}
+        self.closed = False
+
+    def _progress(self) -> dict[str, Any]:
+        t = self.telemetry
+        return {
+            "completed": t.completed.value,
+            "cached": t.cached.value,
+            "failed": t.failed.value,
+            "retried": t.retried.value,
+            "in_flight": t.in_flight.value,
+            "total": t.total.value,
+        }
+
+    def record(self, event: str, point_id: Optional[str] = None,
+               **fields: Any) -> None:
+        """Append one lifecycle record and refresh the heartbeat."""
+        if self.closed:
+            return
+        ts = self._clock()
+        if event == "point_started" and point_id is not None:
+            self.in_flight[point_id] = ts
+        elif point_id is not None:
+            self.in_flight.pop(point_id, None)
+        doc = {"ts": ts, "event": event, "progress": self._progress()}
+        if point_id is not None:
+            doc["point_id"] = point_id
+        doc.update(fields)
+        if self._stream is None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._stream = self.directory / "sweep.ndjson"
+            self._stream.write_text(
+                json.dumps({"schema": SWEEP_LIVE_SCHEMA}, sort_keys=True) + "\n"
+            )
+        with self._stream.open("a") as fh:
+            fh.write(json.dumps(doc, sort_keys=True) + "\n")
+        self._write_heartbeat(ts)
+
+    def close(self) -> None:
+        """Record the terminal ``sweep_done`` event and stop writing."""
+        if self.closed:
+            return
+        self.record("sweep_done")
+        self.closed = True
+        self._write_heartbeat(self._clock())  # stamp closed: true
+
+    def _write_heartbeat(self, ts: float) -> None:
+        doc = {
+            "schema": SWEEP_LIVE_SCHEMA,
+            "ts": ts,
+            "sweep_id": self.telemetry.sweep_id,
+            "progress": self._progress(),
+            "in_flight": dict(sorted(self.in_flight.items())),
+            "closed": self.closed,
+        }
+        path = self.directory / "heartbeat.json"
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(doc, sort_keys=True) + "\n")
+        os.replace(tmp, path)

@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Any, Mapping, Optional
 
 from repro.sweep.cache import SweepCache, point_key, point_key_doc
+from repro.sweep.live import SweepLiveWriter
 from repro.sweep.spec import SweepSpec, resolve_func, sanitize_point_id
 from repro.sweep.telemetry import SweepTelemetry
 
@@ -70,6 +71,7 @@ class SweepOptions:
     timeout: Optional[float] = None
     cache_dir: Optional[Path] = None
     obs_dir: Optional[Path] = None
+    live_dir: Optional[Path] = None
     telemetry: Optional[SweepTelemetry] = None
 
     def make_cache(self) -> Optional[SweepCache]:
@@ -86,6 +88,7 @@ class SweepOptions:
             timeout=self.timeout,
             cache=self.make_cache(),
             obs_dir=self.obs_dir,
+            live_dir=self.live_dir,
             telemetry=self.telemetry,
             strict=strict,
         )
@@ -195,6 +198,7 @@ def run_sweep(
     timeout: Optional[float] = None,
     cache: Optional[SweepCache] = None,
     obs_dir: "str | Path | None" = None,
+    live_dir: "str | Path | None" = None,
     telemetry: Optional[SweepTelemetry] = None,
     strict: bool = True,
 ) -> SweepOutcome:
@@ -220,6 +224,10 @@ def run_sweep(
     obs_dir:
         Base directory for per-point telemetry; each point gets its own
         ``<obs-dir>/<point-id>/`` (collision → :class:`SweepError`).
+    live_dir:
+        Directory for the live progress stream (``repro.sweep.live/1``
+        — ``sweep.ndjson`` + ``heartbeat.json``), the feed that
+        ``repro-obs watch`` tails.  ``None`` disables it.
     strict:
         Raise :class:`SweepError` if any point is still failed after
         retries (default); ``False`` leaves failures in the outcome.
@@ -232,6 +240,11 @@ def run_sweep(
         raise ValueError(f"timeout must be positive, got {timeout}")
 
     telemetry = telemetry or SweepTelemetry(spec.sweep_id)
+    live = (
+        SweepLiveWriter(Path(live_dir), telemetry)
+        if live_dir is not None
+        else None
+    )
     started = time.monotonic()  # lint: ignore[SIM001] — harness wall time
     ordered = spec.points_by_id()
     telemetry.total.set(float(len(ordered)))
@@ -261,16 +274,20 @@ def run_sweep(
                     cache_key=key,
                 )
                 telemetry.cached.inc()
+                if live is not None:
+                    live.record("point_cached", pid)
                 continue
         to_run[pid] = params
 
     if to_run:
         if workers == 1:
-            _run_serial(spec, to_run, outcomes, retries, telemetry, point_dirs)
+            _run_serial(
+                spec, to_run, outcomes, retries, telemetry, point_dirs, live
+            )
         else:
             _run_parallel(
                 spec, to_run, outcomes, workers, retries, timeout,
-                telemetry, point_dirs,
+                telemetry, point_dirs, live,
             )
         for pid, outcome in outcomes.items():
             if outcome.status == "completed" and cache is not None:
@@ -285,6 +302,8 @@ def run_sweep(
     )
     result.wall_time_s = time.monotonic() - started  # lint: ignore[SIM001]
     telemetry.wall_time.set(result.wall_time_s)
+    if live is not None:
+        live.close()
 
     if layout is not None:
         for pid, outcome in outcomes.items():
@@ -324,6 +343,7 @@ def _run_serial(
     retries: int,
     telemetry: SweepTelemetry,
     point_dirs: dict[str, Path],
+    live: Optional[SweepLiveWriter] = None,
 ) -> None:
     """In-process execution, sequential, in point-id order."""
     for pid, params in to_run.items():
@@ -335,20 +355,35 @@ def _run_serial(
             attempts += 1
             if attempts > 1:
                 telemetry.retried.inc()
+                if live is not None:
+                    live.record("point_retry", pid, attempt=attempts)
                 time.sleep(_backoff_delay(attempts - 1))
+            telemetry.in_flight.set(1.0)
+            if live is not None:
+                live.record("point_started", pid, attempt=attempts)
+            begin = time.monotonic()  # lint: ignore[SIM001] — harness wall time
             try:
                 value = _canonical(
                     _execute_point(spec.func, params, _obs_arg(spec, point_dirs, pid))
                 )
                 status = "completed"
                 error = None
-                break
             except Exception as exc:  # noqa: BLE001 - reported per point
                 error = f"{type(exc).__name__}: {exc}"
+            finally:
+                duration = time.monotonic() - begin  # lint: ignore[SIM001]
+                telemetry.in_flight.set(0.0)
+                telemetry.point_seconds.observe(duration)
+            if status == "completed":
+                break
         if status == "completed":
             telemetry.completed.inc()
+            if live is not None:
+                live.record("point_completed", pid, duration=duration)
         else:
             telemetry.failed.inc()
+            if live is not None:
+                live.record("point_failed", pid, duration=duration, error=error)
         outcomes[pid] = PointOutcome(
             point_id=pid, params=params, value=value,
             status=status, attempts=attempts, error=error,
@@ -383,6 +418,7 @@ class _RunningPoint:
     proc: multiprocessing.Process
     conn: "multiprocessing.connection.Connection"
     deadline: Optional[float]  # None = no timeout
+    started: float = 0.0       # monotonic start, for the wall-time histogram
 
 
 def _reap(proc: multiprocessing.Process) -> Optional[int]:
@@ -411,6 +447,7 @@ def _run_parallel(
     timeout: Optional[float],
     telemetry: SweepTelemetry,
     point_dirs: dict[str, Path],
+    live: Optional[SweepLiveWriter] = None,
 ) -> None:
     """Worker-process execution with per-point timeout and retries.
 
@@ -446,14 +483,16 @@ def _run_parallel(
         )
         proc.start()
         send_conn.close()  # worker holds the only send end now
-        deadline = (
-            time.monotonic() + timeout  # lint: ignore[SIM001] — harness timeout
-            if timeout is not None
-            else None
-        )
-        running.append(_RunningPoint(pid, proc, recv_conn, deadline))
+        now = time.monotonic()  # lint: ignore[SIM001] — harness timeout
+        deadline = now + timeout if timeout is not None else None
+        running.append(_RunningPoint(pid, proc, recv_conn, deadline, now))
+        telemetry.in_flight.set(float(len(running)))
+        if live is not None:
+            live.record("point_started", pid, attempt=attempts[pid])
 
-    def settle(pid: str, tag: str, payload: Any, now: float) -> None:
+    def settle(pid: str, tag: str, payload: Any, now: float,
+               duration: float = 0.0) -> None:
+        telemetry.point_seconds.observe(duration)
         if tag == "ok":
             outcomes[pid] = PointOutcome(
                 point_id=pid,
@@ -463,10 +502,17 @@ def _run_parallel(
                 attempts=attempts[pid],
             )
             telemetry.completed.inc()
+            if live is not None:
+                live.record("point_completed", pid, duration=duration)
             return
         errors[pid] = payload
         if attempts[pid] <= retries:
             resubmit_at[pid] = now + _backoff_delay(attempts[pid])
+            if live is not None:
+                live.record(
+                    "point_retry", pid,
+                    attempt=attempts[pid], duration=duration, error=payload,
+                )
         else:
             outcomes[pid] = PointOutcome(
                 point_id=pid,
@@ -477,6 +523,10 @@ def _run_parallel(
                 error=errors[pid],
             )
             telemetry.failed.inc()
+            if live is not None:
+                live.record(
+                    "point_failed", pid, duration=duration, error=payload
+                )
 
     try:
         while queued or running or resubmit_at:
@@ -520,7 +570,7 @@ def _run_parallel(
                             f"WorkerCrash: worker exited with code {code} "
                             "before producing a result",
                         )
-                    settle(r.pid, tag, payload, now)
+                    settle(r.pid, tag, payload, now, now - r.started)
                 elif not alive:
                     r.conn.close()
                     code = _reap(r.proc)
@@ -530,6 +580,7 @@ def _run_parallel(
                         f"WorkerCrash: worker exited with code {code} "
                         "before producing a result",
                         now,
+                        now - r.started,
                     )
                 elif r.deadline is not None and r.deadline <= now:
                     r.proc.terminate()
@@ -540,10 +591,12 @@ def _run_parallel(
                         "error",
                         f"TimeoutError: point exceeded {timeout}s budget",
                         now,
+                        now - r.started,
                     )
                 else:
                     still_running.append(r)
             running = still_running
+            telemetry.in_flight.set(float(len(running)))
     finally:
         # Unexpected exit (KeyboardInterrupt, telemetry bug): leave no
         # orphaned workers behind.
@@ -551,3 +604,4 @@ def _run_parallel(
             r.proc.terminate()
             r.conn.close()
             _reap(r.proc)
+        telemetry.in_flight.set(0.0)

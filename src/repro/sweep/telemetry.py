@@ -10,6 +10,10 @@ it publishes directly into a :class:`~repro.obs.probes.MetricRegistry`:
 * ``sweep.points_failed`` (counter) — points that exhausted retries;
 * ``sweep.points_retried`` (counter) — re-submissions after a failure
   or timeout;
+* ``sweep.points_in_flight`` (gauge) — point attempts currently
+  executing in a worker (or in-process, on the serial path);
+* ``sweep.point_seconds`` (histogram) — per-point attempt wall times,
+  bucketed so ``repro-obs watch`` gets p50/p99 without keeping samples;
 * ``sweep.wall_time_s`` (gauge) — harness wall time for the campaign.
 """
 
@@ -17,7 +21,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any
+from typing import Any, Optional
 
 from repro.obs.probes import MetricRegistry
 
@@ -36,6 +40,8 @@ class SweepTelemetry:
         self.failed = self.registry.counter("sweep.points_failed")
         self.retried = self.registry.counter("sweep.points_retried")
         self.total = self.registry.gauge("sweep.points_total")
+        self.in_flight = self.registry.gauge("sweep.points_in_flight")
+        self.point_seconds = self.registry.histogram("sweep.point_seconds")
         self.wall_time = self.registry.gauge("sweep.wall_time_s")
 
     @property
@@ -43,6 +49,10 @@ class SweepTelemetry:
         """Fraction of points answered from the cache (0 when empty)."""
         total = self.total.value
         return self.cached.value / total if total else 0.0
+
+    def point_latency(self, q: float) -> Optional[float]:
+        """Bucket-resolution quantile of per-point wall time (seconds)."""
+        return self.point_seconds.quantile(q)
 
     def snapshot(self) -> dict[str, Any]:
         """JSON-ready view of the campaign's counters and gauges."""
@@ -52,6 +62,11 @@ class SweepTelemetry:
             "sweep_id": self.sweep_id,
             "counters": snap["counters"],
             "gauges": snap["gauges"],
+            "histograms": snap["histograms"],
+            "point_latency": {
+                "p50": self.point_latency(0.50),
+                "p99": self.point_latency(0.99),
+            },
             "cache_hit_ratio": self.cache_hit_ratio,
         }
 

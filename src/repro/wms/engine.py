@@ -237,6 +237,10 @@ class WorkflowEngine:
         obs = self.env.obs
         if obs is not None:
             obs.on_ready_depth(self._ready_depth)
+            obs.log_event(
+                "wms", "task_ready",
+                task=task.name, host=host, depth=self._ready_depth,
+            )
 
         if task.category == TaskCategory.STAGE_IN:
             yield from self._run_stage_in(task, host, record)
@@ -251,6 +255,11 @@ class WorkflowEngine:
         obs = self.env.obs
         if obs is not None:
             obs.on_task_complete(record, task.category.value)
+            obs.log_event(
+                "wms", "task_end",
+                task=task.name, host=host,
+                duration=record.end - record.start,
+            )
         self._task_done[task.name].succeed(task.name)
 
     def _mark_start(self, task: Task, record: TaskRecord) -> None:
@@ -261,6 +270,10 @@ class WorkflowEngine:
         obs = self.env.obs
         if obs is not None:
             obs.on_ready_depth(self._ready_depth)
+            obs.log_event(
+                "wms", "task_start",
+                task=task.name, host=record.host, cores=record.cores,
+            )
 
     def _run_stage_in(self, task: Task, host: str, record: TaskRecord):
         """Sequential PFS→BB copies for BB-bound inputs."""

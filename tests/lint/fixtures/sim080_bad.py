@@ -1,0 +1,17 @@
+"""Known-bad: ad-hoc output channels in a simulator subsystem."""
+import logging  # expect[SIM080]
+import sys
+import warnings
+
+from logging import getLogger  # expect[SIM080]
+
+log = logging.getLogger(__name__)  # expect[SIM080]
+
+
+def transfer(flow):
+    logging.info("flow %s started", flow)  # expect[SIM080]
+    warnings.warn("link oversubscribed")  # expect[SIM080]
+    sys.stderr.write(f"flow {flow} done\n")  # expect[SIM080]
+    sys.stdout.write("progress: 50%\n")  # expect[SIM080]
+    print("finished", file=sys.stderr)  # expect[SIM080]
+    return flow

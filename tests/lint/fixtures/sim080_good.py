@@ -1,0 +1,25 @@
+"""Known-good: subsystem diagnostics flow through the event log."""
+
+
+def transfer(env, flow):
+    obs = env.obs
+    if obs is not None:
+        obs.log_event(
+            "network", "flow_completed", label=flow.label, size=flow.size
+        )
+    return flow
+
+
+def request(env, service, file):
+    obs = env.obs
+    if obs is not None:
+        obs.log_event(
+            "storage", "insufficient_storage",
+            service=service.name, file=file.name, need=file.size,
+        )
+    raise RuntimeError("insufficient storage")
+
+
+def main():
+    # A main() entry point owns its terminal, wherever it lives.
+    print("sweep finished")

@@ -106,6 +106,46 @@ def test_metric_csvs_layout(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# Empty and partially-populated registries
+# ----------------------------------------------------------------------
+def test_chrome_trace_on_fresh_observer():
+    """An observer that never saw a hook still exports a valid trace."""
+    doc = chrome_trace(Observer())
+    assert validate_chrome_trace(doc) == []
+    assert [e["ph"] for e in doc["traceEvents"]] == ["M"]  # process name only
+    assert doc["otherData"]["counters"] == {}
+
+
+def test_metric_csvs_on_fresh_observer(tmp_path):
+    paths = write_metric_csvs(Observer(), tmp_path)
+    names = {p.name for p in paths}
+    assert {"index.csv", "counters.csv", "gauges.csv"} <= names
+    # Every file is header-only: no metrics means no rows, not no files.
+    assert (tmp_path / "index.csv").read_text().splitlines()[1:] == []
+    assert (tmp_path / "counters.csv").read_text().splitlines()[1:] == []
+
+
+def test_export_run_on_fresh_observer(tmp_path):
+    out = export_run(Observer(), tmp_path / "telemetry")
+    assert validate_obs_dir(out) == []
+    assert json.loads((out / "trace.json").read_text())["traceEvents"]
+    # No events were emitted, so no event log is written (documented).
+    assert not (out / "events.ndjson").exists()
+
+
+def test_export_run_counter_only_registry(tmp_path):
+    """A registry with one counter and no spans/gauges/series exports
+    cleanly and the counter lands in every sink that carries counters."""
+    obs = Observer()
+    obs.registry.counter("demo.count").inc(5.0)
+    out = export_run(obs, tmp_path / "telemetry")
+    assert validate_obs_dir(out) == []
+    assert chrome_trace(obs)["otherData"]["counters"] == {"demo.count": 5.0}
+    rows = (out / "metrics" / "counters.csv").read_text().splitlines()
+    assert rows == ["metric,value", "demo.count,5.0"]
+
+
+# ----------------------------------------------------------------------
 # Manifests
 # ----------------------------------------------------------------------
 def test_manifest_roundtrips_config():
@@ -178,6 +218,26 @@ def test_validate_cli_main(tmp_path, capsys):
     assert "ok" in capsys.readouterr().out
     assert main([str(tmp_path / "nothing")]) == 1
     assert "missing" in capsys.readouterr().err
+
+
+def test_validate_cli_names_the_failing_file(tmp_path, capsys):
+    """Regression: a malformed manifest must exit non-zero and print the
+    path of the file that failed, not just the directory."""
+    from repro.obs.validate import main
+
+    out = export_run(observed_sample(), tmp_path / "telemetry")
+    (out / "manifest.json").write_text(json.dumps({"schema": "wrong/1"}))
+    assert main([str(out)]) == 1
+    err = capsys.readouterr().err
+    assert str(out / "manifest.json") in err
+
+    # A manifest whose platform block is not even an object must not
+    # crash the validator — it is reported like any other violation.
+    (out / "manifest.json").write_text(json.dumps(
+        {"schema": MANIFEST_SCHEMA, "platform": "cori"}
+    ))
+    assert main([str(out)]) == 1
+    assert str(out / "manifest.json") in capsys.readouterr().err
 
 
 # ----------------------------------------------------------------------

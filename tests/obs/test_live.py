@@ -1,0 +1,176 @@
+"""Live bus tests: ring bounds, deterministic flush sets, schema."""
+
+import itertools
+import json
+
+import pytest
+
+from repro.obs import (
+    LIVE_SCHEMA,
+    LiveBus,
+    Observer,
+    export_run,
+    validate_live_dir,
+    validate_obs_dir,
+)
+from repro.obs.log import iter_ndjson
+from repro.scenarios import run_swarp
+
+
+def fake_clock(start=100.0, step=1.0):
+    counter = itertools.count()
+    return lambda: start + step * next(counter)
+
+
+# ----------------------------------------------------------------------
+# Ring behavior
+# ----------------------------------------------------------------------
+def test_ring_overflow_drops_oldest_and_counts(tmp_path):
+    bus = LiveBus(tmp_path, ring_size=4, flush_every=100, clock=fake_clock())
+    for i in range(10):
+        bus.push({"kind": "event", "i": i})
+    assert bus.dropped == 6
+    bus.flush()
+    records = [r for r in iter_ndjson(tmp_path / "events.ndjson")
+               if "schema" not in r]
+    assert [r["i"] for r in records] == [6, 7, 8, 9]
+    snapshots = [r for r in iter_ndjson(tmp_path / "snapshots.ndjson")
+                 if "schema" not in r]
+    assert snapshots[-1]["dropped"] == 6
+
+
+def test_flush_interval_is_count_based(tmp_path):
+    bus = LiveBus(tmp_path, flush_every=3, clock=fake_clock())
+    bus.push({"kind": "event", "i": 0})
+    bus.push({"kind": "event", "i": 1})
+    assert not (tmp_path / "events.ndjson").exists()  # below the interval
+    bus.push({"kind": "event", "i": 2})  # third push flushes
+    records = [r for r in iter_ndjson(tmp_path / "events.ndjson")
+               if "schema" not in r]
+    assert [r["i"] for r in records] == [0, 1, 2]
+
+
+def test_flushed_record_sets_are_deterministic(tmp_path):
+    """Same pushes, different wall clocks: identical streams modulo ts."""
+    streams = []
+    for name, clock in (("a", fake_clock(0.0)), ("b", fake_clock(9e9, 7.0))):
+        bus = LiveBus(tmp_path / name, flush_every=2, clock=clock)
+        for i in range(7):
+            bus.push({"kind": "event", "i": i})
+        bus.close()
+        records = list(iter_ndjson(tmp_path / name / "events.ndjson"))
+        for record in records:
+            record.pop("ts", None)
+        streams.append(records)
+    assert streams[0] == streams[1]
+
+
+def test_validates_constructor_arguments(tmp_path):
+    with pytest.raises(ValueError):
+        LiveBus(tmp_path, ring_size=0)
+    with pytest.raises(ValueError):
+        LiveBus(tmp_path, flush_every=0)
+
+
+def test_bus_rejects_second_observer(tmp_path):
+    bus = LiveBus(tmp_path)
+    Observer(bus=bus)
+    with pytest.raises(ValueError, match="another observer"):
+        Observer(bus=bus)
+
+
+def test_push_after_close_is_ignored(tmp_path):
+    bus = LiveBus(tmp_path, clock=fake_clock())
+    bus.push({"kind": "event"})
+    bus.close()
+    bus.push({"kind": "event"})
+    bus.close()  # idempotent
+    heartbeat = json.loads((tmp_path / "heartbeat.json").read_text())
+    assert heartbeat["closed"] is True
+
+
+# ----------------------------------------------------------------------
+# Snapshots and heartbeat
+# ----------------------------------------------------------------------
+def test_snapshots_are_incremental(tmp_path):
+    bus = LiveBus(tmp_path, clock=fake_clock())
+    obs = Observer(bus=bus)
+    obs.registry.counter("demo.count").inc(3.0)
+    bus.flush()
+    bus.flush()  # nothing changed in between
+    obs.registry.counter("demo.count").inc(1.0)
+    bus.flush()
+    snapshots = [r for r in iter_ndjson(tmp_path / "snapshots.ndjson")
+                 if "schema" not in r]
+    assert [s["counters"] for s in snapshots] == [
+        {"demo.count": 3.0}, {}, {"demo.count": 4.0},
+    ]
+    assert [s["seq"] for s in snapshots] == [1, 2, 3]
+
+
+def test_live_scenario_round_trips_validator(tmp_path):
+    bus = LiveBus(tmp_path / "live", flush_every=16, clock=fake_clock())
+    obs = Observer(bus=bus)
+    run_swarp(n_pipelines=2, observer=obs)
+    bus.close()
+    assert validate_live_dir(tmp_path / "live") == []
+    heartbeat = json.loads((tmp_path / "live" / "heartbeat.json").read_text())
+    assert heartbeat["schema"] == LIVE_SCHEMA
+    assert heartbeat["closed"] is True
+    assert heartbeat["seq"] >= 1
+    assert heartbeat["dropped"] == 0
+    kinds = {
+        r["kind"]
+        for r in iter_ndjson(tmp_path / "live" / "events.ndjson")
+        if "schema" not in r
+    }
+    assert {"event", "span_close"} <= kinds
+
+
+def test_mid_flight_directory_validates(tmp_path):
+    bus = LiveBus(tmp_path, flush_every=1, clock=fake_clock())
+    Observer(bus=bus)
+    bus.push({"kind": "event", "i": 0})
+    # Producer mid-write: unterminated tail, heartbeat still open.
+    with (tmp_path / "events.ndjson").open("a") as fh:
+        fh.write('{"kind": "ev')
+    assert validate_live_dir(tmp_path) == []
+    heartbeat = json.loads((tmp_path / "heartbeat.json").read_text())
+    assert heartbeat["closed"] is False
+
+
+def test_validate_live_dir_catches_violations(tmp_path):
+    assert any("missing" in e for e in validate_live_dir(tmp_path))
+
+    header = json.dumps({"schema": LIVE_SCHEMA})
+    (tmp_path / "snapshots.ndjson").write_text(
+        header + "\n"
+        + json.dumps({"seq": 2, "ts": 1.0, "counters": {}, "gauges": {},
+                      "series": {}, "dropped": 0}) + "\n"
+        + json.dumps({"seq": 2, "ts": 2.0, "counters": {}, "gauges": {},
+                      "series": {}, "dropped": -1}) + "\n"
+    )
+    (tmp_path / "heartbeat.json").write_text(
+        json.dumps({"schema": LIVE_SCHEMA, "ts": "soon", "seq": 2,
+                    "closed": "maybe"})
+    )
+    errors = validate_live_dir(tmp_path)
+    assert any("does not increase" in e for e in errors)
+    assert any("dropped" in e for e in errors)
+    assert any("numeric ts" in e for e in errors)
+    assert any("closed flag" in e for e in errors)
+
+
+# ----------------------------------------------------------------------
+# Integration with export_run / the obs directory validator
+# ----------------------------------------------------------------------
+def test_export_run_closes_bus_and_dir_validates(tmp_path):
+    out_dir = tmp_path / "telemetry"
+    bus = LiveBus(out_dir / "live", flush_every=16, clock=fake_clock())
+    obs = Observer(bus=bus)
+    run_swarp(n_pipelines=1, observer=obs)
+    out = export_run(obs, out_dir)
+    heartbeat = json.loads((out / "live" / "heartbeat.json").read_text())
+    assert heartbeat["closed"] is True
+    # The whole directory — manifest, trace, CSVs, events, live/ — is valid.
+    assert validate_obs_dir(out) == []

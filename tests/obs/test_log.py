@@ -1,0 +1,143 @@
+"""Structured event log (``repro.obs.log/1``): schema, emission, export."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    COMPONENTS,
+    LOG_SCHEMA,
+    Observer,
+    export_run,
+    iter_ndjson,
+    make_event,
+    read_events,
+    validate_events_ndjson,
+    write_events,
+)
+from repro.obs.observer import RECENT_EVENT_WINDOW
+from repro.scenarios import run_swarp
+
+
+# ----------------------------------------------------------------------
+# Record / stream primitives
+# ----------------------------------------------------------------------
+def test_make_event_envelope():
+    record = make_event(1.5, "storage", "file_added", {"size": 3})
+    assert record == {
+        "ts": None,
+        "sim_time": 1.5,
+        "component": "storage",
+        "event": "file_added",
+        "fields": {"size": 3},
+    }
+
+
+def test_write_read_roundtrip(tmp_path):
+    events = [
+        make_event(0.0, "des", "sim_started"),
+        make_event(2.0, "wms", "task_ready", {"task": "t1"}),
+    ]
+    path = write_events(events, tmp_path / "events.ndjson")
+    lines = path.read_text().splitlines()
+    assert json.loads(lines[0]) == {"schema": LOG_SCHEMA}
+    assert read_events(path) == events
+
+
+def test_read_events_rejects_wrong_header(tmp_path):
+    path = tmp_path / "bad.ndjson"
+    path.write_text('{"schema": "something/9"}\n')
+    with pytest.raises(ValueError, match="repro.obs.log"):
+        read_events(path)
+
+
+def test_iter_ndjson_tolerates_truncated_tail(tmp_path):
+    path = tmp_path / "stream.ndjson"
+    path.write_text(
+        '{"schema": "repro.obs.log/1"}\n{"a": 1}\n{"trunc'
+    )
+    assert list(iter_ndjson(path)) == [{"schema": LOG_SCHEMA}, {"a": 1}]
+    # A corrupt line that is *not* the unterminated tail still raises.
+    path.write_text('{"a": 1}\n{bad}\n{"b": 2}\n')
+    with pytest.raises(json.JSONDecodeError):
+        list(iter_ndjson(path))
+
+
+# ----------------------------------------------------------------------
+# Observer emission
+# ----------------------------------------------------------------------
+def test_log_event_stamps_sim_time():
+    from repro import des
+
+    env = des.Environment()
+    obs = Observer().attach(env)
+    env._now = 4.25
+    record = obs.log_event("compute", "cores_granted", host="cn0", cores=8)
+    assert record["sim_time"] == 4.25
+    assert record["ts"] is None
+    assert obs.events == [record]
+
+
+def test_recent_event_window_is_bounded():
+    obs = Observer()
+    for i in range(3 * RECENT_EVENT_WINDOW):
+        obs.log_event("obs", "tick", i=i)
+    assert len(obs.events) == 3 * RECENT_EVENT_WINDOW
+    assert len(obs.recent_events) == RECENT_EVENT_WINDOW
+    assert obs.recent_events[-1]["fields"]["i"] == 3 * RECENT_EVENT_WINDOW - 1
+
+
+def test_scenario_emits_events_across_subsystems():
+    obs = Observer()
+    run_swarp(n_pipelines=2, observer=obs)
+    components = {e["component"] for e in obs.events}
+    assert {"network", "storage", "compute", "wms"} <= components
+    assert all(e["component"] in COMPONENTS for e in obs.events)
+    names = {e["event"] for e in obs.events}
+    assert {"flow_completed", "task_start", "task_end", "cores_granted"} <= names
+
+
+def test_event_log_export_is_deterministic(tmp_path):
+    streams = []
+    for run in ("a", "b"):
+        obs = Observer()
+        run_swarp(n_pipelines=2, observer=obs)
+        out = export_run(obs, tmp_path / run)
+        streams.append((out / "events.ndjson").read_bytes())
+    assert streams[0] == streams[1]
+    assert validate_events_ndjson(tmp_path / "a" / "events.ndjson") == []
+
+
+# ----------------------------------------------------------------------
+# Validator
+# ----------------------------------------------------------------------
+def test_validate_events_catches_violations(tmp_path):
+    path = tmp_path / "events.ndjson"
+
+    path.write_text("")
+    assert any("empty" in e for e in validate_events_ndjson(path))
+
+    path.write_text('{"schema": "wrong/1"}\n')
+    assert any("header" in e for e in validate_events_ndjson(path))
+
+    header = json.dumps({"schema": LOG_SCHEMA})
+    bad = [
+        {"ts": None, "sim_time": -1.0, "component": "wms",
+         "event": "x", "fields": {}},
+        {"ts": None, "sim_time": 0.0, "component": "kernel",
+         "event": "x", "fields": {}},
+        {"ts": "late", "sim_time": 0.0, "component": "wms",
+         "event": "x", "fields": {}},
+        {"ts": None, "sim_time": 0.0, "component": "wms",
+         "event": "x", "fields": []},
+        {"sim_time": 0.0, "component": "wms", "event": "x"},
+    ]
+    path.write_text(
+        "\n".join([header] + [json.dumps(r) for r in bad]) + "\n"
+    )
+    errors = validate_events_ndjson(path)
+    assert any("negative sim_time" in e for e in errors)
+    assert any("unknown component" in e for e in errors)
+    assert any("non-numeric ts" in e for e in errors)
+    assert any("fields is not an object" in e for e in errors)
+    assert any("missing" in e for e in errors)

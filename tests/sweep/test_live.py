@@ -1,0 +1,151 @@
+"""Sweep live stream and in-flight/latency telemetry."""
+
+import json
+
+import pytest
+
+from repro.obs.log import iter_ndjson
+from repro.sweep import SweepSpec, SweepTelemetry, run_sweep
+from repro.sweep.live import SWEEP_LIVE_SCHEMA, SweepLiveWriter
+
+
+def _spec(xs=(1, 2, 3), func="tests.sweep.points:square", **kwargs):
+    return SweepSpec.cartesian("demo", func, axes={"x": list(xs)}, **kwargs)
+
+
+def _stream(live_dir):
+    records = list(iter_ndjson(live_dir / "sweep.ndjson"))
+    assert records[0] == {"schema": SWEEP_LIVE_SCHEMA}
+    return records[1:]
+
+
+# ----------------------------------------------------------------------
+# Live stream contents
+# ----------------------------------------------------------------------
+def test_serial_run_streams_point_lifecycle(tmp_path):
+    run_sweep(_spec(), live_dir=tmp_path / "live")
+    records = _stream(tmp_path / "live")
+    assert [r["event"] for r in records] == [
+        "point_started", "point_completed",
+        "point_started", "point_completed",
+        "point_started", "point_completed",
+        "sweep_done",
+    ]
+    assert [r.get("point_id") for r in records[:-1:2]] == ["x=1", "x=2", "x=3"]
+    assert all("duration" in r for r in records
+               if r["event"] == "point_completed")
+    final = records[-1]["progress"]
+    assert final["completed"] == 3 and final["in_flight"] == 0
+    heartbeat = json.loads((tmp_path / "live" / "heartbeat.json").read_text())
+    assert heartbeat["closed"] is True
+    assert heartbeat["in_flight"] == {}
+    assert heartbeat["progress"]["completed"] == 3
+
+
+def test_parallel_run_streams_every_point(tmp_path):
+    run_sweep(_spec([1, 2, 3, 4]), workers=4, live_dir=tmp_path / "live")
+    records = _stream(tmp_path / "live")
+    started = {r["point_id"] for r in records if r["event"] == "point_started"}
+    completed = {
+        r["point_id"] for r in records if r["event"] == "point_completed"
+    }
+    assert started == completed == {"x=1", "x=2", "x=3", "x=4"}
+    assert records[-1]["event"] == "sweep_done"
+
+
+def test_failures_and_retries_are_streamed(tmp_path):
+    with pytest.raises(Exception):
+        run_sweep(
+            _spec([1], func="tests.sweep.points:boom"),
+            retries=1, live_dir=tmp_path / "live",
+        )
+    events = [r["event"] for r in _stream(tmp_path / "live")]
+    assert "point_retry" in events
+    assert "point_failed" in events
+    failed = next(
+        r for r in _stream(tmp_path / "live") if r["event"] == "point_failed"
+    )
+    assert "boom" in failed["error"]
+
+
+def test_cached_points_are_streamed(tmp_path):
+    from repro.sweep import SweepCache
+
+    cache = SweepCache(tmp_path / "cache")
+    run_sweep(_spec(), cache=cache)
+    run_sweep(_spec(), cache=cache, live_dir=tmp_path / "live")
+    records = _stream(tmp_path / "live")
+    assert [r["event"] for r in records] == ["point_cached"] * 3 + ["sweep_done"]
+    assert records[-1]["progress"]["cached"] == 3
+
+
+def test_sweep_without_live_dir_writes_nothing(tmp_path):
+    run_sweep(_spec())
+    assert list(tmp_path.iterdir()) == []
+
+
+# ----------------------------------------------------------------------
+# Telemetry: in-flight gauge and latency histogram
+# ----------------------------------------------------------------------
+def test_point_seconds_histogram_feeds_stats(tmp_path):
+    telemetry = SweepTelemetry("demo")
+    run_sweep(_spec(), telemetry=telemetry)
+    assert telemetry.point_seconds.count == 3
+    assert telemetry.point_latency(0.5) is not None
+    snap = telemetry.snapshot()
+    assert "sweep.point_seconds" in snap["histograms"]
+    assert snap["point_latency"]["p50"] is not None
+    assert snap["point_latency"]["p99"] is not None
+    assert snap["gauges"]["sweep.points_in_flight"] == 0.0
+
+
+def test_in_flight_gauge_returns_to_zero_parallel():
+    telemetry = SweepTelemetry("demo")
+    run_sweep(_spec([1, 2, 3, 4]), workers=2, telemetry=telemetry)
+    assert telemetry.in_flight.value == 0.0
+    assert telemetry.point_seconds.count == 4
+
+
+def test_stats_schema_is_unchanged():
+    # The stats export schema is pinned: histograms/latency are additive.
+    snap = SweepTelemetry("demo").snapshot()
+    assert snap["schema"] == "repro.sweep.stats/1"
+    assert {"counters", "gauges", "histograms", "point_latency",
+            "cache_hit_ratio"} <= set(snap)
+
+
+# ----------------------------------------------------------------------
+# Writer unit behavior
+# ----------------------------------------------------------------------
+def test_writer_tracks_in_flight_and_closes_once(tmp_path):
+    telemetry = SweepTelemetry("demo")
+    clock = iter(range(100)).__next__
+    writer = SweepLiveWriter(tmp_path, telemetry, clock=lambda: float(clock()))
+    writer.record("point_started", "x=1", attempt=1)
+    heartbeat = json.loads((tmp_path / "heartbeat.json").read_text())
+    assert heartbeat["in_flight"] == {"x=1": 0.0}
+    assert heartbeat["closed"] is False
+    writer.record("point_completed", "x=1", duration=1.0)
+    writer.close()
+    writer.close()  # idempotent
+    writer.record("point_started", "x=2")  # ignored after close
+    heartbeat = json.loads((tmp_path / "heartbeat.json").read_text())
+    assert heartbeat["closed"] is True
+    assert heartbeat["in_flight"] == {}
+    events = [r["event"] for r in _stream(tmp_path)]
+    assert events == ["point_started", "point_completed", "sweep_done"]
+
+
+def test_sweep_cli_live_flag(tmp_path, capsys):
+    from repro.sweep.cli import main
+
+    code = main([
+        "fig13", "--quick", "--no-cache",
+        "--live", str(tmp_path / "live"),
+    ])
+    assert code == 0
+    live = tmp_path / "live" / "fig13"
+    heartbeat = json.loads((live / "heartbeat.json").read_text())
+    assert heartbeat["closed"] is True
+    assert heartbeat["progress"]["failed"] == 0
+    assert _stream(live)[-1]["event"] == "sweep_done"
