@@ -26,6 +26,7 @@ class ComputeService:
         platform: Platform,
         hosts: Optional[list[str]] = None,
         use_amdahl_alpha: bool = False,
+        queue_policy: "str | object | None" = None,
     ) -> None:
         self.platform = platform
         self.env: Environment = platform.env
@@ -33,8 +34,11 @@ class ComputeService:
             hosts = [h for h in platform.hosts if h.startswith("cn")]
         if not hosts:
             raise ValueError("compute service needs at least one host")
+        self.queue_policy = queue_policy
         self.allocators: dict[str, CoreAllocator] = {
-            h: CoreAllocator(self.env, platform.host(h).cores, label=h)
+            h: CoreAllocator(
+                self.env, platform.host(h).cores, label=h, policy=queue_policy
+            )
             for h in hosts
         }
         #: Per-host RAM pools (only for hosts with finite RAM declared).
@@ -63,12 +67,20 @@ class ComputeService:
         alpha = task.alpha if self.use_amdahl_alpha else 0.0
         return amdahl_time(tc1, p, alpha)
 
-    def acquire_cores(self, host: str, cores: int, task: str = "") -> Event:
+    def acquire_cores(
+        self,
+        host: str,
+        cores: int,
+        task: str = "",
+        estimate: Optional[float] = None,
+    ) -> Event:
         """Request a core block; fires with a :class:`CoreAllocation`.
 
-        ``task`` names the requester in wait-cause telemetry only.
+        ``task`` names the requester in wait-cause telemetry only;
+        ``estimate`` is a walltime hint consumed by backfill queue
+        policies (the default ``fifo`` ignores it).
         """
-        return self.allocator(host).request(cores, task=task)
+        return self.allocator(host).request(cores, task=task, estimate=estimate)
 
     def acquire_memory(self, host: str, amount: float) -> Optional[Event]:
         """Reserve ``amount`` bytes of RAM on ``host``.

@@ -24,6 +24,7 @@ fig10     Simulated-vs-measured makespan (stage fraction sweep)
 fig11     Simulated-vs-measured makespan (pipeline sweep)
 fig13     1000Genomes makespan vs. staged fraction (Cori/Summit)
 fig14     1000Genomes speedup + prior-work reference points
+policies  Queue-policy comparison on the contended BB scenario
 ========  ==========================================================
 """
 
@@ -47,4 +48,5 @@ ALL_EXPERIMENTS = (
     "fig11",
     "fig13",
     "fig14",
+    "policies",
 )

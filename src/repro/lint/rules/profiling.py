@@ -97,3 +97,79 @@ class WaitCauseClosedEnum(Rule):
         return base is not None and (
             base in _WAITCAUSE_PATHS or base.endswith(".WaitCause")
         )
+
+
+#: Calls that constitute side effects/telemetry inside a policy.
+_IMPURE_CALLS = frozenset(
+    {"on_task_blocked", "on_task_unblocked", "on_bb_lease", "log_event"}
+)
+
+#: Base-class names marking a queue-policy implementation.
+_POLICY_BASES = frozenset(
+    {"QueuePolicy", "FifoPolicy", "EasyBackfillPolicy", "ConservativeBackfillPolicy"}
+)
+
+
+@register
+class QueuePolicySelectPurity(Rule):
+    """SIM071: queue-policy ``select()`` must stay pure — no obs hooks."""
+
+    id = "SIM071"
+    summary = "queue-policy select() calls an observer/telemetry hook"
+    rationale = (
+        "A QueuePolicy's select() answers one question — which queued "
+        "requests to grant now — and the allocators call it from every "
+        "grant path, including speculative re-planning.  A hook call "
+        "inside select() (on_task_blocked, on_bb_lease, log_event, ...) "
+        "double-counts waits and leases: the allocator sites already "
+        "report every wait via the closed WaitCause enum, so a policy "
+        "that also reports corrupts the profiler's ledger and breaks "
+        "the LeaseBalanceMonitor's grant/release accounting."
+    )
+    severity = Severity.ERROR
+    fix_hint = (
+        "keep select() a pure function of (queue, free, now, running); "
+        "telemetry belongs to the allocator grant/release sites, which "
+        "report waits through WaitCause members"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not self._is_policy_class(node):
+                continue
+            for item in node.body:
+                if (
+                    isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name == "select"
+                ):
+                    yield from self._check_select(ctx, item)
+
+    @staticmethod
+    def _is_policy_class(node: ast.ClassDef) -> bool:
+        for base in node.bases:
+            name = base.attr if isinstance(base, ast.Attribute) else (
+                base.id if isinstance(base, ast.Name) else None
+            )
+            if name in _POLICY_BASES:
+                return True
+        return False
+
+    def _check_select(
+        self, ctx: FileContext, func: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            name = callee.attr if isinstance(callee, ast.Attribute) else (
+                callee.id if isinstance(callee, ast.Name) else None
+            )
+            if name in _IMPURE_CALLS:
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"select() calls {name}(); policies must not emit "
+                    "telemetry — allocator sites own wait/lease reporting",
+                )

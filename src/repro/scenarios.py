@@ -62,12 +62,17 @@ SYSTEMS = ("cori", "summit")
 
 @dataclass
 class ScenarioResult:
-    """Everything a harness needs from one simulated execution."""
+    """Everything a harness needs from one simulated execution.
+
+    ``engine``/``workflow`` are ``None`` for scenarios that drive the
+    allocators directly instead of executing a workflow DAG (the
+    contended multi-job BB scenario).
+    """
 
     trace: ExecutionTrace
     platform: Platform
-    engine: WorkflowEngine
-    workflow: Workflow
+    engine: Optional[WorkflowEngine]
+    workflow: Optional[Workflow]
 
     @property
     def makespan(self) -> float:
@@ -490,3 +495,158 @@ def run_genomes(
     )
     trace = engine.run()
     return ScenarioResult(trace=trace, platform=platform, engine=engine, workflow=workflow)
+
+
+# ----------------------------------------------------------------------
+# Contended multi-job burst buffer (queue-policy comparison scenario)
+# ----------------------------------------------------------------------
+#: Deterministic per-job patterns (index i cycles through these): a
+#: "whale" allocation every fourth job keeps the granule pool contended
+#: while the small jobs behind it are exactly the backfill opportunity
+#: the non-FIFO policies exploit.  No randomness — the determinism
+#: contract (SIM001) holds for every policy.
+_CONTENDED_GRANULES = (6, 4, 2, 2)
+_CONTENDED_DURATIONS = (60.0, 20.0, 8.0, 8.0)
+_CONTENDED_CORES = (16, 8, 4, 4)
+
+#: Granularity giving 4 granules per 6.4 TB Cori BB node.
+CONTENDED_GRANULARITY = 1.6e12
+
+
+@dataclass(frozen=True)
+class ContendedJob:
+    """One job of the contended scenario's deterministic arrival list."""
+
+    name: str
+    arrival: float
+    host: str
+    cores: int
+    granules: int
+    duration: float
+
+
+def contended_jobs(
+    n_jobs: int = 8, n_compute: int = 2
+) -> list[ContendedJob]:
+    """The deterministic job list of the contended BB scenario.
+
+    Jobs alternate over the compute hosts; sizes/durations follow the
+    fixed cycles above, so per-task work totals are identical under
+    every queue policy by construction.
+    """
+    if n_jobs <= 0:
+        raise ValueError("n_jobs must be positive")
+    jobs = []
+    for i in range(n_jobs):
+        jobs.append(
+            ContendedJob(
+                name=f"job{i}",
+                arrival=float(i),
+                host=f"cn{i % n_compute}",
+                cores=_CONTENDED_CORES[i % len(_CONTENDED_CORES)],
+                granules=_CONTENDED_GRANULES[i % len(_CONTENDED_GRANULES)],
+                duration=_CONTENDED_DURATIONS[i % len(_CONTENDED_DURATIONS)],
+            )
+        )
+    return jobs
+
+
+def run_contended(
+    n_jobs: int = 8,
+    queue_policy: str = "fifo",
+    n_compute: int = 2,
+    n_bb_nodes: int = 2,
+    granularity: float = CONTENDED_GRANULARITY,
+    observer: Optional[Observer] = None,
+) -> ScenarioResult:
+    """Run the contended multi-job shared-BB scenario.
+
+    A scenario family the source paper never runs: many jobs compete
+    for one DataWarp granule pool (and for cores), so the queueing
+    discipline — ``queue_policy``, a :mod:`repro.wms.policies` registry
+    name — decides who waits for what.  Under ``fifo`` a queued whale
+    allocation blocks every later job (head-of-line blocking); the
+    backfill policies let small jobs jump ahead using their walltime
+    estimates; ``plan`` routes each job through the
+    :class:`~repro.wms.PlanCoordinator`, co-reserving cores + granules
+    as one joint reservation (never holding one while queueing for the
+    other).
+
+    Every job appears in the returned trace as one ``job``-group task
+    record (arrival logged as ``task_ready``), so
+    :func:`repro.profile.build_profile` attributes each policy's
+    makespan — including ``wait:bb_capacity`` / ``wait:cores`` — and
+    per-policy profiles can be diffed.
+    """
+    from repro.storage.provisioning import BBProvisioner
+    from repro.traces.events import TaskRecord
+    from repro.wms.policies import PlanCoordinator, resolve_policy
+
+    resolve_policy(queue_policy)  # fail fast on unknown names
+    env = des.Environment()
+    if observer is not None:
+        observer.attach(env)
+    spec = cori_spec(n_compute=n_compute, n_bb_nodes=n_bb_nodes)
+    platform = Platform(env, spec)
+    hosts = compute_node_names(n_compute)
+    plan_based = queue_policy == "plan"
+    # Under "plan" every request goes through the coordinator, so the
+    # allocator-level queues stay empty and their policy is irrelevant.
+    allocator_policy = "fifo" if plan_based else queue_policy
+    compute = ComputeService(platform, hosts, queue_policy=allocator_policy)
+    provisioner = BBProvisioner(
+        platform, granularity=granularity, policy=allocator_policy
+    )
+    coordinator = PlanCoordinator(compute, provisioner) if plan_based else None
+
+    trace = ExecutionTrace("contended-bb")
+    jobs = contended_jobs(n_jobs=n_jobs, n_compute=n_compute)
+
+    def run_job(env, job: ContendedJob):
+        yield env.timeout(job.arrival)
+        trace.log(env.now, "task_ready", job.name)
+        size = job.granules * granularity
+        if coordinator is not None:
+            reservation = yield coordinator.request(
+                job.host, job.cores, size,
+                job=job.name, estimate=job.duration,
+            )
+            start = env.now
+            yield env.timeout(job.duration)
+            reservation.release()
+        else:
+            # BB allocation first, cores second — the hold-and-wait
+            # pattern plan-based scheduling exists to avoid.
+            lease = yield provisioner.request(
+                size, job=job.name, estimate=job.duration
+            )
+            allocation = yield compute.acquire_cores(
+                job.host, job.cores, task=job.name, estimate=job.duration
+            )
+            start = env.now
+            yield env.timeout(job.duration)
+            allocation.release()
+            lease.release()
+        end = env.now
+        trace.log(end, "task_end", job.name)
+        trace.add_record(
+            TaskRecord(
+                name=job.name,
+                group="job",
+                host=job.host,
+                cores=job.cores,
+                start=start,
+                read_start=start,
+                read_end=start,
+                compute_end=end,
+                write_end=end,
+                end=end,
+            )
+        )
+
+    for job in jobs:
+        env.process(run_job(env, job))
+    env.run()
+    return ScenarioResult(
+        trace=trace, platform=platform, engine=None, workflow=None
+    )

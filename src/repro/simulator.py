@@ -47,6 +47,7 @@ from repro.storage import (
 )
 from repro.traces.events import ExecutionTrace
 from repro.wms import EngineConfig, FractionPlacement, WorkflowEngine
+from repro.wms.policies import DEFAULT_POLICY, policy_names, resolve_policy
 from repro.workflow.model import Workflow
 from repro.workflow.wfformat import workflow_from_wfformat
 
@@ -66,11 +67,20 @@ class SimulatorConfig:
     #: max-min semantics but solves per dirty component — the fast path
     #: for large flow counts.
     network_allocator: str = DEFAULT_ALLOCATOR
+    #: Named queueing discipline for the core allocators (and, in the
+    #: contended scenarios, the BB provisioner) — see
+    #: :func:`repro.wms.policy_names`.  ``"fifo"`` is the historical,
+    #: byte-identical default; the backfill/plan policies consume the
+    #: walltime estimates the engine threads through.
+    queue_policy: str = DEFAULT_POLICY
 
     def __post_init__(self) -> None:
         # Accept the string forms ("private"/"striped") so configs built
         # from mappings or JSON need not import the enum.
         self.bb_mode = BBMode(self.bb_mode)
+        # Fail fast on unknown policy names (same contract as BBMode).
+        if self.queue_policy not in policy_names():
+            resolve_policy(self.queue_policy)  # raises with the choices
 
 
 class Simulator:
@@ -129,7 +139,18 @@ class Simulator:
             platform,
             self._compute_hosts,
             use_amdahl_alpha=self.config.use_amdahl_alpha,
+            queue_policy=self.config.queue_policy,
         )
+        if (
+            self.observer is not None
+            and self.config.queue_policy != DEFAULT_POLICY
+        ):
+            # Structured provenance for non-default disciplines (the
+            # manifest always carries queue_policy; default runs keep
+            # their historical event stream byte-identical).
+            self.observer.log_event(
+                "wms", "queue_policy", policy=self.config.queue_policy
+            )
 
         bb_services: dict[str, StorageService] = {}
 
@@ -226,6 +247,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="bandwidth-sharing discipline for the flow network "
         "(incremental = fast per-component max-min)",
     )
+    parser.add_argument(
+        "--queue-policy",
+        choices=policy_names(),
+        default=DEFAULT_POLICY,
+        help="queueing discipline for core allocation (fifo = strict "
+        "FIFO, the paper's model; backfill/plan use walltime estimates)",
+    )
     parser.add_argument("-o", "--output", help="write the trace JSON here")
     parser.add_argument(
         "--gantt", action="store_true", help="print an ASCII Gantt chart"
@@ -284,6 +312,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             intermediate_fraction=args.intermediate_fraction,
             output_fraction=args.output_fraction,
             network_allocator=args.network_allocator,
+            queue_policy=args.queue_policy,
         ),
         observer=observer,
     )

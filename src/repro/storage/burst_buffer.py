@@ -51,6 +51,12 @@ class SharedBurstBuffer(StorageService):
         model leaves it at zero).
     max_stream_rate:
         Per-flow POSIX stream cap (emulation knob).
+    capacity:
+        Optional capacity clamp in bytes (a provisioned DataWarp
+        allocation enforces its *granted* size, not the device sum).
+        Applied at construction so capacity gauges and the occupancy
+        monitor see the clamped value from the first sample; the
+        effective capacity is ``min(device sum, capacity)``.
     """
 
     def __init__(
@@ -65,6 +71,7 @@ class SharedBurstBuffer(StorageService):
         per_stripe_latency: float = 0.0,
         max_stream_rate: float = float("inf"),
         metadata_service_time: float = 0.0,
+        capacity: Optional[float] = None,
     ) -> None:
         if not bb_hosts:
             raise ValueError("at least one BB host is required")
@@ -73,8 +80,13 @@ class SharedBurstBuffer(StorageService):
         if per_stripe_latency < 0:
             raise ValueError("per_stripe_latency must be non-negative")
 
-        capacity = sum(
+        device_capacity = sum(
             platform.host(h).disk(disk).capacity for h in bb_hosts
+        )
+        capacity = (
+            device_capacity
+            if capacity is None
+            else min(device_capacity, capacity)
         )
         super().__init__(
             name or f"bb-{mode.value}",

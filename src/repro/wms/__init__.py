@@ -34,21 +34,46 @@ from repro.wms.explorer import (
     evaluate_policies,
     workflow_candidates,
 )
+from repro.wms.policies import (
+    DEFAULT_POLICY,
+    ConservativeBackfillPolicy,
+    EasyBackfillPolicy,
+    FifoPolicy,
+    JointReservation,
+    PlanCoordinator,
+    PlanPolicy,
+    QueuePolicy,
+    QueuedRequest,
+    RunningGrant,
+    policy_names,
+    register_policy,
+    resolve_policy,
+)
 
 __all__ = [
     "AllBB",
     "AnnealingPlacementSearch",
     "AllPFS",
+    "ConservativeBackfillPolicy",
+    "DEFAULT_POLICY",
     "DataLocalityScheduler",
+    "EasyBackfillPolicy",
     "EngineConfig",
     "ExplicitPlacement",
+    "FifoPolicy",
     "FractionPlacement",
     "GreedyPlacementSearch",
+    "JointReservation",
     "LeastLoadedScheduler",
     "LocalityPlacement",
     "PlacementPolicy",
+    "PlanCoordinator",
+    "PlanPolicy",
     "PolicyScore",
+    "QueuePolicy",
+    "QueuedRequest",
     "RoundRobinScheduler",
+    "RunningGrant",
     "Scheduler",
     "SearchResult",
     "SizeThresholdPlacement",
@@ -56,5 +81,8 @@ __all__ = [
     "consistent_hash_assignment",
     "evaluate_policies",
     "heft_assignment",
+    "policy_names",
+    "register_policy",
+    "resolve_policy",
     "workflow_candidates",
 ]

@@ -343,7 +343,15 @@ class WorkflowEngine:
 
     def _run_compute_task(self, task: Task, host: str, record: TaskRecord):
         cores = min(task.cores, self.compute.allocator(host).total_cores)
-        allocation = yield self.compute.acquire_cores(host, cores, task=task.name)
+        # The compute-phase duration doubles as the walltime estimate
+        # backfill queue policies use to protect earlier requests; the
+        # default fifo policy ignores it (byte-identical schedules).
+        allocation = yield self.compute.acquire_cores(
+            host,
+            cores,
+            task=task.name,
+            estimate=self.compute.compute_time(task, host, cores),
+        )
         memory_request = self.compute.acquire_memory(host, task.memory)
         if memory_request is not None:
             obs = self.env.obs

@@ -91,7 +91,7 @@ def test_run_experiment_unknown_id():
 def test_all_experiments_registered():
     assert set(ALL_EXPERIMENTS) == {
         "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-        "fig10", "fig11", "fig13", "fig14",
+        "fig10", "fig11", "fig13", "fig14", "policies",
     }
 
 

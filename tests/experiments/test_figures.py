@@ -16,6 +16,7 @@ def results():
         for exp in (
             "table1", "fig4", "fig5", "fig6", "fig7",
             "fig8", "fig9", "fig10", "fig11", "fig13", "fig14",
+            "policies",
         )
     }
 
@@ -159,3 +160,19 @@ def test_fig14_reference_points_present(results):
     r = results["fig14"]
     refs = [v for v in r.column("reference") if not math.isnan(v)]
     assert refs, "no reference points generated"
+
+
+def test_policies_backfill_beats_fifo(results):
+    rows = rows_for(results["policies"])
+    by_policy = {r["policy"]: r for r in rows}
+    assert set(by_policy) == {
+        "fifo", "easy-backfill", "conservative-backfill", "plan",
+    }
+    fifo = by_policy["fifo"]
+    assert fifo["wait_bb_s"] > 0
+    for policy in ("easy-backfill", "conservative-backfill", "plan"):
+        row = by_policy[policy]
+        assert row["makespan_s"] <= fifo["makespan_s"]
+        assert row["wait_bb_s"] < fifo["wait_bb_s"]
+        # Reordering never changes the work itself.
+        assert row["busy_s"] == fifo["busy_s"]

@@ -1,0 +1,28 @@
+"""Known-good: select() stays pure; allocator sites own telemetry."""
+
+from repro.obs import WaitCause
+from repro.wms.policies import QueuePolicy
+
+
+class QuietPolicy(QueuePolicy):
+    name = "quiet"
+
+    def select(self, queue, free, now, running):
+        picks = []
+        for index, request in enumerate(queue):
+            if request.amount > free:
+                break
+            picks.append(index)
+            free -= request.amount
+        return picks
+
+
+class Allocator:
+    """Not a policy: grant/release sites legitimately report waits."""
+
+    def grant(self, obs, request):
+        obs.on_task_unblocked(request.tag, WaitCause.CORES)
+
+    def select(self, obs, queue):
+        # A select() outside a QueuePolicy subclass is out of scope.
+        obs.log_event("alloc", "select", depth=len(queue))

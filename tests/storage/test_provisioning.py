@@ -107,3 +107,118 @@ def test_wider_stripes_more_aggregate_bandwidth(platform):
     )
     assert wide.stripe_width if hasattr(wide, "stripe_width") else True
     assert len(wide.bb_hosts) > len(narrow.bb_hosts)
+
+
+# ----------------------------------------------------------------------
+# BB-node discovery: declared roles first, name prefix as fallback
+# ----------------------------------------------------------------------
+def _spec_with_named_bb(bb_name, role):
+    from repro.platform import PlatformSpec
+    from repro.platform.spec import DiskSpec, HostSpec, HostRole
+
+    return PlatformSpec(
+        name="custom",
+        hosts=(
+            HostSpec(name="cn0", cores=32, core_speed=1e9,
+                     role=HostRole.COMPUTE),
+            HostSpec(
+                name=bb_name,
+                cores=1,
+                core_speed=1e9,
+                role=role,
+                disks=(
+                    DiskSpec(name="ssd", read_bandwidth=1e9,
+                             write_bandwidth=1e9, capacity=100 * GiB),
+                ),
+            ),
+        ),
+    )
+
+
+def test_discovery_honours_declared_role_over_name():
+    """Regression: a role-declared BB host named anything (here
+    "warp-a", no "bb" prefix) must be discovered — discovery used to
+    key on the name prefix alone and would have missed it."""
+    import warnings
+
+    from repro.platform.spec import HostRole
+    from repro.storage.provisioning import discover_bb_hosts
+
+    env = des.Environment()
+    platform = Platform(env, _spec_with_named_bb("warp-a", HostRole.SHARED_BB))
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # declared roles: no deprecation
+        assert discover_bb_hosts(platform) == ["warp-a"]
+        alloc = provision_allocation(platform, 5 * GiB)
+    assert alloc.bb_hosts == ("warp-a",)
+
+
+def test_discovery_legacy_name_fallback_warns():
+    import warnings
+
+    from repro.storage.provisioning import discover_bb_hosts
+
+    env = des.Environment()
+    platform = Platform(env, _spec_with_named_bb("bb0", None))
+    with pytest.warns(DeprecationWarning, match="role=shared_bb"):
+        assert discover_bb_hosts(platform) == ["bb0"]
+
+
+def test_discovery_role_declared_but_differently_named_is_excluded():
+    """A 'bb'-prefixed host that declares a non-BB role must NOT be
+    picked up once any host declares shared_bb."""
+    from repro.platform import PlatformSpec
+    from repro.platform.spec import DiskSpec, HostSpec, HostRole
+    from repro.storage.provisioning import discover_bb_hosts
+
+    disks = (
+        DiskSpec(name="ssd", read_bandwidth=1e9, write_bandwidth=1e9,
+                 capacity=100 * GiB),
+    )
+    spec = PlatformSpec(
+        name="custom",
+        hosts=(
+            HostSpec(name="bbx-login", cores=1, core_speed=1e9,
+                     role=HostRole.COMPUTE),
+            HostSpec(name="warp-a", cores=1, core_speed=1e9,
+                     role=HostRole.SHARED_BB, disks=disks),
+        ),
+    )
+    env = des.Environment()
+    assert discover_bb_hosts(Platform(env, spec)) == ["warp-a"]
+
+
+# ----------------------------------------------------------------------
+# Allocation capacity clamp happens at construction
+# ----------------------------------------------------------------------
+def test_capacity_clamped_in_constructor_monitor_sees_it(platform):
+    """Regression: the allocation clamp used to mutate ``capacity``
+    *after* construction, so anything sampling at construction time
+    (occupancy gauges, the BB occupancy monitor) saw the full device
+    capacity for one sample.  The clamp now goes through the
+    constructor."""
+    from repro.obs import Observer
+
+    observer = Observer(monitors=True)
+    observer.attach(platform.env)
+    alloc = provision_allocation(platform, 5 * GiB)
+    service = burst_buffer_for_allocation(platform, alloc, BBMode.STRIPED)
+    assert service.capacity == alloc.granted
+    # The very first occupancy sample already carries the clamped
+    # capacity (pre-fix, a sample taken before the post-construction
+    # mutation reported the full device capacity).
+    service.add_file(File("seed", 1 * GiB))
+    gauge = observer.registry.gauges[
+        f"storage.{service.name}.capacity_bytes"
+    ]
+    assert gauge.value == alloc.granted
+
+
+def test_constructor_capacity_never_exceeds_device(platform):
+    from repro.storage import SharedBurstBuffer
+
+    device = SharedBurstBuffer(platform, ["bb0"], BBMode.STRIPED)
+    clamped = SharedBurstBuffer(
+        platform, ["bb0"], BBMode.STRIPED, capacity=device.capacity * 10
+    )
+    assert clamped.capacity == device.capacity

@@ -86,3 +86,25 @@ def test_points_complete_at_same_values_with_obs(tmp_path):
     assert (sample / "trace.json").exists()
     assert (sample / "manifest.json").exists()
     assert (sample / "point.manifest.json").exists()
+
+
+def test_policy_sweep_serial_parallel_bit_identical():
+    """The queue-policy comparison sweep (every registered policy on
+    the contended scenario) is bit-identical across worker counts —
+    the acceptance gate for policy determinism under ``--workers 4``."""
+    from repro.experiments.policies import sweep_spec
+
+    spec = sweep_spec(quick=True)
+    serial = run_sweep(spec, workers=1)
+    parallel = run_sweep(spec, workers=4)
+    assert serial.count("completed") == parallel.count("completed") == 4
+    assert json.dumps(serial.values(), sort_keys=True) == json.dumps(
+        parallel.values(), sort_keys=True
+    )
+    values = serial.values()
+    fifo = values["n_jobs=8,policy=fifo"]
+    for policy in ("easy-backfill", "conservative-backfill", "plan"):
+        point = values[f"n_jobs=8,policy={policy}"]
+        # Same total work, strictly less BB-capacity wait than FIFO.
+        assert point["busy_s"] == fifo["busy_s"]
+        assert point["wait:bb_capacity"] < fifo["wait:bb_capacity"]
