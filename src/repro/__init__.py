@@ -40,6 +40,7 @@ __version__ = "1.0.0"
 _API = {
     "simulate": ("repro.api", "simulate"),
     "Result": ("repro.api", "Result"),
+    "Config": ("repro.config", "Config"),
     "Simulator": ("repro.simulator", "Simulator"),
     "SimulatorConfig": ("repro.simulator", "SimulatorConfig"),
     "BBMode": ("repro.storage", "BBMode"),

@@ -18,9 +18,11 @@ like :class:`~repro.simulator.Simulator` — which does the actual work.
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
 from typing import Mapping, Optional, Union
 
+from repro.config import Config
 from repro.obs import Observer
 from repro.platform import PlatformSpec
 from repro.simulator import Simulator, SimulatorConfig
@@ -115,10 +117,12 @@ def simulate(
     platform: "PlatformSpec | str | Path",
     workflow: "Workflow | str | Path",
     *,
-    config: "SimulatorConfig | Mapping[str, object] | None" = None,
+    config: "Config | SimulatorConfig | Mapping[str, object] | str | Path | None" = None,
     observer: "Observer | bool | None" = None,
     monitors: bool = False,
     live_dir: "str | Path | None" = None,
+    allocator: Optional[str] = None,
+    policy: Optional[str] = None,
 ) -> Result:
     """Simulate ``workflow`` on ``platform`` and return a :class:`Result`.
 
@@ -131,38 +135,82 @@ def simulate(
         A :class:`~repro.workflow.Workflow` or a path to a WfCommons
         JSON trace.
     config:
-        A :class:`~repro.simulator.SimulatorConfig`, or a mapping of its
-        field names (``bb_mode``, ``input_fraction``,
-        ``network_allocator``, ...) for quick literal configs.
+        Anything :meth:`repro.Config.from_any` accepts: a
+        :class:`~repro.config.Config`, a
+        :class:`~repro.simulator.SimulatorConfig`, a mapping of field
+        names (``bb_mode``, ``network_allocator``, ``monitors``, ...)
+        for quick literal configs, or a path to a JSON file of one.
     observer:
         An :class:`~repro.obs.Observer` to collect telemetry into;
-        ``True`` creates one collecting every metric group.  Implied by
-        ``monitors`` / ``live_dir``.
+        ``True`` creates one collecting the config's metric groups.
+        Implied by the config's observability switches (``observe``,
+        ``monitors``, ``live_dir``, ...).
     monitors:
         ``True`` runs the standard online invariant monitors (BB
         occupancy, link capacity, clock monotonicity, lease balance); a
         violated invariant raises
         :class:`~repro.obs.InvariantViolation` mid-run.  Only applies
         when this call creates the observer — a pre-built
-        :class:`Observer` carries its own monitor list.
+        :class:`Observer` carries its own monitor list.  Equivalent to
+        ``Config.monitors``.
     live_dir:
         Stream live telemetry (``repro.obs.live/1``) into this
         directory while the run executes; tail it with
         ``repro-obs watch``.  The stream is closed when the run ends.
+        Equivalent to ``Config.live_dir``.
+    allocator:
+        Deprecated — set ``Config.network_allocator`` instead.
+    policy:
+        Deprecated — set ``Config.queue_policy`` instead.
     """
-    if config is not None and not isinstance(config, SimulatorConfig):
-        config = SimulatorConfig(**dict(config))
-    if observer in (None, False) and (monitors or live_dir is not None):
+    cfg = Config.from_any(config)
+    overridden = False
+    if allocator is not None:
+        warnings.warn(
+            "simulate(allocator=...) is deprecated; set "
+            "Config.network_allocator instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        cfg = cfg.replace(network_allocator=allocator)
+        overridden = True
+    if policy is not None:
+        warnings.warn(
+            "simulate(policy=...) is deprecated; set Config.queue_policy "
+            "instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        cfg = cfg.replace(queue_policy=policy)
+        overridden = True
+    if monitors:
+        cfg = cfg.replace(monitors=True)
+    if live_dir is not None:
+        cfg = cfg.replace(live_dir=str(live_dir))
+    if observer in (None, False) and cfg.wants_observer():
         observer = True
     if observer is True:
-        observer = Observer(monitors=monitors)
+        observer = cfg.make_observer() or Observer(monitors=cfg.monitors)
     elif observer is False:
         observer = None
-    if live_dir is not None:
+    if (
+        cfg.live_dir is not None
+        and observer is not None
+        and observer.bus is None
+    ):
         from repro.obs import LiveBus
 
-        observer.attach_bus(LiveBus(live_dir))
-    simulator = Simulator(platform, workflow, config=config, observer=observer)
+        observer.attach_bus(LiveBus(cfg.live_dir))
+    # Preserve object identity for callers that pass a SimulatorConfig
+    # (Result.config is their exact instance unless a deprecated
+    # keyword rewrote a model knob).
+    if isinstance(config, SimulatorConfig) and not overridden:
+        sim_config = config
+    else:
+        sim_config = cfg.to_simulator_config()
+    simulator = Simulator(
+        platform, workflow, config=sim_config, observer=observer
+    )
     trace = simulator.run()
     if observer is not None and observer.bus is not None:
         observer.bus.close()

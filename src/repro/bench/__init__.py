@@ -4,12 +4,14 @@ Measures the two things the incremental fair-share work optimizes:
 
 * **micro** — raw solver throughput on synthetic, component-rich flow
   graphs (10 / 100 / 1000 concurrent flows), replaying one admit/drain
-  event sequence through the global progressive-filling oracle and
-  through :class:`repro.perf.IncrementalMaxMin`, asserting they agree
-  and reporting the speedup;
+  event sequence through the global progressive-filling oracle,
+  through :class:`repro.perf.IncrementalMaxMin`, and through
+  :class:`repro.perf.VectorizedMaxMin`, asserting they agree and
+  reporting both speedups;
 * **macro** — end-to-end simulation wall time on the paper's workloads
   (a Figure 13 point and the full 1000Genomes run), A/B-ing the
-  ``max-min`` and ``incremental`` allocators with identical makespans.
+  ``max-min``, ``incremental``, and ``vectorized`` allocators with
+  identical makespans.
 
 Results are written as ``BENCH_<date>.json`` (schema ``repro.bench/1``)
 with ``{wall_s, events, solver_calls, links_touched}`` per entry plus a
@@ -19,20 +21,28 @@ calibrated macro wall-time regression.  See ``docs/PERF.md``.
 """
 
 from repro.bench.micro import MicroResult, micro_benchmarks, run_micro
-from repro.bench.macro import MacroResult, macro_benchmarks, run_macro
+from repro.bench.macro import (
+    MACRO_ALLOCATORS,
+    MacroResult,
+    macro_benchmarks,
+    run_macro,
+)
 from repro.bench.report import (
     BENCH_SCHEMA,
     calibrate,
     check_against,
+    format_regression,
     write_report,
 )
 
 __all__ = [
     "BENCH_SCHEMA",
+    "MACRO_ALLOCATORS",
     "MacroResult",
     "MicroResult",
     "calibrate",
     "check_against",
+    "format_regression",
     "macro_benchmarks",
     "micro_benchmarks",
     "run_macro",

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -11,6 +12,7 @@ from repro.bench.micro import micro_benchmarks
 from repro.bench.report import (
     calibrate,
     check_against,
+    format_regression,
     load_report,
     write_report,
 )
@@ -20,8 +22,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Benchmark the fair-share solver (micro) and full "
-        "simulations (macro), A/B-ing the max-min and incremental "
-        "allocators.",
+        "simulations (macro), A/B-ing the max-min, incremental, and "
+        "vectorized allocators.",
     )
     parser.add_argument(
         "--smoke",
@@ -60,8 +62,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(
             f"  {result.name:12s} {result.events:5d} events  "
             f"oracle {result.oracle_wall_s * 1e3:8.1f} ms  "
-            f"incremental {result.incremental_wall_s * 1e3:8.1f} ms  "
-            f"speedup {result.speedup:5.1f}x"
+            f"incremental {result.incremental_wall_s * 1e3:8.1f} ms "
+            f"({result.speedup:5.1f}x)  "
+            f"vectorized {result.vectorized_wall_s * 1e3:8.1f} ms "
+            f"({result.vectorized_speedup:5.1f}x)"
         )
 
     print("-- macro: end-to-end simulations --")
@@ -84,7 +88,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if failures:
             print("PERFORMANCE REGRESSION:", file=sys.stderr)
             for failure in failures:
-                print(f"  {failure}", file=sys.stderr)
+                print(f"  {format_regression(failure)}", file=sys.stderr)
+            # One machine-readable line for harnesses (CI annotations,
+            # dashboards) — everything above is for humans.
+            print(
+                json.dumps(
+                    {
+                        "bench_regressions": failures,
+                        "baseline": str(args.check_against),
+                        "tolerance": args.tolerance,
+                    },
+                    sort_keys=True,
+                )
+            )
             return 1
         print(f"no macro regression vs {args.check_against}")
     return 0

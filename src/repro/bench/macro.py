@@ -1,15 +1,15 @@
 """Macro benchmarks: end-to-end simulation wall time on paper workloads.
 
 Two scenarios, each run with the default ``max-min`` allocator and again
-with ``incremental``:
+with ``incremental`` and ``vectorized``:
 
 * ``fig13-point`` — one Figure 13 sweep point (1000Genomes on Cori,
   half the inputs staged into the burst buffer, reduced chromosome
   count) — the unit of work every sweep repeats dozens of times;
 * ``genomes-full`` — the full 22-chromosome 1000Genomes case study.
 
-The paired runs must produce identical makespans (the incremental path
-is an optimization, not a model change); each reports wall time plus
+The grouped runs must produce identical makespans (the incremental and
+vectorized paths are optimizations, not model changes); each reports wall time plus
 the observer's kernel/solver counters so regressions can be attributed
 (did we do more events, more solves, or just slower solves?).
 """
@@ -85,23 +85,29 @@ def run_macro(name: str, allocator: str, **kwargs) -> MacroResult:
     )
 
 
-def macro_benchmarks(smoke: bool = False) -> list[MacroResult]:
-    """Run every macro scenario under both allocators (A/B pairs).
+#: The allocators every macro scenario is benchmarked under.
+MACRO_ALLOCATORS = ("max-min", "incremental", "vectorized")
 
-    Raises if an A/B pair disagrees on makespan — wall time is only
-    comparable between semantically identical runs.
+
+def macro_benchmarks(smoke: bool = False) -> list[MacroResult]:
+    """Run every macro scenario under all allocators (A/B/C groups).
+
+    Raises if any allocator disagrees with ``max-min`` on makespan —
+    wall time is only comparable between semantically identical runs.
     """
     scenarios = _SCENARIOS_SMOKE if smoke else _SCENARIOS_FULL
     results: list[MacroResult] = []
     for name, kwargs in scenarios.items():
-        pair = [
+        group = [
             run_macro(name, allocator, **kwargs)
-            for allocator in ("max-min", "incremental")
+            for allocator in MACRO_ALLOCATORS
         ]
-        if pair[0].makespan != pair[1].makespan:
-            raise AssertionError(
-                f"{name}: incremental makespan {pair[1].makespan!r} != "
-                f"max-min makespan {pair[0].makespan!r}"
-            )
-        results.extend(pair)
+        for other in group[1:]:
+            if other.makespan != group[0].makespan:
+                raise AssertionError(
+                    f"{name}: {other.allocator} makespan "
+                    f"{other.makespan!r} != max-min makespan "
+                    f"{group[0].makespan!r}"
+                )
+        results.extend(group)
     return results

@@ -8,17 +8,19 @@ cross a shared backbone.  That makes the flow/link graph component-rich
 occasional backbone flow keeps components merging and splitting.
 
 One deterministic admit/drain sequence (a sliding window of active
-flows) is replayed twice:
+flows) is replayed three times:
 
 * **oracle** — on every event, rebuild the active flow list and call
   :func:`~repro.network.fairshare.max_min_fair_rates` on the whole
   graph (what :class:`~repro.network.FlowNetwork`'s default path does);
 * **incremental** — feed the same events to
-  :class:`repro.perf.IncrementalMaxMin` and solve only dirty components.
+  :class:`repro.perf.IncrementalMaxMin` and solve only dirty components;
+* **vectorized** — the same events through
+  :class:`repro.perf.VectorizedMaxMin` (group-granular dirty components
+  plus the dense water-filling kernel).
 
-Both replays must agree on every flow's rate after every event (checked
-at checkpoints and at the end), so the speedup is measured on proven-
-equivalent work.
+All replays must agree on every flow's rate at the end, so the speedups
+are measured on proven-equivalent work.
 """
 
 from __future__ import annotations
@@ -30,7 +32,7 @@ from dataclasses import dataclass
 # lint: ignore-file[SIM060] - the micro bench *measures* the raw oracle
 # against the incremental engine; calling it directly is the benchmark.
 from repro.network.fairshare import max_min_fair_rates
-from repro.perf import IncrementalMaxMin, static_capacity
+from repro.perf import IncrementalMaxMin, VectorizedMaxMin, static_capacity
 
 #: Relative tolerance for oracle/incremental rate agreement.  Rates are
 #: bit-identical per component; summing order across components differs,
@@ -58,6 +60,7 @@ class MicroResult:
     events: int                      # admit/drain events replayed
     oracle_wall_s: float
     incremental_wall_s: float
+    vectorized_wall_s: float
     solver_calls: int                # incremental component solves
     links_touched: int               # total links across those solves
     full_solves: int                 # solves that spanned the whole graph
@@ -68,6 +71,12 @@ class MicroResult:
             return float("inf")
         return self.oracle_wall_s / self.incremental_wall_s
 
+    @property
+    def vectorized_speedup(self) -> float:
+        if self.vectorized_wall_s <= 0:  # pragma: no cover - clock quirk
+            return float("inf")
+        return self.oracle_wall_s / self.vectorized_wall_s
+
     def as_dict(self) -> dict:
         return {
             "name": self.name,
@@ -76,7 +85,9 @@ class MicroResult:
             "events": self.events,
             "wall_s": self.incremental_wall_s,
             "oracle_wall_s": self.oracle_wall_s,
+            "vectorized_wall_s": self.vectorized_wall_s,
             "speedup": self.speedup,
+            "vectorized_speedup": self.vectorized_speedup,
             "solver_calls": self.solver_calls,
             "links_touched": self.links_touched,
             "full_solves": self.full_solves,
@@ -160,9 +171,10 @@ def _replay_oracle(workload: MicroWorkload) -> dict[int, float]:
 
 
 def _replay_incremental(
-    workload: MicroWorkload, engine: IncrementalMaxMin
+    workload: MicroWorkload, engine: "IncrementalMaxMin | VectorizedMaxMin"
 ) -> dict[int, float]:
-    """The same events through the incremental engine."""
+    """The same events through a stateful engine (incremental or
+    vectorized — the two share the admit/drain/solve surface)."""
     for event in workload.events:
         if event[0] == "admit":
             _, fid, links, cap = event
@@ -190,9 +202,10 @@ def run_micro(workload: MicroWorkload, repeats: int = 3) -> MicroResult:
     """Benchmark one workload; best-of-``repeats`` wall times.
 
     The first replay of each solver doubles as the correctness check
-    (oracle and incremental must agree on every rate), so ``repeats=1``
-    costs exactly one replay per solver — that keeps the 1000-flow bench
-    affordable, where a single oracle replay is tens of seconds.
+    (oracle, incremental, and vectorized must agree on every rate), so
+    ``repeats=1`` costs exactly one replay per solver — that keeps the
+    1000-flow bench affordable, where a single oracle replay is tens of
+    seconds.
     """
     holder: dict = {}
 
@@ -204,9 +217,17 @@ def run_micro(workload: MicroWorkload, repeats: int = 3) -> MicroResult:
         holder["rates"] = _replay_incremental(workload, engine)
         holder["stats"] = engine.stats
 
+    def vectorized_once() -> None:
+        engine = VectorizedMaxMin(static_capacity(workload.capacities))
+        holder["vectorized"] = _replay_incremental(workload, engine)
+
     oracle_wall = min(_timed(oracle_once) for _ in range(repeats))
     incremental_wall = min(_timed(incremental_once) for _ in range(repeats))
+    vectorized_wall = min(_timed(vectorized_once) for _ in range(repeats))
     _check_agreement(holder["oracle"], holder["rates"], workload.name)
+    _check_agreement(
+        holder["oracle"], holder["vectorized"], f"{workload.name} (vectorized)"
+    )
     stats = holder["stats"]
     return MicroResult(
         name=workload.name,
@@ -214,6 +235,7 @@ def run_micro(workload: MicroWorkload, repeats: int = 3) -> MicroResult:
         events=len(workload.events),
         oracle_wall_s=oracle_wall,
         incremental_wall_s=incremental_wall,
+        vectorized_wall_s=vectorized_wall,
         solver_calls=stats.solver_calls,
         links_touched=stats.links_touched,
         full_solves=stats.full_solves,

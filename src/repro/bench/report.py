@@ -82,15 +82,24 @@ def load_report(path: "str | Path") -> dict:
 
 def check_against(
     current: dict, baseline: dict, tolerance: float = 0.25
-) -> list[str]:
-    """Compare two reports' macro wall times; return regression messages.
+) -> list[dict]:
+    """Compare two reports' macro wall times; return regression records.
 
     An entry regresses when its calibrated wall time exceeds the
     baseline's by more than ``tolerance`` (relative).  Entries are
     matched by ``(name, allocator)``; entries missing from the baseline
     are informational only (new benchmarks can't regress).
+
+    Each returned record is machine-readable::
+
+        {"name": ..., "allocator": ..., "metric": "wall_s",
+         "measured_units": ..., "baseline_units": ...,
+         "ratio": measured/baseline, "tolerance": ...}
+
+    so callers can both render it (:func:`format_regression`) and emit
+    it as JSON for harnesses.
     """
-    failures: list[str] = []
+    failures: list[dict] = []
     base_cal = baseline["calibration_s"]
     cur_cal = current["calibration_s"]
     if base_cal <= 0 or cur_cal <= 0:
@@ -110,8 +119,24 @@ def check_against(
         base_units = base["wall_s"] / base_cal
         if current_units > base_units * (1.0 + tolerance):
             failures.append(
-                f"{entry['name']} [{entry.get('allocator')}]: "
-                f"{current_units:.2f} machine units vs baseline "
-                f"{base_units:.2f} (>{tolerance:.0%} regression)"
+                {
+                    "name": entry["name"],
+                    "allocator": entry.get("allocator"),
+                    "metric": "wall_s",
+                    "measured_units": current_units,
+                    "baseline_units": base_units,
+                    "ratio": current_units / base_units,
+                    "tolerance": tolerance,
+                }
             )
     return failures
+
+
+def format_regression(failure: dict) -> str:
+    """One human-readable line for a :func:`check_against` record."""
+    return (
+        f"{failure['name']} [{failure['allocator']}]: wall_s "
+        f"{failure['measured_units']:.2f} machine units vs baseline "
+        f"{failure['baseline_units']:.2f} "
+        f"({failure['ratio']:.2f}x, tolerance {failure['tolerance']:.0%})"
+    )

@@ -1,0 +1,219 @@
+"""The v2 configuration surface: one typed object for a whole run.
+
+Historically the knobs of a run were scattered: model knobs lived in
+:class:`~repro.simulator.SimulatorConfig`, observability switches were
+keyword arguments of :func:`repro.simulate` (``monitors=``,
+``live_dir=``), CLI flags of ``repro-simulate`` (``--obs-dir``,
+``--profile``), and ad-hoc mappings.  :class:`Config` subsumes them:
+
+* the *model* knobs — exactly :class:`SimulatorConfig`'s fields
+  (``bb_mode``, the placement fractions, ``use_amdahl_alpha``,
+  ``network_allocator``, ``queue_policy``);
+* the *observability* knobs — whether to observe, which metric groups,
+  whether to run the invariant monitors, where to stream live
+  telemetry, where to export the bundle, whether to build the
+  critical-path profile.
+
+:meth:`Config.from_any` is the single coercion path: it accepts a
+``Config``, a ``SimulatorConfig``, a plain mapping (the historical
+``simulate(config={...})`` shape), a path to a JSON file, or ``None``,
+and always returns a :class:`Config`.  ``repro.simulate()``,
+``repro-simulate``, and the experiment modules all funnel through it,
+so a configuration written once works everywhere.
+
+String ``bb_mode`` values are coerced silently here — this is the
+blessed front door — whereas passing them straight to
+``SimulatorConfig`` now earns a :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping, Optional
+
+from repro.network import DEFAULT_ALLOCATOR
+from repro.storage import BBMode
+from repro.wms.policies import DEFAULT_POLICY, policy_names, resolve_policy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observer
+    from repro.simulator import SimulatorConfig
+
+#: Schema tag serialized by :meth:`Config.to_doc`.
+CONFIG_SCHEMA = "repro.api.config/2"
+
+#: Model-knob field names (the ``SimulatorConfig`` subset), in order.
+_MODEL_FIELDS = (
+    "bb_mode",
+    "input_fraction",
+    "intermediate_fraction",
+    "output_fraction",
+    "use_amdahl_alpha",
+    "network_allocator",
+    "queue_policy",
+)
+
+#: Observability-switch field names.
+_OBS_FIELDS = (
+    "observe",
+    "metrics",
+    "monitors",
+    "live_dir",
+    "obs_dir",
+    "profile",
+)
+
+
+@dataclass
+class Config:
+    """Every knob of one simulation run, model and observability alike."""
+
+    # --- model knobs (mirror SimulatorConfig field for field) ---------
+    bb_mode: BBMode = BBMode.STRIPED
+    input_fraction: float = 1.0
+    intermediate_fraction: float = 1.0
+    output_fraction: float = 0.0
+    use_amdahl_alpha: bool = False
+    network_allocator: str = DEFAULT_ALLOCATOR
+    queue_policy: str = DEFAULT_POLICY
+
+    # --- observability switches ---------------------------------------
+    #: Collect telemetry even when no other switch demands it.
+    observe: bool = False
+    #: Metric groups to collect (``None`` = all groups when observing).
+    metrics: Optional[tuple] = None
+    #: Run the online invariant monitors (implies observing).
+    monitors: bool = False
+    #: Stream live telemetry (``repro.obs.live/1``) into this directory.
+    live_dir: Optional[str] = None
+    #: Export the telemetry bundle (manifest, trace, CSVs) here.
+    obs_dir: Optional[str] = None
+    #: Build the critical-path profile after the run.
+    profile: bool = False
+
+    def __post_init__(self) -> None:
+        # The blessed coercion point: strings become enums quietly.
+        self.bb_mode = BBMode(self.bb_mode)
+        if self.queue_policy not in policy_names():
+            resolve_policy(self.queue_policy)  # raises with the choices
+        if self.metrics is not None:
+            self.metrics = tuple(self.metrics)
+        if self.live_dir is not None:
+            self.live_dir = str(self.live_dir)
+        if self.obs_dir is not None:
+            self.obs_dir = str(self.obs_dir)
+
+    # ------------------------------------------------------------------
+    # Coercion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_any(
+        cls,
+        value: "Config | SimulatorConfig | Mapping[str, Any] | str | Path | None",
+    ) -> "Config":
+        """Coerce any accepted configuration shape to a :class:`Config`.
+
+        ``None`` → defaults; ``Config`` passes through unchanged;
+        ``SimulatorConfig`` lifts the model knobs (observability stays
+        off); a mapping may mix model and observability keys; a path
+        names a JSON file holding such a mapping.
+        """
+        from repro.simulator import SimulatorConfig
+
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, SimulatorConfig):
+            return cls(**{f: getattr(value, f) for f in _MODEL_FIELDS})
+        if isinstance(value, (str, Path)):
+            doc = json.loads(Path(value).read_text())
+            if not isinstance(doc, dict):
+                raise ValueError(
+                    f"config file {value!s} must hold a JSON object, "
+                    f"got {type(doc).__name__}"
+                )
+            return cls.from_any(doc)
+        if isinstance(value, Mapping):
+            known = set(_MODEL_FIELDS) | set(_OBS_FIELDS)
+            extra = set(value) - known - {"schema"}
+            if extra:
+                raise TypeError(
+                    f"unknown config keys: {', '.join(sorted(extra))} "
+                    f"(choose from {', '.join(sorted(known))})"
+                )
+            return cls(**{k: v for k, v in value.items() if k != "schema"})
+        raise TypeError(
+            f"cannot build a Config from {type(value).__name__!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Projections
+    # ------------------------------------------------------------------
+    def to_simulator_config(self) -> "SimulatorConfig":
+        """The model-knob subset as a :class:`SimulatorConfig`."""
+        from repro.simulator import SimulatorConfig
+
+        return SimulatorConfig(**{f: getattr(self, f) for f in _MODEL_FIELDS})
+
+    def wants_observer(self) -> bool:
+        """Whether any switch requires the run to be observed."""
+        return bool(
+            self.observe
+            or self.metrics is not None
+            or self.monitors
+            or self.live_dir is not None
+            or self.obs_dir is not None
+            or self.profile
+        )
+
+    def make_observer(self) -> "Optional[Observer]":
+        """Build the run's :class:`~repro.obs.Observer`, or ``None``.
+
+        Returns an observer (with the live bus attached when
+        ``live_dir`` is set) iff :meth:`wants_observer`.
+        """
+        if not self.wants_observer():
+            return None
+        from repro.obs import Observer
+
+        observer = Observer(
+            metrics=list(self.metrics) if self.metrics is not None else None,
+            monitors=self.monitors,
+        )
+        if self.live_dir is not None:
+            from repro.obs import LiveBus
+
+            observer.attach_bus(LiveBus(self.live_dir))
+        return observer
+
+    def replace(self, **changes: Any) -> "Config":
+        """A copy with ``changes`` applied (``dataclasses.replace``)."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Serialization (the manifest v2 form)
+    # ------------------------------------------------------------------
+    def to_doc(self) -> dict[str, Any]:
+        """JSON-ready document; ``from_doc`` round-trips it exactly."""
+        doc: dict[str, Any] = {"schema": CONFIG_SCHEMA}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, BBMode):
+                value = value.value
+            elif isinstance(value, tuple):
+                value = list(value)
+            doc[f.name] = value
+        return doc
+
+    @classmethod
+    def from_doc(cls, doc: Mapping[str, Any]) -> "Config":
+        """Rebuild a :class:`Config` from :meth:`to_doc` output.
+
+        Also reads the *v1* manifest config shape (model knobs only, no
+        ``schema`` tag) — old manifests stay loadable forever.
+        """
+        return cls.from_any(doc)

@@ -27,6 +27,7 @@ Example
 from repro.des.core import (
     Event,
     EventPriority,
+    EventQueue,
     Interrupt,
     SimulationError,
     StopSimulation,
@@ -51,6 +52,7 @@ __all__ = [
     "Environment",
     "Event",
     "EventPriority",
+    "EventQueue",
     "Interrupt",
     "PriorityResource",
     "Process",

@@ -1,11 +1,17 @@
 """The simulation environment: clock, event queue, and main loop."""
+# lint: hot-path - the main loop; step() runs once per simulation event
 
 from __future__ import annotations
 
-import heapq
 from typing import Any, Generator, Iterable, Optional
 
-from repro.des.core import Event, EventPriority, SimulationError, StopSimulation
+from repro.des.core import (
+    Event,
+    EventPriority,
+    EventQueue,
+    SimulationError,
+    StopSimulation,
+)
 from repro.des.process import Process
 
 
@@ -38,8 +44,7 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
-        self._eid = 0  # monotonically increasing tiebreaker → FIFO at same t
+        self._queue = EventQueue()
         self._active_process: Optional[Process] = None
         #: Attached :class:`repro.obs.Observer`, or ``None`` (the
         #: default).  This is the single attachment point the whole
@@ -64,7 +69,7 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._queue.peek_time()
 
     def __len__(self) -> int:
         """Number of scheduled (not yet processed) events."""
@@ -107,16 +112,13 @@ class Environment:
         """Queue ``event`` to be processed ``delay`` units from now."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        self._eid += 1
-        heapq.heappush(
-            self._queue, (self._now + delay, int(priority), self._eid, event)
-        )
+        self._queue.push(self._now + delay, int(priority), event)
 
     def step(self) -> None:
         """Process the single next event; raise ``EmptySchedule`` if none."""
         if not self._queue:
             raise EmptySchedule()
-        when, _prio, _eid, event = heapq.heappop(self._queue)
+        when, event = self._queue.pop()
         if when < self._now:  # pragma: no cover - defensive
             raise SimulationError("event scheduled in the past")
         self._now = when

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import inspect
 import sys
 import time
 from pathlib import Path
@@ -17,15 +18,29 @@ def run_experiment(
     experiment_id: str,
     quick: bool = False,
     sweep: Optional[SweepOptions] = None,
+    config=None,
 ):
-    """Import and run one experiment module; returns its result."""
+    """Import and run one experiment module; returns its result.
+
+    ``config`` (anything :meth:`repro.Config.from_any` accepts) is
+    forwarded to experiment modules whose ``run`` declares a ``config``
+    parameter — currently the simulation sweeps (fig13, fig14); the
+    characterization/emulation experiments ignore it.
+    """
     if experiment_id not in ALL_EXPERIMENTS:
         raise ValueError(
             f"unknown experiment {experiment_id!r}; "
             f"choose from {', '.join(ALL_EXPERIMENTS)}"
         )
     module = importlib.import_module(f"repro.experiments.{experiment_id}")
-    return module.run(quick=quick, sweep=sweep)
+    kwargs = {"quick": quick, "sweep": sweep}
+    if config is not None:
+        if "config" not in inspect.signature(module.run).parameters:
+            raise ValueError(
+                f"experiment {experiment_id!r} does not take a config"
+            )
+        kwargs["config"] = config
+    return module.run(**kwargs)
 
 
 def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
@@ -133,8 +148,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="after an --obs-dir run, summarize each point's critical-path "
         "profile (dominant resource per point, from <point>/profile.json)",
     )
+    parser.add_argument(
+        "--network-allocator",
+        help="bandwidth-sharing discipline for the simulation sweeps "
+        "(fig13/fig14); non-default choices become part of each "
+        "point's identity and cache key",
+    )
     add_sweep_arguments(parser)
     args = parser.parse_args(argv)
+
+    config = None
+    if args.network_allocator:
+        from repro.config import Config
+
+        config = Config(network_allocator=args.network_allocator)
 
     requested = list(args.experiments)
     if requested == ["all"]:
@@ -147,7 +174,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         obs_dir = Path(args.obs_dir) / experiment_id if args.obs_dir else None
         sweep = sweep_options_from_args(args, obs_dir=obs_dir)
         try:
-            result = run_experiment(experiment_id, quick=args.quick, sweep=sweep)
+            result = run_experiment(
+                experiment_id, quick=args.quick, sweep=sweep, config=config
+            )
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2

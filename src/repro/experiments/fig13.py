@@ -25,7 +25,9 @@ from typing import Any, Optional
 
 import numpy as np
 
+from repro.config import Config
 from repro.experiments.common import ExperimentResult, sweep_values
+from repro.network import DEFAULT_ALLOCATOR
 from repro.scenarios import run_genomes
 from repro.sweep import SweepOptions, SweepSpec, point_id
 
@@ -65,6 +67,7 @@ def compute_point(params: dict[str, Any], obs_dir=None) -> float:
         n_compute=8,
         emulated=False,
         observer=observer,
+        network_allocator=params.get("network_allocator"),
     )
     if observer is not None:
         from repro.obs import export_run
@@ -79,7 +82,22 @@ def _fractions(quick: bool):
     return FRACTIONS[::2] if quick else FRACTIONS
 
 
-def sweep_spec(quick: bool = False) -> SweepSpec:
+def _constants(quick: bool, config: "Config | None") -> dict[str, Any]:
+    """The non-axis parameters every point carries.
+
+    ``network_allocator`` joins the parameter set only when the config
+    picks a non-default discipline, so the cache keys (and per-point
+    telemetry directories) of historical default-allocator sweeps are
+    untouched.
+    """
+    constants: dict[str, Any] = {"n_chromosomes": 6 if quick else 22}
+    cfg = Config.from_any(config)
+    if cfg.network_allocator != DEFAULT_ALLOCATOR:
+        constants["network_allocator"] = cfg.network_allocator
+    return constants
+
+
+def sweep_spec(quick: bool = False, config: "Config | None" = None) -> SweepSpec:
     return SweepSpec.cartesian(
         "fig13",
         "repro.experiments.fig13:compute_point",
@@ -87,14 +105,19 @@ def sweep_spec(quick: bool = False) -> SweepSpec:
             "system": ["cori", "summit"],
             "fraction": [float(f) for f in _fractions(quick)],
         },
-        constants={"n_chromosomes": 6 if quick else 22},
+        constants=_constants(quick, config),
         pass_obs_dir=True,
     )
 
 
-def run(quick: bool = False, sweep: Optional[SweepOptions] = None) -> ExperimentResult:
+def run(
+    quick: bool = False,
+    sweep: Optional[SweepOptions] = None,
+    config: "Config | None" = None,
+) -> ExperimentResult:
     n_chromosomes = 6 if quick else 22
-    values = sweep_values(sweep_spec(quick), sweep)
+    constants = _constants(quick, config)
+    values = sweep_values(sweep_spec(quick, config), sweep)
     result = ExperimentResult(
         experiment_id="fig13",
         title="1000Genomes simulated makespan vs. % input files in BB "
@@ -105,11 +128,7 @@ def run(quick: bool = False, sweep: Optional[SweepOptions] = None) -> Experiment
         row = []
         for system in ("cori", "summit"):
             pid = point_id(
-                {
-                    "system": system,
-                    "fraction": float(fraction),
-                    "n_chromosomes": n_chromosomes,
-                }
+                {**constants, "system": system, "fraction": float(fraction)}
             )
             row.append(values[pid])
         result.add_row(float(fraction), row[0], row[1])

@@ -24,9 +24,11 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Any, Optional
 
+from repro.config import Config
 from repro.emulation.calibration import CORI_EFFECTS
 from repro.emulation.trials import run_trials
 from repro.experiments.common import ExperimentResult, sweep_values
+from repro.network import DEFAULT_ALLOCATOR
 from repro.model import mean_relative_error
 from repro.platform.units import MB
 from repro.scenarios import run_genomes
@@ -43,12 +45,18 @@ REFERENCE_FRACTIONS = (0.4, 0.8, 1.0)  # the prior study measured a few points
 REFERENCE_ERA_EFFECTS = replace(CORI_EFFECTS, pfs_disk_bandwidth=50 * MB)
 
 
-def simulated_makespan(system: str, fraction: float, n_chromosomes: int) -> float:
+def simulated_makespan(
+    system: str,
+    fraction: float,
+    n_chromosomes: int,
+    network_allocator: Optional[str] = None,
+) -> float:
     return run_genomes(
         system=system,
         input_fraction=fraction,
         n_chromosomes=n_chromosomes,
         n_compute=8,
+        network_allocator=network_allocator,
     ).makespan
 
 
@@ -73,7 +81,10 @@ def compute_point(params: dict[str, Any]) -> float:
     """One sweep point: a raw makespan, simulated or emulated-reference."""
     if params["kind"] == "sim":
         return simulated_makespan(
-            params["system"], params["fraction"], params["n_chromosomes"]
+            params["system"],
+            params["fraction"],
+            params["n_chromosomes"],
+            network_allocator=params.get("network_allocator"),
         )
     return reference_makespan(params["fraction"], params["n_trials"])
 
@@ -82,7 +93,16 @@ def _fractions(quick: bool):
     return (0.0, 0.5, 1.0) if quick else FRACTIONS
 
 
-def sweep_spec(quick: bool = False) -> SweepSpec:
+def _sim_constants(config: "Config | None") -> dict[str, Any]:
+    """Extra parameters for the simulated points (cache-key-neutral for
+    the default allocator, exactly like fig13)."""
+    cfg = Config.from_any(config)
+    if cfg.network_allocator != DEFAULT_ALLOCATOR:
+        return {"network_allocator": cfg.network_allocator}
+    return {}
+
+
+def sweep_spec(quick: bool = False, config: "Config | None" = None) -> SweepSpec:
     n_chromosomes = 6 if quick else 22
     ref_trials = 3 if quick else 5
     points: list[dict[str, Any]] = [
@@ -91,6 +111,7 @@ def sweep_spec(quick: bool = False) -> SweepSpec:
             "system": system,
             "fraction": float(f),
             "n_chromosomes": n_chromosomes,
+            **_sim_constants(config),
         }
         for system in ("cori", "summit")
         for f in _fractions(quick)
@@ -106,11 +127,16 @@ def sweep_spec(quick: bool = False) -> SweepSpec:
     )
 
 
-def run(quick: bool = False, sweep: Optional[SweepOptions] = None) -> ExperimentResult:
+def run(
+    quick: bool = False,
+    sweep: Optional[SweepOptions] = None,
+    config: "Config | None" = None,
+) -> ExperimentResult:
     n_chromosomes = 6 if quick else 22
     ref_trials = 3 if quick else 5
     fractions = _fractions(quick)
-    values = sweep_values(sweep_spec(quick), sweep)
+    values = sweep_values(sweep_spec(quick, config), sweep)
+    sim_constants = _sim_constants(config)
 
     def sim(system: str, f: float) -> float:
         return values[
@@ -120,6 +146,7 @@ def run(quick: bool = False, sweep: Optional[SweepOptions] = None) -> Experiment
                     "system": system,
                     "fraction": float(f),
                     "n_chromosomes": n_chromosomes,
+                    **sim_constants,
                 }
             )
         ]

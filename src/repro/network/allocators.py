@@ -22,6 +22,14 @@ Built-in allocators:
     stateful incremental hot path (dirty-component recomputation, batch
     rescheduling, completion heap).  Registered lazily on first lookup
     so ``repro.network`` does not import ``repro.perf`` at import time.
+``vectorized``
+    :func:`repro.perf.vectorized_max_min_rates` — the dense
+    water-filling kernel (numpy argmin over per-link saturation levels,
+    identical-constraint flow grouping).  Selecting it by name keeps the
+    incremental path's dirty-component bookkeeping but solves each
+    component with the kernel and moves per-flow progress onto
+    :class:`repro.perf.FlowSlots` arrays.  Registered lazily alongside
+    ``incremental``.
 
 Direct calls to ``max_min_fair_rates`` outside ``repro.network`` /
 ``repro.perf`` are rejected by lint rule SIM060 — resolve through this
@@ -100,10 +108,10 @@ def resolve_allocator(
 
 def _ensure_builtin() -> None:
     """Register built-ins, importing ``repro.perf`` for the incremental
-    solver only when first needed (avoids an import cycle: perf depends
-    on the oracle in this package)."""
-    if "incremental" not in _ALLOCATORS:
-        import repro.perf  # noqa: F401 - registers "incremental"
+    and vectorized solvers only when first needed (avoids an import
+    cycle: perf depends on the oracle in this package)."""
+    if "incremental" not in _ALLOCATORS or "vectorized" not in _ALLOCATORS:
+        import repro.perf  # noqa: F401 - registers "incremental"/"vectorized"
 
 
 register_allocator("max-min", max_min_fair_rates)

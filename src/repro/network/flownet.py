@@ -24,7 +24,16 @@ Two execution paths share the public API:
   ``DEFERRED``-priority flush event), and the next-completion scan is a
   lazy-deletion heap keyed by absolute finish time, so untouched flows
   are never revisited.
+* the **vectorized path** (``allocator="vectorized"``): same deferred
+  batching and dirty-component structure, but components are solved by
+  :class:`repro.perf.VectorizedMaxMin`'s dense water-filling kernel and
+  per-flow progress lives in :class:`repro.perf.FlowSlots` arrays —
+  advancing time, sweeping drained flows, and finding the next
+  completion are whole-array numpy operations, allocating nothing per
+  event.  :class:`Flow` objects remain the public record; their
+  ``remaining`` is synced from the arrays on access and completion.
 """
+# lint: hot-path - rate updates and progress sweeps run per network event
 
 from __future__ import annotations
 
@@ -50,6 +59,12 @@ def _is_incremental(allocator) -> bool:
     """
     module = sys.modules.get("repro.perf.incremental")
     return module is not None and allocator is module.incremental_max_min_rates
+
+
+def _is_vectorized(allocator) -> bool:
+    """Whether ``allocator`` is the registry's vectorized solver."""
+    module = sys.modules.get("repro.perf.vectorized")
+    return module is not None and allocator is module.vectorized_max_min_rates
 
 
 @dataclass
@@ -116,8 +131,11 @@ class FlowNetwork:
         #: Completed-flow log (bounded use: bandwidth accounting in traces).
         self.completed: list[Flow] = []
         #: Incremental engine, engaged only for the registry's
-        #: incremental allocator; ``None`` selects the oracle path.
+        #: incremental/vectorized allocators; ``None`` selects the
+        #: oracle path.  ``_slots`` additionally holds the dense
+        #: per-flow arrays on the vectorized path.
         self._inc = None
+        self._slots = None
         if _is_incremental(self._allocator):
             from repro.perf import IncrementalMaxMin
 
@@ -125,6 +143,13 @@ class FlowNetwork:
             self._links_by_name: dict[str, Link] = {}
             #: Lazy-deletion completion heap: (finish_time, version, fid).
             self._heap: list[tuple[float, int, int]] = []
+            self._flush_pending = False
+        elif _is_vectorized(self._allocator):
+            from repro.perf import FlowSlots, VectorizedMaxMin
+
+            self._inc = VectorizedMaxMin(self._link_capacity)
+            self._slots = FlowSlots()
+            self._links_by_name = {}
             self._flush_pending = False
 
     # ------------------------------------------------------------------
@@ -176,12 +201,24 @@ class FlowNetwork:
 
     @property
     def active_flows(self) -> list[Flow]:
+        self._sync_flow_progress()
         return list(self._flows.values())
 
     def utilization(self, link: Link) -> float:
         """Current aggregate rate over ``link`` divided by its capacity."""
         load = sum(f.rate for f in self._flows.values() if link in f.links)
         return load / link.bandwidth
+
+    def _sync_flow_progress(self) -> None:
+        """Copy slot-array progress back onto the public :class:`Flow`
+        records (vectorized path only; a no-op elsewhere, where the
+        records are the source of truth)."""
+        if self._slots is None:
+            return
+        flows = self._flows
+        remaining = self._slots.remaining
+        for fid, slot in self._slots.slot_of.items():
+            flows[fid].remaining = float(remaining[slot])
 
     # ------------------------------------------------------------------
     # Internals
@@ -221,14 +258,19 @@ class FlowNetwork:
         self._inc.admit(
             flow.fid, [link.name for link in flow.links], flow.max_rate
         )
+        if self._slots is not None:
+            self._slots.admit(flow.fid, flow.size, flow.remaining)
         self._schedule_flush()
 
     def _advance_progress(self) -> None:
         """Move every active flow forward to the current instant."""
         dt = self.env.now - self._last_update
         if dt > 0:
-            for flow in self._flows.values():
-                flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+            if self._slots is not None:
+                self._slots.advance(dt)
+            else:
+                for flow in self._flows.values():
+                    flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
         self._last_update = self.env.now
 
     def _recompute_rates(self) -> None:
@@ -301,6 +343,8 @@ class FlowNetwork:
         del self._flows[flow.fid]
         if self._inc is not None and flow.fid in self._inc:
             self._inc.drain(flow.fid)
+        if self._slots is not None and flow.fid in self._slots.slot_of:
+            self._slots.drop(flow.fid)
 
     def _sweep_drained(self) -> bool:
         """Finish every flow whose residue is below its threshold.
@@ -308,11 +352,18 @@ class FlowNetwork:
         Progress must already be advanced to ``env.now``.  Returns
         whether anything finished (callers then owe a recomputation).
         """
-        finished = [
-            f
-            for f in self._flows.values()
-            if f.remaining <= self._finish_threshold(f)
-        ]
+        if self._slots is not None:
+            time_quantum = max(1e-12, abs(self.env.now) * 1e-12)
+            finished = [
+                self._flows[fid]
+                for fid in self._slots.drained_fids(time_quantum, _EPS)
+            ]
+        else:
+            finished = [
+                f
+                for f in self._flows.values()
+                if f.remaining <= self._finish_threshold(f)
+            ]
         for flow in finished:
             self._remove_flow(flow)
             self._finish(flow)
@@ -336,7 +387,11 @@ class FlowNetwork:
                 finish = self._peek_next_finish()
                 if finish is None or finish > self.env.now:
                     break
-                flow = self._flows[self._heap[0][2]]
+                if self._slots is not None:
+                    fid = self._slots.next_finished_fid()
+                else:
+                    fid = self._heap[0][2]
+                flow = self._flows[fid]
                 self._remove_flow(flow)
                 self._finish(flow)
         if self._inc.dirty:
@@ -393,13 +448,16 @@ class FlowNetwork:
         solved = stats.flows_solved
         changed = self._inc.solve()
         now = self.env.now
+        slots = self._slots
         for fid, rate in changed.items():
             flow = self._flows.get(fid)
             if flow is None:  # pragma: no cover - defensive
                 continue
             flow.rate = rate
             flow.version += 1
-            if rate > 0:
+            if slots is not None:
+                slots.set_rate(fid, rate, now)
+            elif rate > 0:
                 heappush(
                     self._heap,
                     (now + flow.remaining / rate, flow.version, fid),
@@ -416,6 +474,8 @@ class FlowNetwork:
     def _peek_next_finish(self) -> Optional[float]:
         """Earliest valid completion time, lazily discarding stale heap
         entries (finished flows, superseded rate versions)."""
+        if self._slots is not None:
+            return self._slots.peek_finish()
         heap = self._heap
         while heap:
             finish, version, fid = heap[0]

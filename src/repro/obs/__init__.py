@@ -56,8 +56,10 @@ from repro.obs.log import (
 )
 from repro.obs.manifest import (
     MANIFEST_SCHEMA,
+    MANIFEST_SCHEMA_V2,
     build_manifest,
     config_from_manifest,
+    config_v2_from_manifest,
     platform_digest,
     write_manifest,
 )
@@ -86,6 +88,7 @@ __all__ = [
     "LIVE_SCHEMA",
     "LOG_SCHEMA",
     "MANIFEST_SCHEMA",
+    "MANIFEST_SCHEMA_V2",
     "METRIC_GROUPS",
     "BBOccupancyMonitor",
     "Counter",
@@ -106,6 +109,7 @@ __all__ = [
     "build_manifest",
     "chrome_trace",
     "config_from_manifest",
+    "config_v2_from_manifest",
     "export_run",
     "iter_ndjson",
     "make_event",

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Optional
 
@@ -25,8 +24,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.traces.events import ExecutionTrace
     from repro.workflow.model import Workflow
 
-#: Manifest format identifier; bump on breaking layout changes.
+#: Manifest format identifier; bump on breaking layout changes.  The
+#: v1 tag is still emitted for configless manifests — notably the sweep
+#: cache's key documents, whose content addresses must never shift for
+#: unchanged points — and always accepted on read.
 MANIFEST_SCHEMA = "repro.obs.manifest/1"
+
+#: Manifests that carry a config serialize its v2 form
+#: (:meth:`repro.config.Config.to_doc`: model knobs plus observability
+#: switches) under this tag.
+MANIFEST_SCHEMA_V2 = "repro.obs.manifest/2"
 
 
 def platform_digest(spec: "PlatformSpec") -> str:
@@ -55,9 +62,10 @@ def build_manifest(
         "simulator_version": __version__,
     }
     if config is not None:
-        fields = asdict(config)
-        fields["bb_mode"] = config.bb_mode.value
-        doc["config"] = fields
+        from repro.config import Config
+
+        doc["schema"] = MANIFEST_SCHEMA_V2
+        doc["config"] = Config.from_any(config).to_doc()
     if platform is not None:
         doc["platform"] = {
             "digest": platform_digest(platform),
@@ -86,13 +94,27 @@ def build_manifest(
 
 
 def config_from_manifest(doc: dict[str, Any]) -> "SimulatorConfig":
-    """Reconstruct the exact :class:`SimulatorConfig` a manifest records."""
-    from repro.simulator import SimulatorConfig
-    from repro.storage import BBMode
+    """Reconstruct the exact :class:`SimulatorConfig` a manifest records.
 
-    fields = dict(doc["config"])
-    fields["bb_mode"] = BBMode(fields["bb_mode"])
-    return SimulatorConfig(**fields)
+    Reads both the v1 layout (flat ``SimulatorConfig`` fields) and the
+    v2 layout (:meth:`repro.config.Config.to_doc`, which adds the
+    observability switches); only the model knobs are returned.  Use
+    :func:`config_v2_from_manifest` to keep the full v2 object.
+    """
+    from repro.config import Config
+
+    return Config.from_any(dict(doc["config"])).to_simulator_config()
+
+
+def config_v2_from_manifest(doc: dict[str, Any]) -> "Any":
+    """The full :class:`repro.config.Config` a manifest records.
+
+    v1 manifests yield a :class:`~repro.config.Config` with the model
+    knobs set and every observability switch at its default.
+    """
+    from repro.config import Config
+
+    return Config.from_any(dict(doc["config"]))
 
 
 def write_manifest(doc: dict[str, Any], path: "str | Path") -> Path:

@@ -22,7 +22,7 @@ import sys
 from pathlib import Path
 from typing import Any, Optional, Sequence
 
-from repro.obs.manifest import MANIFEST_SCHEMA
+from repro.obs.manifest import MANIFEST_SCHEMA, MANIFEST_SCHEMA_V2
 
 #: Relative slack for float-accumulation noise in capacity comparisons.
 _CAPACITY_TOLERANCE = 1e-9
@@ -35,9 +35,10 @@ def validate_manifest(doc: Any) -> list[str]:
     errors: list[str] = []
     if not isinstance(doc, dict):
         return ["manifest: document is not a JSON object"]
-    if doc.get("schema") != MANIFEST_SCHEMA:
+    if doc.get("schema") not in (MANIFEST_SCHEMA, MANIFEST_SCHEMA_V2):
         errors.append(
-            f"manifest: schema is {doc.get('schema')!r}, expected {MANIFEST_SCHEMA!r}"
+            f"manifest: schema is {doc.get('schema')!r}, expected "
+            f"{MANIFEST_SCHEMA!r} or {MANIFEST_SCHEMA_V2!r}"
         )
     if not isinstance(doc.get("simulator_version"), str):
         errors.append("manifest: missing simulator_version")

@@ -16,6 +16,12 @@ allocation bit-for-bit.
   :class:`~repro.network.allocators.RateAllocator` view of the same
   algorithm, registered as ``"incremental"``; selecting it by name turns
   on :class:`~repro.network.FlowNetwork`'s incremental hot path.
+* :class:`VectorizedMaxMin` / :func:`vectorized_max_min_rates` — the
+  dense water-filling kernel (numpy argmin over per-link saturation
+  levels, identical-constraint flow grouping), registered as
+  ``"vectorized"``; selecting it by name additionally puts
+  :class:`~repro.network.FlowNetwork` on the slot-array hot path
+  (:class:`FlowSlots`).  See :mod:`repro.perf.vectorized`.
 
 Semantics: rates are *bit-identical* to running the oracle on each
 connected component, and identical to the whole-graph oracle whenever
@@ -33,11 +39,23 @@ from repro.perf.incremental import (
     static_capacity,
 )
 
+from repro.perf.vectorized import (
+    HAVE_NUMPY,
+    FlowSlots,
+    VectorizedMaxMin,
+    vectorized_max_min_rates,
+)
+
 register_allocator("incremental", incremental_max_min_rates)
+register_allocator("vectorized", vectorized_max_min_rates)
 
 __all__ = [
+    "HAVE_NUMPY",
+    "FlowSlots",
     "IncrementalMaxMin",
     "SolverStats",
+    "VectorizedMaxMin",
     "incremental_max_min_rates",
     "static_capacity",
+    "vectorized_max_min_rates",
 ]

@@ -23,6 +23,7 @@ roles are inferred with a ``DeprecationWarning`` via
 from __future__ import annotations
 
 import argparse
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Sequence
@@ -75,8 +76,17 @@ class SimulatorConfig:
     queue_policy: str = DEFAULT_POLICY
 
     def __post_init__(self) -> None:
-        # Accept the string forms ("private"/"striped") so configs built
-        # from mappings or JSON need not import the enum.
+        # The string forms ("private"/"striped") still coerce, but the
+        # blessed string-accepting surface is now repro.Config — warn so
+        # mapping-built SimulatorConfigs migrate there.
+        if not isinstance(self.bb_mode, BBMode):
+            warnings.warn(
+                "passing bb_mode as a string to SimulatorConfig is "
+                "deprecated; pass a BBMode enum, or build the run "
+                "through repro.Config (which accepts the string forms)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         self.bb_mode = BBMode(self.bb_mode)
         # Fail fast on unknown policy names (same contract as BBMode).
         if self.queue_policy not in policy_names():
@@ -90,9 +100,16 @@ class Simulator:
         self,
         platform: "PlatformSpec | str | Path",
         workflow: "Workflow | str | Path",
-        config: Optional[SimulatorConfig] = None,
+        config: "SimulatorConfig | None" = None,
         observer: Optional[Observer] = None,
     ) -> None:
+        if config is not None and not isinstance(config, SimulatorConfig):
+            # Accept a repro.Config (or anything Config.from_any does)
+            # and keep only the model knobs — observability switches are
+            # the caller's concern at this layer.
+            from repro.config import Config
+
+            config = Config.from_any(config).to_simulator_config()
         if not isinstance(platform, PlatformSpec):
             platform = platform_from_json(platform)
         if not isinstance(workflow, Workflow):
@@ -289,31 +306,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    observer: Optional[Observer] = None
-    if (args.obs_dir or args.obs_metrics or args.profile or args.live
-            or args.monitors):
-        groups = (
-            [g.strip() for g in args.obs_metrics.split(",") if g.strip()]
-            if args.obs_metrics
-            else None
-        )
-        observer = Observer(metrics=groups, monitors=args.monitors)
-        if args.live:
-            from repro.obs import LiveBus
+    from repro.config import Config
 
-            observer.attach_bus(LiveBus(args.live))
+    groups = (
+        tuple(g.strip() for g in args.obs_metrics.split(",") if g.strip())
+        if args.obs_metrics
+        else None
+    )
+    config = Config(
+        bb_mode=BBMode(args.mode),
+        input_fraction=args.input_fraction,
+        intermediate_fraction=args.intermediate_fraction,
+        output_fraction=args.output_fraction,
+        network_allocator=args.network_allocator,
+        queue_policy=args.queue_policy,
+        metrics=groups,
+        monitors=args.monitors,
+        live_dir=args.live,
+        obs_dir=args.obs_dir,
+        profile=args.profile,
+    )
+    observer = config.make_observer()
 
     simulator = Simulator(
         Path(args.platform),
         Path(args.workflow),
-        SimulatorConfig(
-            bb_mode=BBMode(args.mode),
-            input_fraction=args.input_fraction,
-            intermediate_fraction=args.intermediate_fraction,
-            output_fraction=args.output_fraction,
-            network_allocator=args.network_allocator,
-            queue_policy=args.queue_policy,
-        ),
+        config.to_simulator_config(),
         observer=observer,
     )
     trace = simulator.run()

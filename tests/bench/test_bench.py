@@ -48,9 +48,17 @@ def test_run_micro_agrees_and_measures():
     assert result.events == len(make_workload(12, n_events=40).events)
     assert result.oracle_wall_s > 0
     assert result.incremental_wall_s > 0
+    assert result.vectorized_wall_s > 0
     assert result.solver_calls > 0
     assert result.links_touched > 0
     assert result.speedup == result.oracle_wall_s / result.incremental_wall_s
+    assert (
+        result.vectorized_speedup
+        == result.oracle_wall_s / result.vectorized_wall_s
+    )
+    doc = result.as_dict()
+    assert doc["vectorized_wall_s"] == result.vectorized_wall_s
+    assert doc["vectorized_speedup"] == result.vectorized_speedup
 
 
 def test_check_agreement_flags_divergence():
@@ -115,7 +123,62 @@ def test_check_against_fails_on_regression():
     current = _report(calibration_s=1.0, wall_s=13.0)  # +30% > 25%
     failures = check_against(current, baseline, tolerance=0.25)
     assert len(failures) == 1
-    assert "fig13-point" in failures[0]
+    failure = failures[0]
+    assert failure["name"] == "fig13-point"
+    assert failure["allocator"] == "incremental"
+    assert failure["metric"] == "wall_s"
+    assert failure["measured_units"] == pytest.approx(13.0)
+    assert failure["baseline_units"] == pytest.approx(10.0)
+    assert failure["ratio"] == pytest.approx(1.3)
+    assert failure["tolerance"] == 0.25
+    # The record renders to a human line carrying the ratio, and is
+    # JSON-serializable for the CLI's machine-readable output.
+    from repro.bench import format_regression
+
+    line = format_regression(failure)
+    assert "fig13-point" in line and "1.30x" in line
+    json.dumps(failure)
+
+
+def test_check_against_cli_emits_json_line_and_fails(tmp_path, capsys):
+    """``repro-bench --check-against`` on a regression exits nonzero,
+    prints the measured-vs-baseline ratio, and emits one machine-
+    readable JSON line."""
+    from repro.bench.cli import main as bench_main
+
+    # An impossibly fast committed baseline forces every macro entry to
+    # regress regardless of this machine's speed.
+    baseline = _report(calibration_s=1.0, wall_s=1e-9)
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(json.dumps(baseline))
+    code = bench_main(
+        [
+            "--smoke",
+            "-o",
+            str(tmp_path / "current.json"),
+            "--check-against",
+            str(baseline_path),
+        ]
+    )
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "PERFORMANCE REGRESSION" in captured.err
+    assert "vs baseline" in captured.err and "x, tolerance" in captured.err
+    json_lines = [
+        json.loads(line)
+        for line in captured.out.splitlines()
+        if line.startswith("{")
+    ]
+    assert len(json_lines) == 1
+    payload = json_lines[0]
+    regressions = payload["bench_regressions"]
+    assert any(
+        r["name"] == "fig13-point" and r["allocator"] == "incremental"
+        for r in regressions
+    )
+    for r in regressions:
+        assert r["ratio"] > 1.0
+        assert r["measured_units"] > r["baseline_units"]
 
 
 def test_check_against_normalizes_by_calibration():
@@ -132,13 +195,13 @@ def test_check_against_ignores_unknown_entries():
     assert check_against(current, baseline) == []
 
 
-def test_macro_smoke_pair_agrees():
+def test_macro_smoke_trio_agrees():
     """The smoke macro scenario must give identical makespans across
     allocators (this is the assertion CI's bench step relies on)."""
-    from repro.bench import macro_benchmarks
+    from repro.bench import MACRO_ALLOCATORS, macro_benchmarks
 
     results = macro_benchmarks(smoke=True)
-    assert len(results) == 2
-    assert results[0].makespan == results[1].makespan
-    assert {r.allocator for r in results} == {"max-min", "incremental"}
+    assert len(results) == 3
+    assert {r.allocator for r in results} == set(MACRO_ALLOCATORS)
+    assert len({r.makespan for r in results}) == 1
     assert all(r.solver_calls > 0 and r.events > 0 for r in results)

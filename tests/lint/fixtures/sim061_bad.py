@@ -1,0 +1,21 @@
+"""Known-bad: per-event container allocation in a hot-path module (SIM061)."""
+# lint: hot-path
+
+
+def drain_events(queue, handlers):
+    while queue:
+        event = queue.pop()
+        targets = [h for h in handlers if h.wants(event)]  # expect[SIM061]
+        ctx = {"event": event, "time": event.time}  # expect[SIM061]
+        for handler in targets:
+            handler(ctx)
+
+
+def rebuild_index(flows):
+    index = {}
+    for flow in flows:
+        index[flow.fid] = list(flow.links)  # expect[SIM061]
+        seen = set()  # expect[SIM061]
+        for link in flow.links:
+            seen.add(link)
+    return index

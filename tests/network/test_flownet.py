@@ -197,9 +197,9 @@ def test_makespan_bounds(arrivals):
 def test_simultaneous_equal_flows_finish_together(n, size):
     l = Link("l", bandwidth=100.0)
     done = run_transfers([(0, size, [l], {}) for _ in range(n)])
-    times = set(round(t, 6) for t in done.values())
-    assert len(times) == 1
-    assert times.pop() == pytest.approx(n * size / 100.0)
+    times = list(done.values())
+    assert max(times) == pytest.approx(min(times), rel=1e-9)
+    assert max(times) == pytest.approx(n * size / 100.0)
 
 
 # ----------------------------------------------------------------------
